@@ -1,0 +1,89 @@
+// Exploratory bench for the paper's open problem: are the time-optimal
+// shapes also energy-optimal? (Section VI-C: "This does not, however,
+// suggest that the shapes are optimal for dynamic energy. We aim to
+// further develop methods to prove whether these shapes are optimal.")
+//
+// The harness perturbs the time-optimal workload distribution by shifting
+// share between the power-hungry CPU and the more energy-efficient GPU,
+// and traces the (execution time, dynamic energy) Pareto front for each
+// shape. With heterogeneous flops-per-joule, the energy minimizer is NOT
+// the time minimizer — quantifying the gap the paper leaves open.
+//
+// Flags: --n 30720  --shifts -0.10,-0.05,0,0.05,0.10
+#include <iostream>
+
+#include "src/core/runner.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace summagen;
+  const util::Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 30720);
+  const auto shifts = cli.get_double_list(
+      "shifts", {-0.10, -0.05, 0.0, 0.05, 0.10});
+
+  const auto platform = device::Platform::hclserver1();
+  // Device efficiency in flops per joule at the contended large-size speed.
+  std::cout << "device energy efficiency (GFLOPs/W, contended, large sizes):"
+            << "\n";
+  for (const auto& ap : platform.processors()) {
+    std::cout << "  " << ap.spec().name << ": "
+              << util::Table::num(ap.effective_flops(20000, true) / 1e9 /
+                                      ap.spec().dynamic_power_w,
+                                  2)
+              << "\n";
+  }
+
+  const auto base = partition::partition_areas_cpm(n * n, {1.0, 2.0, 0.9});
+  util::Table t("time vs dynamic energy as load shifts CPU->GPU, N=" +
+                std::to_string(n) + " (block rectangle)");
+  t.set_header({"gpu_share_shift", "exec_s", "dynamic_kJ", "energy_per_flop",
+                "note"});
+
+  double t_best = 1e300, e_best = 1e300;
+  double t_at_ebest = 0, e_at_tbest = 0;
+  for (double shift : shifts) {
+    // Move `shift` of the total area from the CPU to the GPU.
+    auto areas = base;
+    const auto delta = static_cast<std::int64_t>(
+        shift * static_cast<double>(n) * static_cast<double>(n));
+    if (areas[0] - delta < 0 || areas[1] + delta < 0) continue;
+    areas[0] -= delta;
+    areas[1] += delta;
+
+    core::ExperimentConfig config;
+    config.platform = platform;
+    config.n = n;
+    config.shape = partition::Shape::kBlockRectangle;
+    config.preset_areas = areas;
+    config.record_events = true;
+    const auto res = core::run_pmm(config);
+    const double joules = res.energy.dynamic_j;
+    if (res.exec_time_s < t_best) {
+      t_best = res.exec_time_s;
+      e_at_tbest = joules;
+    }
+    if (joules < e_best) {
+      e_best = joules;
+      t_at_ebest = res.exec_time_s;
+    }
+    t.add_row({util::Table::num(shift, 2),
+               util::Table::num(res.exec_time_s, 3),
+               util::Table::num(joules / 1e3, 3),
+               util::Table::num(joules / (2.0 * static_cast<double>(n) *
+                                          static_cast<double>(n) *
+                                          static_cast<double>(n)) * 1e12,
+                                3),
+               shift == 0.0 ? "time-optimal (CPM)" : ""});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPareto gap: the energy minimizer spends "
+            << util::Table::num(100.0 * (t_at_ebest - t_best) / t_best, 1)
+            << "% more time to save "
+            << util::Table::num(100.0 * (e_at_tbest - e_best) / e_at_tbest, 1)
+            << "% dynamic energy vs the time minimizer — the trade space "
+               "behind the paper's open question.\n";
+  return 0;
+}

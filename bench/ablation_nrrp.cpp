@@ -1,0 +1,127 @@
+// Extension bench: NRRP-style recursive non-rectangular partitioning for
+// arbitrary processor counts (the paper's reference [11] and its
+// "distributed-memory nodes and large clusters" future work).
+//
+// Two studies:
+//  1. p = 3 at the paper's scale — NRRP vs the four hand-proven shapes on
+//     communication volume and modeled time;
+//  2. p = 2..16 on random heterogeneous speed mixes — half-perimeter
+//     quality vs the universal lower bound sum_i 2*sqrt(a_i), with and
+//     without the non-rectangular corner leaves (the Nagamochi-Abe
+//     rectangular baseline).
+//
+// Flags: --n 30720  --pmax 16  --trials 20
+#include <iostream>
+
+#include "src/core/runner.hpp"
+#include "src/partition/nrrp.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+// Modeled SummaGen run over an explicit spec on a synthetic platform.
+double modeled_exec(const summagen::partition::PartitionSpec& spec,
+                    const summagen::device::Platform& platform) {
+  using namespace summagen;
+  const auto processors = platform.processors();
+  sgmpi::Config mpi_config;
+  mpi_config.nranks = platform.nprocs();
+  mpi_config.link = platform.mpi_link;
+  sgmpi::Runtime runtime(mpi_config);
+  runtime.run([&](sgmpi::Comm& world) {
+    core::summagen_rank(world, spec,
+                        processors[static_cast<std::size_t>(world.rank())],
+                        nullptr);
+  });
+  return runtime.max_vtime();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace summagen;
+  const util::Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 30720);
+  const int pmax = static_cast<int>(cli.get_int("pmax", 16));
+  const int trials = static_cast<int>(cli.get_int("trials", 20));
+
+  // Study 1: three processors, paper configuration.
+  {
+    const auto platform = device::Platform::hclserver1();
+    const auto areas =
+        partition::partition_areas_cpm(n * n, {1.0, 2.0, 0.9});
+    util::Table t("NRRP vs the four shapes, p=3, N=" + std::to_string(n));
+    t.set_header({"partitioner", "half_perim", "quality_vs_LB", "exec_s"});
+    for (auto s : partition::all_shapes()) {
+      core::ExperimentConfig config;
+      config.platform = platform;
+      config.n = n;
+      config.shape = s;
+      config.preset_areas = areas;
+      const auto res = core::run_pmm(config);
+      t.add_row({partition::shape_name(s),
+                 util::Table::num(res.total_half_perimeter),
+                 util::Table::num(partition::nrrp_quality(res.spec), 4),
+                 util::Table::num(res.exec_time_s, 3)});
+    }
+    const auto nrrp = partition::nrrp_partition(n, areas);
+    t.add_row({"nrrp", util::Table::num(nrrp.total_half_perimeter()),
+               util::Table::num(partition::nrrp_quality(nrrp), 4),
+               util::Table::num(modeled_exec(nrrp, platform), 3)});
+    partition::NrrpOptions rect_only;
+    rect_only.allow_non_rectangular = false;
+    const auto na = partition::nrrp_partition(n, areas, rect_only);
+    t.add_row({"recursive_rectangular",
+               util::Table::num(na.total_half_perimeter()),
+               util::Table::num(partition::nrrp_quality(na), 4),
+               util::Table::num(modeled_exec(na, platform), 3)});
+    t.print(std::cout);
+  }
+
+  // Study 2: scaling in p on random heterogeneity.
+  {
+    util::Table t("NRRP quality vs processor count (random speeds, " +
+                  std::to_string(trials) + " trials each)");
+    t.set_header({"p", "nrrp_mean_q", "nrrp_worst_q", "rect_mean_q",
+                  "corner_leaves_used_%"});
+    const std::int64_t n2 = 8192;
+    for (int p = 2; p <= pmax; p *= 2) {
+      util::Rng rng(1000 + static_cast<std::uint64_t>(p));
+      double nrrp_sum = 0.0, nrrp_worst = 0.0, rect_sum = 0.0;
+      int corner_used = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        std::vector<double> speeds;
+        for (int i = 0; i < p; ++i) speeds.push_back(rng.uniform(0.2, 4.0));
+        const auto areas = partition::partition_areas_cpm(n2 * n2, speeds);
+        const auto spec = partition::nrrp_partition(n2, areas);
+        const double q = partition::nrrp_quality(spec);
+        nrrp_sum += q;
+        nrrp_worst = std::max(nrrp_worst, q);
+        partition::NrrpOptions rect_only;
+        rect_only.allow_non_rectangular = false;
+        const auto rect = partition::nrrp_partition(n2, areas, rect_only);
+        rect_sum += partition::nrrp_quality(rect);
+        // Corner leaves manifest as non-rectangular zones.
+        for (int r = 0; r < p; ++r) {
+          if (!spec.is_rectangular(r)) {
+            ++corner_used;
+            break;
+          }
+        }
+      }
+      t.add_row({util::Table::num(static_cast<std::int64_t>(p)),
+                 util::Table::num(nrrp_sum / trials, 4),
+                 util::Table::num(nrrp_worst, 4),
+                 util::Table::num(rect_sum / trials, 4),
+                 util::Table::num(100.0 * corner_used / trials, 0)});
+    }
+    std::cout << "\n";
+    t.print(std::cout);
+    std::cout << "\n(quality = total half-perimeter / lower bound "
+                 "sum 2*sqrt(a_i); NRRP's continuous-model guarantee is "
+                 "2/sqrt(3) ~ 1.1547)\n";
+  }
+  return 0;
+}

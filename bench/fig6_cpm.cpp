@@ -1,0 +1,120 @@
+// Figure 6 (a, b, c) + Section VI-A claims: execution, computation and
+// communication times of PMM for the four partition shapes under constant
+// performance models, at the paper's problem sizes (modeled plane).
+//
+// Paper reference points: shapes equal within an average percentage
+// difference of ~8% (max ~23% at N=25600); peak 2.10 TFLOPs (84% of the
+// 2.5 TFLOPs theoretical peak) at N=38416 for square rectangle; average
+// ~70% of theoretical peak.
+//
+// Flags: --sizes 25600,...  --speeds 1.0,2.0,0.9  --csv
+//        --extended  (adds the l_rectangle candidate shape as a column)
+#include <iostream>
+#include <vector>
+
+#include "src/core/runner.hpp"
+#include "src/trace/stats.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace summagen;
+  const util::Cli cli(argc, argv);
+  const bool csv = cli.get_bool("csv", false);
+
+  const std::vector<std::int64_t> sizes = cli.get_int_list(
+      "sizes", {25600, 28160, 30720, 33280, 35840, 38416});
+  const std::vector<double> speeds =
+      cli.get_double_list("speeds", {1.0, 2.0, 0.9});
+
+  const auto platform = device::Platform::hclserver1();
+  const auto& shapes = cli.get_bool("extended", false)
+                           ? partition::extended_shapes()
+                           : partition::all_shapes();
+
+  util::Table exec("Figure 6a: PMM execution times, constant speeds (s)");
+  util::Table comp("Figure 6b: computation times (s)");
+  util::Table comm("Figure 6c: MPI communication times (s)");
+  std::vector<std::string> header = {"N"};
+  for (auto s : shapes) header.push_back(partition::shape_name(s));
+  exec.set_header(header);
+  comp.set_header(header);
+  comm.set_header(header);
+
+  double spread_sum = 0.0;
+  double spread_max = 0.0;
+  std::int64_t spread_max_n = 0;
+  double peak_tflops = 0.0;
+  std::int64_t peak_n = 0;
+  std::string peak_shape;
+  double tflops_sum = 0.0;
+  int tflops_count = 0;
+
+  for (std::int64_t n : sizes) {
+    std::vector<std::string> erow = {util::Table::num(n)};
+    std::vector<std::string> prow = {util::Table::num(n)};
+    std::vector<std::string> crow = {util::Table::num(n)};
+    std::vector<double> times;
+    for (auto s : shapes) {
+      core::ExperimentConfig config;
+      config.platform = platform;
+      config.n = n;
+      config.shape = s;
+      config.regime = core::Regime::kConstant;
+      config.cpm_speeds = speeds;
+      config.numeric = false;  // modeled plane at paper-scale N
+      const auto res = core::run_pmm(config);
+      times.push_back(res.exec_time_s);
+      erow.push_back(util::Table::num(res.exec_time_s, 3));
+      prow.push_back(util::Table::num(res.comp_time_s, 3));
+      crow.push_back(util::Table::num(res.comm_time_s, 3));
+      if (res.tflops > peak_tflops) {
+        peak_tflops = res.tflops;
+        peak_n = n;
+        peak_shape = partition::shape_name(s);
+      }
+      tflops_sum += res.tflops;
+      ++tflops_count;
+    }
+    exec.add_row(erow);
+    comp.add_row(prow);
+    comm.add_row(crow);
+    const double spread = trace::percentage_spread(times);
+    spread_sum += spread;
+    if (spread > spread_max) {
+      spread_max = spread;
+      spread_max_n = n;
+    }
+  }
+
+  if (csv) {
+    exec.print_csv(std::cout);
+    comp.print_csv(std::cout);
+    comm.print_csv(std::cout);
+  } else {
+    exec.print(std::cout);
+    std::cout << "\n";
+    comp.print(std::cout);
+    std::cout << "\n";
+    comm.print(std::cout);
+  }
+
+  const double theoretical = platform.theoretical_peak_flops() / 1.0e12;
+  std::cout << "\n== Section VI-A summary (paper in parentheses) ==\n"
+            << "average %-difference between shapes: "
+            << util::Table::num(spread_sum / sizes.size(), 1) << "% (8%)\n"
+            << "maximum %-difference: " << util::Table::num(spread_max, 1)
+            << "% at N=" << spread_max_n << " (23% at N=25600)\n"
+            << "peak performance: " << util::Table::num(peak_tflops, 2)
+            << " TFLOPs at N=" << peak_n << " for " << peak_shape
+            << " (2.10 TFLOPs at N=38416 for square_rectangle)\n"
+            << "peak as % of theoretical " << util::Table::num(theoretical, 2)
+            << " TFLOPs: "
+            << util::Table::num(100.0 * peak_tflops / theoretical, 0)
+            << "% (84%)\n"
+            << "average as % of theoretical: "
+            << util::Table::num(
+                   100.0 * (tflops_sum / tflops_count) / theoretical, 0)
+            << "% (70%)\n";
+  return 0;
+}

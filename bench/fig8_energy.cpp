@@ -1,0 +1,90 @@
+// Figure 8: dynamic energy consumption of the PMM application for the four
+// partition shapes under constant performance models (paper Section VI-C).
+//
+// The paper's finding: the four shapes consume equal dynamic energy over
+// N in {25600, ..., 35840}. Energy here comes from the platform power model
+// integrated over the run's event log (exact), with one size cross-checked
+// against the simulated WattsUp meter (1 Hz sampling, +-3% accuracy,
+// E_D = E_T - P_S * T_E).
+//
+// Flags: --sizes ...  --speeds 1.0,2.0,0.9  --csv
+#include <iostream>
+#include <vector>
+
+#include "src/core/runner.hpp"
+#include "src/energy/energy.hpp"
+#include "src/trace/stats.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace summagen;
+  const util::Cli cli(argc, argv);
+  const bool csv = cli.get_bool("csv", false);
+
+  const std::vector<std::int64_t> sizes =
+      cli.get_int_list("sizes", {25600, 28160, 30720, 33280, 35840});
+  const std::vector<double> speeds =
+      cli.get_double_list("speeds", {1.0, 2.0, 0.9});
+
+  const auto platform = device::Platform::hclserver1();
+  const auto& shapes = partition::all_shapes();
+
+  util::Table t("Figure 8: dynamic energy of PMM, constant speeds (kJ)");
+  std::vector<std::string> header = {"N"};
+  for (auto s : shapes) header.push_back(partition::shape_name(s));
+  t.set_header(header);
+
+  double spread_sum = 0.0;
+  for (std::int64_t n : sizes) {
+    std::vector<std::string> row = {util::Table::num(n)};
+    std::vector<double> joules;
+    for (auto s : shapes) {
+      core::ExperimentConfig config;
+      config.platform = platform;
+      config.n = n;
+      config.shape = s;
+      config.regime = core::Regime::kConstant;
+      config.cpm_speeds = speeds;
+      config.record_events = true;
+      const auto res = core::run_pmm(config);
+      joules.push_back(res.energy.dynamic_j);
+      row.push_back(util::Table::num(res.energy.dynamic_j / 1e3, 3));
+    }
+    t.add_row(row);
+    spread_sum += trace::percentage_spread(joules);
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+
+  std::cout << "\naverage %-difference in dynamic energy between shapes: "
+            << util::Table::num(spread_sum / sizes.size(), 1)
+            << "% (paper: \"the dynamic energy consumptions are equal\")\n";
+
+  // Meter cross-check at the first size, square corner: exact integration
+  // vs the simulated WattsUp path (1 Hz sampling + Eq. 5).
+  {
+    core::ExperimentConfig config;
+    config.platform = platform;
+    config.n = sizes.front();
+    config.shape = partition::Shape::kSquareCorner;
+    config.regime = core::Regime::kConstant;
+    config.cpm_speeds = speeds;
+    config.record_events = true;
+    const auto res = core::run_pmm(config);
+    const auto reading = energy::simulate_wattsup(res.events, platform,
+                                                  res.exec_time_s);
+    const double metered =
+        energy::dynamic_from_meter(reading, platform.static_power_w);
+    std::cout << "meter cross-check at N=" << sizes.front()
+              << " (square corner): exact E_D = "
+              << util::Table::num(res.energy.dynamic_j / 1e3, 3)
+              << " kJ, WattsUp-simulated E_D = "
+              << util::Table::num(metered / 1e3, 3) << " kJ ("
+              << reading.samples_w.size() << " samples at 1 Hz)\n";
+  }
+  return 0;
+}

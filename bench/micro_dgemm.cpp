@@ -1,0 +1,46 @@
+// Micro-benchmark: sgblas DGEMM kernels (the MKL/CUBLAS substrate).
+#include <benchmark/benchmark.h>
+
+#include "src/blas/gemm.hpp"
+#include "src/util/matrix.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using summagen::blas::GemmKernel;
+using summagen::blas::GemmOptions;
+
+void run_gemm(benchmark::State& state, GemmKernel kernel, int threads) {
+  const std::int64_t n = state.range(0);
+  summagen::util::Matrix a(n, n), b(n, n), c(n, n);
+  summagen::util::fill_random(a, 1);
+  summagen::util::fill_random(b, 2);
+  GemmOptions opts;
+  opts.kernel = kernel;
+  opts.threads = threads;
+  for (auto _ : state) {
+    summagen::blas::dgemm(n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+                          c.data(), n, opts);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          summagen::blas::gemm_flops(n, n, n));
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  run_gemm(state, GemmKernel::kNaive, 1);
+}
+void BM_GemmBlocked(benchmark::State& state) {
+  run_gemm(state, GemmKernel::kBlocked, 1);
+}
+void BM_GemmThreaded(benchmark::State& state) {
+  run_gemm(state, GemmKernel::kThreaded, 4);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_GemmThreaded)->Arg(256)->Arg(512);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Table I: specification of the simulated HCLServer1 platform, plus the
+// calibration summary tying the model back to the paper's headline numbers
+// (2.5 TFLOPs theoretical peak; contended relative speeds ~{1.0, 2.0, 0.9}).
+#include <iostream>
+
+#include "src/core/runner.hpp"
+#include "src/device/platform.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace summagen;
+  const auto platform = device::Platform::hclserver1();
+
+  util::Table specs("Table I: " + platform.name);
+  specs.set_header({"device", "kind", "cores", "memory", "bandwidth",
+                    "peak TFLOPs", "dyn. power W"});
+  for (const auto& d : platform.devices) {
+    specs.add_row({d.name, device::to_string(d.kind), d.cores_description,
+                   d.memory_description, d.bandwidth_description,
+                   util::Table::num(d.peak_flops / 1e12, 2),
+                   util::Table::num(d.dynamic_power_w, 0)});
+  }
+  specs.print(std::cout);
+
+  std::cout << "\nnode theoretical peak: "
+            << util::Table::num(platform.theoretical_peak_flops() / 1e12, 2)
+            << " TFLOPs (paper: 2.50)\n"
+            << "static power: " << platform.static_power_w
+            << " W (paper: 230 W)\n"
+            << "MPI fabric: alpha=" << platform.mpi_link.alpha_s * 1e6
+            << " us, bandwidth="
+            << 1.0 / platform.mpi_link.beta_s_per_byte / 1e9 << " GB/s\n";
+
+  const auto rel = core::default_cpm_speeds(platform);
+  std::cout << "contended relative speeds in the constant range: {";
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    std::cout << (i ? ", " : "") << util::Table::num(rel[i], 2);
+  }
+  std::cout << "} (paper: {1.0, 2.0, 0.9})\n";
+  return 0;
+}

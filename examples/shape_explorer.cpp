@@ -1,0 +1,69 @@
+// Shape explorer: compare the paper's four shapes, the L-rectangle
+// extension, and the Beaumont column-based rectangular baseline for
+// user-chosen processor speeds,
+// with ASCII renderings and the communication-volume geometry.
+//
+//   $ ./shape_explorer --n 512 --speeds 1.0,2.0,0.9
+//   $ ./shape_explorer --n 2048 --speeds 1,10,1     # strong heterogeneity
+#include <iostream>
+
+#include "src/core/runner.hpp"
+#include "src/partition/column_based.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace summagen;
+  const util::Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 512);
+  const auto speeds = cli.get_double_list("speeds", {1.0, 2.0, 0.9});
+  if (speeds.size() != 3) {
+    std::cerr << "shape_explorer needs exactly 3 speeds\n";
+    return 1;
+  }
+
+  const auto platform = device::Platform::synthetic(speeds, 300.0e9);
+  const auto areas = partition::partition_areas_cpm(n * n, speeds);
+
+  std::cout << "N=" << n << ", speeds {" << speeds[0] << ", " << speeds[1]
+            << ", " << speeds[2] << "}, areas {" << areas[0] << ", "
+            << areas[1] << ", " << areas[2] << "}\n";
+
+  util::Table summary("shape comparison");
+  summary.set_header({"shape", "exec_s", "comp_s", "mpi_s", "half_perim",
+                      "verified"});
+
+  for (partition::Shape s : partition::extended_shapes()) {
+    core::ExperimentConfig config;
+    config.platform = platform;
+    config.n = n;
+    config.shape = s;
+    config.cpm_speeds = speeds;
+    config.preset_areas = areas;
+    config.numeric = n <= 1024;  // really multiply at small sizes
+    const auto res = core::run_pmm(config);
+
+    std::cout << "\n--- " << partition::shape_name(s) << " ---\n"
+              << res.spec.render(std::max<std::int64_t>(1, n / 16));
+    summary.add_row({partition::shape_name(s),
+                     util::Table::num(res.exec_time_s, 4),
+                     util::Table::num(res.comp_time_s, 4),
+                     util::Table::num(res.comm_time_s, 4),
+                     util::Table::num(res.total_half_perimeter),
+                     config.numeric ? (res.verified ? "yes" : "FAIL")
+                                    : "modeled"});
+  }
+
+  // Rectangular column-based baseline (Beaumont et al.), for reference.
+  const auto col_spec = partition::column_based_partition(n, areas);
+  std::cout << "\n--- column_based (baseline) ---\n"
+            << col_spec.render(std::max<std::int64_t>(1, n / 16));
+  summary.add_row({"column_based(baseline)", "-", "-", "-",
+                   util::Table::num(col_spec.total_half_perimeter()), "-"});
+
+  std::cout << "\n";
+  summary.print(std::cout);
+  std::cout << "\n(half_perim = sum of covering-rectangle half-perimeters — "
+               "the paper's communication-volume objective)\n";
+  return 0;
+}

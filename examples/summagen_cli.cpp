@@ -1,0 +1,127 @@
+// summagen_cli — the library as a command-line tool.
+//
+// Runs one PMM on the simulated HCLServer1 from either a shape name or a
+// partition file in the paper's array notation, with optional numeric
+// verification, energy accounting, a Gantt chart of the schedule, and
+// spec export.
+//
+//   $ ./summagen_cli --n 1024 --shape square_corner --speeds 1,2,0.9
+//   $ ./summagen_cli --n 1024 --shape block_rectangle --save-spec out.spec
+//   $ ./summagen_cli --spec out.spec --numeric --gantt
+//   $ ./summagen_cli --n 8192 --regime fpm --energy
+#include <fstream>
+#include <iostream>
+
+#include "src/core/runner.hpp"
+#include "src/partition/spec_io.hpp"
+#include "src/trace/gantt.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "summagen_cli — run one PMM on the simulated heterogeneous node\n"
+      "  --n N              matrix size (default 1024; ignored with --spec)\n"
+      "  --shape NAME       square_corner | square_rectangle |\n"
+      "                     block_rectangle | one_dimensional | l_rectangle\n"
+      "  --spec FILE        run a partition file instead of building a shape\n"
+      "  --regime cpm|fpm   workload partitioning regime (default cpm)\n"
+      "  --speeds a,b,c     CPM speeds (default 1.0,2.0,0.9)\n"
+      "  --numeric          really multiply and verify (n <= 8192)\n"
+      "  --energy           record events and report dynamic energy\n"
+      "  --gantt            print the schedule as a Gantt chart\n"
+      "  --chrome-trace F   write the schedule as Chrome trace JSON\n"
+      "  --render           print the partition layout\n"
+      "  --save-spec FILE   export the layout in the paper's notation\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace summagen;
+  const util::Cli cli(argc, argv);
+  if (cli.get_bool("help", false)) {
+    usage();
+    return 0;
+  }
+
+  core::ExperimentConfig config;
+  config.platform = device::Platform::hclserver1();
+  config.numeric = cli.get_bool("numeric", false);
+  config.record_events = cli.get_bool("energy", false) ||
+                         cli.get_bool("gantt", false) ||
+                         cli.has("chrome-trace");
+
+  try {
+    if (cli.has("spec")) {
+      config.preset_spec = partition::load_spec(cli.get("spec", ""));
+      config.n = config.preset_spec.n;
+    } else {
+      config.n = cli.get_int("n", 1024);
+      const std::string shape = cli.get("shape", "square_corner");
+      bool found = false;
+      for (partition::Shape s : partition::extended_shapes()) {
+        if (shape == partition::shape_name(s)) {
+          config.shape = s;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::cerr << "unknown shape '" << shape << "'\n";
+        usage();
+        return 2;
+      }
+      if (cli.get("regime", "cpm") == "fpm") {
+        config.regime = core::Regime::kFunctional;
+      } else {
+        config.cpm_speeds = cli.get_double_list("speeds", {1.0, 2.0, 0.9});
+      }
+    }
+
+    const auto res = core::run_pmm(config);
+
+    if (cli.get_bool("render", false)) {
+      std::cout << res.spec.render(
+                       std::max<std::int64_t>(1, config.n / 32))
+                << "\n";
+    }
+
+    util::Table t("summagen_cli: N=" + std::to_string(config.n));
+    t.set_header({"metric", "value"});
+    t.add_row({"execution time (s)", util::Table::num(res.exec_time_s, 4)});
+    t.add_row({"computation time (s)", util::Table::num(res.comp_time_s, 4)});
+    t.add_row({"MPI time (s)", util::Table::num(res.comm_time_s, 4)});
+    t.add_row({"TFLOPs", util::Table::num(res.tflops, 3)});
+    t.add_row({"sum of half-perimeters",
+               util::Table::num(res.total_half_perimeter)});
+    if (res.has_energy) {
+      t.add_row({"dynamic energy (kJ)",
+                 util::Table::num(res.energy.dynamic_j / 1e3, 3)});
+    }
+    if (config.numeric) {
+      t.add_row({"verified vs reference", res.verified ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+
+    if (cli.get_bool("gantt", false)) {
+      std::cout << "\n" << trace::render_gantt(res.events, res.exec_time_s);
+    }
+    if (cli.has("chrome-trace")) {
+      std::ofstream out(cli.get("chrome-trace", ""));
+      if (!out) throw std::runtime_error("cannot open chrome-trace file");
+      out << trace::export_chrome_trace(res.events);
+      std::cout << "\nschedule written to " << cli.get("chrome-trace", "")
+                << " (open in chrome://tracing)\n";
+    }
+    if (cli.has("save-spec")) {
+      partition::save_spec(cli.get("save-spec", ""), res.spec);
+      std::cout << "\nlayout written to " << cli.get("save-spec", "") << "\n";
+    }
+    return (config.numeric && !res.verified) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,131 @@
+#include "src/blas/gemm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace summagen::blas {
+namespace {
+
+void scale_c(std::int64_t m, std::int64_t n, double beta, double* c,
+             std::int64_t ldc) {
+  if (beta == 1.0) return;
+  for (std::int64_t i = 0; i < m; ++i) {
+    double* row = c + i * ldc;
+    if (beta == 0.0) {
+      std::fill(row, row + n, 0.0);
+    } else {
+      for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+}
+
+void gemm_naive(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
+                const double* a, std::int64_t lda, const double* b,
+                std::int64_t ldb, double* c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t l = 0; l < k; ++l) {
+        acc += a[i * lda + l] * b[l * ldb + j];
+      }
+      c[i * ldc + j] += alpha * acc;
+    }
+  }
+}
+
+// ikj-ordered cache-blocked kernel: the innermost loop streams a row of B
+// and a row of C, which vectorises well on row-major storage.
+void gemm_blocked_rows(std::int64_t row_begin, std::int64_t row_end,
+                       std::int64_t n, std::int64_t k, double alpha,
+                       const double* a, std::int64_t lda, const double* b,
+                       std::int64_t ldb, double* c, std::int64_t ldc,
+                       std::int64_t blk) {
+  for (std::int64_t i0 = row_begin; i0 < row_end; i0 += blk) {
+    const std::int64_t i1 = std::min(i0 + blk, row_end);
+    for (std::int64_t l0 = 0; l0 < k; l0 += blk) {
+      const std::int64_t l1 = std::min(l0 + blk, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += blk) {
+        const std::int64_t j1 = std::min(j0 + blk, n);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          for (std::int64_t l = l0; l < l1; ++l) {
+            const double av = alpha * a[i * lda + l];
+            const double* brow = b + l * ldb;
+            double* crow = c + i * ldc;
+            for (std::int64_t j = j0; j < j1; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void dgemm(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
+           const double* a, std::int64_t lda, const double* b,
+           std::int64_t ldb, double beta, double* c, std::int64_t ldc,
+           const GemmOptions& opts) {
+  if (m < 0 || n < 0 || k < 0) {
+    throw std::invalid_argument("dgemm: negative dimension");
+  }
+  if (lda < std::max<std::int64_t>(1, k) ||
+      ldb < std::max<std::int64_t>(1, n) ||
+      ldc < std::max<std::int64_t>(1, n)) {
+    throw std::invalid_argument("dgemm: leading dimension too small");
+  }
+  if (m == 0 || n == 0) return;
+  scale_c(m, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0) return;
+
+  switch (opts.kernel) {
+    case GemmKernel::kNaive:
+      gemm_naive(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+      return;
+    case GemmKernel::kBlocked:
+      gemm_blocked_rows(0, m, n, k, alpha, a, lda, b, ldb, c, ldc,
+                        std::max<std::int64_t>(8, opts.block));
+      return;
+    case GemmKernel::kThreaded: {
+      const int want = std::max(1, opts.threads);
+      const int nthreads = static_cast<int>(
+          std::min<std::int64_t>(want, std::max<std::int64_t>(1, m)));
+      if (nthreads == 1) {
+        gemm_blocked_rows(0, m, n, k, alpha, a, lda, b, ldb, c, ldc,
+                          std::max<std::int64_t>(8, opts.block));
+        return;
+      }
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<std::size_t>(nthreads));
+      const std::int64_t chunk = (m + nthreads - 1) / nthreads;
+      for (int t = 0; t < nthreads; ++t) {
+        const std::int64_t r0 = t * chunk;
+        const std::int64_t r1 = std::min(m, r0 + chunk);
+        if (r0 >= r1) break;
+        workers.emplace_back([=] {
+          gemm_blocked_rows(r0, r1, n, k, alpha, a, lda, b, ldb, c, ldc,
+                            std::max<std::int64_t>(8, opts.block));
+        });
+      }
+      for (auto& w : workers) w.join();
+      return;
+    }
+  }
+  throw std::logic_error("dgemm: unknown kernel");
+}
+
+util::Matrix multiply(const util::Matrix& a, const util::Matrix& b,
+                      const GemmOptions& opts) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("multiply: inner dimensions differ");
+  }
+  util::Matrix c(a.rows(), b.cols());
+  dgemm(a.rows(), b.cols(), a.cols(), 1.0, a.data(), a.cols(), b.data(),
+        b.cols(), 0.0, c.data(), c.cols(), opts);
+  return c;
+}
+
+}  // namespace summagen::blas

@@ -1,0 +1,50 @@
+// Row-major DGEMM kernels: C := alpha * A * B + beta * C.
+//
+// Substrate for the vendor DGEMM the paper delegates local computations to
+// (Intel MKL on the CPU/Phi, CUBLAS on the GPU). SummaGen's `localDgemm`
+// multiplies a (height x n) slice of WA by an (n x width) slice of WB, so
+// everything here takes explicit leading dimensions.
+//
+// Three implementations, all bit-compatible in result up to floating-point
+// reassociation:
+//  * kNaive   - triple loop, the oracle used in tests;
+//  * kBlocked - cache-blocked ikj kernel (default);
+//  * kThreaded- kBlocked with rows parallelised over std::thread.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/matrix.hpp"
+
+namespace summagen::blas {
+
+enum class GemmKernel { kNaive, kBlocked, kThreaded };
+
+/// Options for dgemm. `threads` only applies to kThreaded.
+struct GemmOptions {
+  GemmKernel kernel = GemmKernel::kBlocked;
+  int threads = 4;
+  std::int64_t block = 64;  ///< cache-block edge for kBlocked/kThreaded
+};
+
+/// General row-major dgemm with leading dimensions (in elements):
+///   C[m x n] (ld ldc) := alpha * A[m x k] (ld lda) * B[k x n] (ld ldb)
+///                        + beta * C.
+/// Preconditions: lda >= k, ldb >= n, ldc >= n; no aliasing between C and
+/// A/B. Throws std::invalid_argument on violations detectable from sizes.
+void dgemm(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
+           const double* a, std::int64_t lda, const double* b,
+           std::int64_t ldb, double beta, double* c, std::int64_t ldc,
+           const GemmOptions& opts = {});
+
+/// Whole-matrix convenience: C := A * B (shapes validated).
+util::Matrix multiply(const util::Matrix& a, const util::Matrix& b,
+                      const GemmOptions& opts = {});
+
+/// Number of floating-point operations of an m x n x k GEMM (2*m*n*k).
+constexpr std::int64_t gemm_flops(std::int64_t m, std::int64_t n,
+                                  std::int64_t k) {
+  return 2 * m * n * k;
+}
+
+}  // namespace summagen::blas

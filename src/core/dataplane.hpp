@@ -1,0 +1,64 @@
+// Per-rank local matrix storage for SummaGen.
+//
+// SummaGen assumes the matrices are pre-distributed: each rank stores
+// exactly the sub-partitions of A and B it owns, and produces the C
+// sub-partitions it owns. LocalData is that store, in two flavours
+// (DESIGN.md §5.2):
+//   * numeric - real doubles; scatter/gather against global matrices lets
+//     tests verify SummaGen's C against a serial reference bit-for-bit in
+//     structure (up to fp reassociation);
+//   * modeled - no storage at all; the algorithm still runs every loop and
+//     communication with null payloads, so figure benches can execute the
+//     paper's N = 25600..38416 without 10+ GB of allocation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "src/partition/spec.hpp"
+#include "src/util/matrix.hpp"
+
+namespace summagen::core {
+
+/// Local matrices of one rank under a given PartitionSpec.
+class LocalData {
+ public:
+  /// Modeled plane: no buffers.
+  LocalData() = default;
+
+  /// Numeric plane: extracts `rank`'s owned sub-partitions of `a` and `b`
+  /// (both n x n per `spec`) and allocates the local C (covering-rectangle
+  /// extent, zero-initialised).
+  LocalData(const partition::PartitionSpec& spec, int rank,
+            const util::Matrix& a, const util::Matrix& b);
+
+  bool numeric() const { return numeric_; }
+  int rank() const { return rank_; }
+
+  /// Owned sub-partition of A / B at grid cell (bi, bj); throws if not
+  /// owned or modeled-only.
+  const util::Matrix& a_part(int bi, int bj) const;
+  const util::Matrix& b_part(int bi, int bj) const;
+  bool owns(int bi, int bj) const;
+
+  /// Local C buffer spanning the covering rectangle (numeric only).
+  util::Matrix& c() { return c_; }
+  const util::Matrix& c() const { return c_; }
+  const partition::Rect& c_rect() const { return c_rect_; }
+
+  /// Writes this rank's owned C sub-partitions into the global matrix.
+  /// Unowned cells inside the covering rectangle are left untouched.
+  void gather_c(const partition::PartitionSpec& spec, util::Matrix& c_global)
+      const;
+
+ private:
+  bool numeric_ = false;
+  int rank_ = -1;
+  std::map<std::pair<int, int>, util::Matrix> a_parts_;
+  std::map<std::pair<int, int>, util::Matrix> b_parts_;
+  util::Matrix c_;
+  partition::Rect c_rect_;
+};
+
+}  // namespace summagen::core

@@ -1,0 +1,164 @@
+#include "src/core/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "src/core/reference.hpp"
+#include "src/util/rng.hpp"
+
+namespace summagen::core {
+
+std::vector<device::SpeedFunction> default_fpm_models(
+    const device::Platform& platform, std::int64_t n,
+    device::Interpolation interp) {
+  // The largest zone edge is n (one processor owning everything); profile a
+  // little past it so interpolation, not clamping, covers the working range.
+  const double hi = std::max<double>(256.0, static_cast<double>(n) * 1.05);
+  const auto grid = device::profile_grid(64.0, hi, 48);
+  return platform.profiles(grid, /*contended=*/true, interp);
+}
+
+std::vector<double> default_cpm_speeds(const device::Platform& platform) {
+  // Mean contended speeds over the zone-edge range corresponding to the
+  // paper's constant problem-size range (N in [25600, 35840] => zone edges
+  // roughly in [14000, 22000]).
+  return platform.constant_relative_speeds(14000.0, 22000.0);
+}
+
+std::vector<std::int64_t> compute_areas(const ExperimentConfig& config) {
+  const std::int64_t total = config.n * config.n;
+  if (!config.preset_areas.empty()) {
+    if (static_cast<int>(config.preset_areas.size()) !=
+        config.platform.nprocs()) {
+      throw std::invalid_argument(
+          "run_pmm: preset_areas size differs from platform processor count");
+    }
+    return config.preset_areas;
+  }
+  if (config.regime == Regime::kConstant) {
+    std::vector<double> speeds = config.cpm_speeds;
+    if (speeds.empty()) speeds = default_cpm_speeds(config.platform);
+    if (static_cast<int>(speeds.size()) != config.platform.nprocs()) {
+      throw std::invalid_argument(
+          "run_pmm: cpm_speeds size differs from platform processor count");
+    }
+    return partition::partition_areas_cpm(total, speeds);
+  }
+  std::vector<device::SpeedFunction> models = config.fpm_models;
+  if (models.empty()) {
+    models = default_fpm_models(config.platform, config.n);
+  }
+  if (static_cast<int>(models.size()) != config.platform.nprocs()) {
+    throw std::invalid_argument(
+        "run_pmm: fpm_models size differs from platform processor count");
+  }
+  return partition::partition_areas_fpm(config.n, models, config.fpm_options)
+      .areas;
+}
+
+ExperimentResult run_pmm(const ExperimentConfig& config) {
+  if (config.n <= 0) throw std::invalid_argument("run_pmm: n <= 0");
+  const int p = config.platform.nprocs();
+  if (p < 1) throw std::invalid_argument("run_pmm: empty platform");
+  if (config.numeric && config.n > 8192) {
+    throw std::invalid_argument(
+        "run_pmm: numeric plane beyond n=8192 is a mistake; use the modeled "
+        "plane for paper-scale sweeps");
+  }
+
+  ExperimentResult result;
+  if (config.preset_spec.n > 0) {
+    if (config.preset_spec.n != config.n) {
+      throw std::invalid_argument("run_pmm: preset_spec.n != n");
+    }
+    config.preset_spec.validate(p);
+    result.spec = config.preset_spec;
+    for (int r = 0; r < p; ++r) {
+      result.areas.push_back(result.spec.area_of(r));
+    }
+  } else {
+    result.areas = compute_areas(config);
+    result.spec =
+        partition::build_shape(config.shape, config.n, result.areas,
+                               config.granularity);
+  }
+  result.total_half_perimeter = result.spec.total_half_perimeter();
+
+  device::Platform platform = config.platform;
+  if (config.noise_sigma > 0.0) {
+    for (std::size_t r = 0; r < platform.devices.size(); ++r) {
+      platform.devices[r].temporal_jitter_sigma = config.noise_sigma;
+      platform.devices[r].temporal_jitter_seed =
+          util::derive_seed(config.noise_seed, r);
+    }
+  }
+  const auto processors = platform.processors(config.kernel);
+
+  sgmpi::Config mpi_config;
+  mpi_config.nranks = p;
+  mpi_config.link = config.platform.mpi_link;
+  mpi_config.node_of = config.platform.node_of;
+  mpi_config.internode_link = config.platform.internode_link;
+  mpi_config.record_events = config.record_events;
+  sgmpi::Runtime runtime(mpi_config);
+
+  // Numeric plane: build the global inputs and each rank's local store.
+  util::Matrix a, b;
+  std::vector<std::unique_ptr<LocalData>> locals(
+      static_cast<std::size_t>(p));
+  if (config.numeric) {
+    a = util::Matrix(config.n, config.n);
+    b = util::Matrix(config.n, config.n);
+    util::fill_random(a, util::derive_seed(config.seed, 1));
+    util::fill_random(b, util::derive_seed(config.seed, 2));
+    for (int r = 0; r < p; ++r) {
+      locals[static_cast<std::size_t>(r)] =
+          std::make_unique<LocalData>(result.spec, r, a, b);
+    }
+  }
+
+  result.reports.resize(static_cast<std::size_t>(p));
+  runtime.run([&](sgmpi::Comm& world) {
+    const int r = world.rank();
+    result.reports[static_cast<std::size_t>(r)] = summagen_rank(
+        world, result.spec, processors[static_cast<std::size_t>(r)],
+        locals[static_cast<std::size_t>(r)].get(), config.contended,
+        config.summagen_options);
+  });
+
+  for (int r = 0; r < p; ++r) {
+    const auto& clk = runtime.clock(r);
+    result.rank_exec_s.push_back(clk.now());
+    result.rank_comp_s.push_back(clk.compute_seconds());
+    result.rank_comm_s.push_back(clk.comm_seconds());
+    result.rank_idle_s.push_back(clk.idle_seconds());
+    result.exec_time_s = std::max(result.exec_time_s, clk.now());
+    result.comp_time_s = std::max(result.comp_time_s, clk.compute_seconds());
+    result.comm_time_s = std::max(result.comm_time_s, clk.comm_seconds());
+  }
+  const double n3 = static_cast<double>(config.n) *
+                    static_cast<double>(config.n) *
+                    static_cast<double>(config.n);
+  result.tflops = 2.0 * n3 / result.exec_time_s / 1.0e12;
+
+  if (config.record_events) {
+    result.events = runtime.events().sorted();
+    result.energy = energy::dynamic_energy_exact(
+        result.events, config.platform, result.exec_time_s);
+    result.has_energy = true;
+  }
+
+  if (config.numeric) {
+    util::Matrix c(config.n, config.n);
+    for (int r = 0; r < p; ++r) {
+      locals[static_cast<std::size_t>(r)]->gather_c(result.spec, c);
+    }
+    const util::Matrix expected = reference_multiply(a, b);
+    result.max_abs_error = util::Matrix::max_abs_diff(c, expected);
+    result.verified = result.max_abs_error <= gemm_tolerance(config.n);
+  }
+  return result;
+}
+
+}  // namespace summagen::core

@@ -1,0 +1,113 @@
+// Experiment runner: one call = one PMM execution for one shape, exactly
+// the unit the paper's Figures 6-8 sweep.
+//
+// The runner wires the full pipeline: workload partitioning (CPM or the
+// FPM load-imbalancing partitioner) -> shape construction (Section V) ->
+// SummaGen over the sgmpi runtime with one abstract processor per rank ->
+// metric extraction (execution/computation/communication time split,
+// TFLOPs, communication volume, dynamic energy) and, on the numeric plane,
+// verification against the serial reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/blas/gemm.hpp"
+#include "src/core/summagen.hpp"
+#include "src/device/platform.hpp"
+#include "src/energy/energy.hpp"
+#include "src/partition/areas.hpp"
+#include "src/partition/shapes.hpp"
+
+namespace summagen::core {
+
+/// Which performance models drive the workload distribution (Section VI).
+enum class Regime {
+  kConstant,    ///< constant speeds (paper VI-A, speeds {1.0, 2.0, 0.9})
+  kFunctional,  ///< non-smooth FPMs + load-imbalancing partitioner (VI-B)
+};
+
+struct ExperimentConfig {
+  device::Platform platform = device::Platform::hclserver1();
+  std::int64_t n = 1024;
+  partition::Shape shape = partition::Shape::kSquareCorner;
+  Regime regime = Regime::kConstant;
+
+  /// CPM speeds; empty = derive from the platform's contended profiles over
+  /// the constant range (how the paper obtains {1.0, 2.0, 0.9}).
+  std::vector<double> cpm_speeds;
+
+  /// FPM models; empty = build Figure-5 profiles from the platform.
+  std::vector<device::SpeedFunction> fpm_models;
+  partition::FpmOptions fpm_options;
+
+  /// Non-empty: skip Step 1 and use these per-rank areas directly (must sum
+  /// to n*n). Lets sweeps partition once and reuse across shapes.
+  std::vector<std::int64_t> preset_areas;
+
+  /// preset_spec.n > 0: skip shape construction entirely and execute this
+  /// layout (any partitioner's output — NRRP, column-based, hand-built).
+  /// `shape` is ignored; the spec's n must equal `n`.
+  partition::PartitionSpec preset_spec;
+
+  std::int64_t granularity = 1;  ///< block size r for shape dimensions
+  SummaGenOptions summagen_options;  ///< e.g. panelled broadcasts
+
+  bool numeric = false;        ///< real data + verification (small n only)
+  bool record_events = false;  ///< event log + energy accounting
+  bool contended = true;       ///< paper methodology: co-loaded profiles
+  std::uint64_t seed = 42;     ///< matrix initialisation (numeric plane)
+  blas::GemmOptions kernel;    ///< numeric DGEMM kernel
+
+  /// Run-to-run measurement noise: lognormal sigma applied to every local
+  /// kernel's compute time, seeded per (noise_seed, rank). 0 = the default
+  /// deterministic model. Vary noise_seed across repetitions to drive the
+  /// Student-t measurement methodology of the paper's Section VI.
+  double noise_sigma = 0.0;
+  std::uint64_t noise_seed = 1;
+};
+
+/// Everything measured in one execution.
+struct ExperimentResult {
+  partition::PartitionSpec spec;
+  std::vector<std::int64_t> areas;  ///< requested per-rank areas
+
+  double exec_time_s = 0.0;  ///< parallel execution time (max over ranks)
+  double comp_time_s = 0.0;  ///< max per-rank computation time (Fig 6b/7b)
+  double comm_time_s = 0.0;  ///< max per-rank MPI time (Fig 6c/7c)
+  double tflops = 0.0;       ///< 2 n^3 / exec_time / 1e12
+
+  std::vector<RankReport> reports;       ///< per rank
+  std::vector<double> rank_exec_s;       ///< per-rank completion times
+  std::vector<double> rank_comp_s;
+  std::vector<double> rank_comm_s;
+  std::vector<double> rank_idle_s;
+
+  std::int64_t total_half_perimeter = 0;  ///< theory comm-volume metric
+
+  bool has_energy = false;
+  energy::EnergyBreakdown energy;
+  std::vector<trace::Event> events;  ///< full trace (record_events only)
+
+  bool verified = false;        ///< numeric plane: C matched the reference
+  double max_abs_error = 0.0;   ///< numeric plane: worst |C - C_ref|
+};
+
+/// Runs one PMM. Throws on configuration errors (shape/processor-count
+/// mismatch, numeric plane at absurd n, ...).
+ExperimentResult run_pmm(const ExperimentConfig& config);
+
+/// Step 1 of Section V for this config: the per-rank areas.
+std::vector<std::int64_t> compute_areas(const ExperimentConfig& config);
+
+/// Figure-5 profiles of the platform suitable for partitioning problems of
+/// size up to n (sampled up to the largest zone edge).
+std::vector<device::SpeedFunction> default_fpm_models(
+    const device::Platform& platform, std::int64_t n,
+    device::Interpolation interp = device::Interpolation::kPiecewiseLinear);
+
+/// The CPM speeds the paper reads off Figure 5 for its constant range —
+/// derived from the platform's contended profiles.
+std::vector<double> default_cpm_speeds(const device::Platform& platform);
+
+}  // namespace summagen::core

@@ -1,0 +1,219 @@
+#include "src/core/summa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace summagen::core {
+namespace {
+
+// Balanced 1D split: part sizes of `extent` over `parts`, first
+// `extent % parts` parts get one extra element.
+std::int64_t part_offset(std::int64_t extent, int parts, int index) {
+  const std::int64_t base = extent / parts;
+  const std::int64_t extra = extent % parts;
+  return base * index + std::min<std::int64_t>(index, extra);
+}
+
+std::int64_t part_size(std::int64_t extent, int parts, int index) {
+  return part_offset(extent, parts, index + 1) -
+         part_offset(extent, parts, index);
+}
+
+void validate_config(std::int64_t n, const SummaConfig& config) {
+  if (n <= 0) throw std::invalid_argument("summa: n <= 0");
+  if (config.pr < 1 || config.pc < 1) {
+    throw std::invalid_argument("summa: grid extents must be >= 1");
+  }
+  if (config.panel < 1) {
+    throw std::invalid_argument("summa: panel width must be >= 1");
+  }
+  if (config.pr > n || config.pc > n) {
+    throw std::invalid_argument("summa: grid larger than the matrix");
+  }
+}
+
+}  // namespace
+
+SummaBlock summa_block(std::int64_t n, const SummaConfig& config, int rank) {
+  validate_config(n, config);
+  if (rank < 0 || rank >= config.pr * config.pc) {
+    throw std::invalid_argument("summa: rank outside grid");
+  }
+  const int gi = rank / config.pc;
+  const int gj = rank % config.pc;
+  SummaBlock b;
+  b.row0 = part_offset(n, config.pr, gi);
+  b.rows = part_size(n, config.pr, gi);
+  b.col0 = part_offset(n, config.pc, gj);
+  b.cols = part_size(n, config.pc, gj);
+  return b;
+}
+
+SummaLocalData::SummaLocalData(std::int64_t n, const SummaConfig& config,
+                               int rank, const util::Matrix& a,
+                               const util::Matrix& b) {
+  if (a.rows() != n || a.cols() != n || b.rows() != n || b.cols() != n) {
+    throw std::invalid_argument("SummaLocalData: globals must be n x n");
+  }
+  extent_ = summa_block(n, config, rank);
+  a_ = util::extract_block(a, extent_.row0, extent_.col0, extent_.rows,
+                           extent_.cols);
+  b_ = util::extract_block(b, extent_.row0, extent_.col0, extent_.rows,
+                           extent_.cols);
+  c_ = util::Matrix(extent_.rows, extent_.cols);
+}
+
+void SummaLocalData::gather_c(util::Matrix& c_global) const {
+  util::place_block(c_global, c_, extent_.row0, extent_.col0);
+}
+
+SummaReport summa_rank(sgmpi::Comm& world, std::int64_t n,
+                       const SummaConfig& config,
+                       const device::AbstractProcessor& ap,
+                       SummaLocalData* data, bool contended) {
+  validate_config(n, config);
+  if (world.size() != config.pr * config.pc) {
+    throw std::invalid_argument("summa: world size != pr * pc");
+  }
+  const int rank = world.rank();
+  const int gi = rank / config.pc;
+  const int gj = rank % config.pc;
+  const std::int64_t my_rows = part_size(n, config.pr, gi);
+  const std::int64_t my_cols = part_size(n, config.pc, gj);
+
+  // Row and column communicators of the 2D grid.
+  std::vector<int> row_members, col_members;
+  for (int j = 0; j < config.pc; ++j) row_members.push_back(gi * config.pc + j);
+  for (int i = 0; i < config.pr; ++i) col_members.push_back(i * config.pc + gj);
+  sgmpi::Comm row = config.pc > 1 ? world.subgroup(row_members) : world;
+  sgmpi::Comm col = config.pr > 1 ? world.subgroup(col_members) : world;
+
+  // Panel buffers (numeric plane only): WA is my_rows x b, WB is b x my_cols.
+  std::vector<double> wa, wb;
+  if (data != nullptr) {
+    wa.resize(static_cast<std::size_t>(my_rows * config.panel));
+    wb.resize(static_cast<std::size_t>(my_cols * config.panel));
+  }
+
+  SummaReport report;
+  for (std::int64_t k0 = 0; k0 < n; k0 += config.panel) {
+    const std::int64_t bcur = std::min(config.panel, n - k0);
+    ++report.steps;
+
+    // Which grid column owns A's panel columns [k0, k0+bcur), and which
+    // grid row owns B's panel rows. A panel may straddle two owner blocks
+    // when block extents are uneven; split at owner boundaries.
+    std::int64_t k = k0;
+    while (k < k0 + bcur) {
+      // --- A panel segment along my processor row ---
+      int owner_col = 0;
+      while (part_offset(n, config.pc, owner_col + 1) <= k) ++owner_col;
+      const std::int64_t seg_end = std::min<std::int64_t>(
+          k0 + bcur, part_offset(n, config.pc, owner_col + 1));
+      const std::int64_t seg = seg_end - k;
+
+      if (config.pc > 1) {
+        const std::int64_t bytes =
+            my_rows * seg * static_cast<std::int64_t>(sizeof(double));
+        if (data != nullptr && gj == owner_col) {
+          // Pack my A columns [k, seg_end) into the panel buffer.
+          const std::int64_t local_col =
+              k - part_offset(n, config.pc, owner_col);
+          util::copy_matrix(wa.data() + (k - k0), bcur,
+                            data->a_block().data() + local_col,
+                            data->a_block().cols(), my_rows, seg);
+        }
+        // Broadcast the segment across the row (root = owner column).
+        if (data != nullptr) {
+          // Use a compact scratch so ranks receive contiguous data.
+          std::vector<double> seg_buf(
+              static_cast<std::size_t>(my_rows * seg));
+          if (gj == owner_col) {
+            util::copy_matrix(seg_buf.data(), seg, wa.data() + (k - k0),
+                              bcur, my_rows, seg);
+          }
+          report.mpi_time_s +=
+              row.bcast(seg_buf.data(), my_rows * seg, owner_col);
+          util::copy_matrix(wa.data() + (k - k0), bcur, seg_buf.data(), seg,
+                            my_rows, seg);
+        } else {
+          report.mpi_time_s += row.bcast_bytes(nullptr, bytes, owner_col);
+        }
+        ++report.bcasts;
+        report.bcast_bytes += bytes;
+      } else if (data != nullptr) {
+        const std::int64_t local_col = k;
+        util::copy_matrix(wa.data() + (k - k0), bcur,
+                          data->a_block().data() + local_col,
+                          data->a_block().cols(), my_rows, seg);
+      }
+      k = seg_end;
+    }
+
+    k = k0;
+    while (k < k0 + bcur) {
+      // --- B panel segment down my processor column ---
+      int owner_row = 0;
+      while (part_offset(n, config.pr, owner_row + 1) <= k) ++owner_row;
+      const std::int64_t seg_end = std::min<std::int64_t>(
+          k0 + bcur, part_offset(n, config.pr, owner_row + 1));
+      const std::int64_t seg = seg_end - k;
+
+      if (config.pr > 1) {
+        const std::int64_t bytes =
+            seg * my_cols * static_cast<std::int64_t>(sizeof(double));
+        if (data != nullptr) {
+          std::vector<double> seg_buf(
+              static_cast<std::size_t>(seg * my_cols));
+          if (gi == owner_row) {
+            const std::int64_t local_row =
+                k - part_offset(n, config.pr, owner_row);
+            util::copy_matrix(seg_buf.data(), my_cols,
+                              data->b_block().data() +
+                                  local_row * data->b_block().cols(),
+                              data->b_block().cols(), seg, my_cols);
+          }
+          report.mpi_time_s +=
+              col.bcast(seg_buf.data(), seg * my_cols, owner_row);
+          util::copy_matrix(wb.data() + (k - k0) * my_cols, my_cols,
+                            seg_buf.data(), my_cols, seg, my_cols);
+        } else {
+          report.mpi_time_s += col.bcast_bytes(nullptr, bytes, owner_row);
+        }
+        ++report.bcasts;
+        report.bcast_bytes += bytes;
+      } else if (data != nullptr) {
+        util::copy_matrix(wb.data() + (k - k0) * my_cols, my_cols,
+                          data->b_block().data() + k * data->b_block().cols(),
+                          data->b_block().cols(), seg, my_cols);
+      }
+      k = seg_end;
+    }
+
+    // --- rank-b update of my C block ---
+    device::KernelCost cost;
+    if (data == nullptr) {
+      cost = ap.kernel_cost(my_rows, my_cols, bcur, contended);
+    } else {
+      cost = ap.run_gemm(my_rows, my_cols, bcur, wa.data(), bcur, wb.data(),
+                         my_cols, data->c_block().data(), my_cols, contended);
+    }
+    auto& clk = world.clock();
+    const double t0 = clk.now();
+    clk.advance_compute(cost.compute_s);
+    if (world.events().enabled()) {
+      world.events().record({world.world_rank(), trace::EventKind::kCompute,
+                             t0, clk.now(), 0,
+                             blas::gemm_flops(my_rows, my_cols, bcur),
+                             "summa k0=" + std::to_string(k0)});
+    }
+    if (cost.transfer_s > 0.0) {
+      clk.advance_compute(cost.transfer_s);
+    }
+    report.flops += blas::gemm_flops(my_rows, my_cols, bcur);
+  }
+  return report;
+}
+
+}  // namespace summagen::core

@@ -1,0 +1,252 @@
+#include "src/core/summa25d.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace summagen::core {
+namespace {
+
+std::int64_t part_offset(std::int64_t extent, int parts, int index) {
+  const std::int64_t base = extent / parts;
+  const std::int64_t extra = extent % parts;
+  return base * index + std::min<std::int64_t>(index, extra);
+}
+
+void validate_config(std::int64_t n, const Summa25dConfig& config) {
+  if (n <= 0) throw std::invalid_argument("summa25d: n <= 0");
+  if (config.q < 1 || config.c < 1) {
+    throw std::invalid_argument("summa25d: grid extents must be >= 1");
+  }
+  if (config.panel < 1) {
+    throw std::invalid_argument("summa25d: panel width must be >= 1");
+  }
+  if (config.q > n || config.c > n) {
+    throw std::invalid_argument("summa25d: grid larger than the matrix");
+  }
+}
+
+SummaConfig layer_grid(const Summa25dConfig& config, std::int64_t panel) {
+  SummaConfig grid;
+  grid.pr = config.q;
+  grid.pc = config.q;
+  grid.panel = panel;
+  return grid;
+}
+
+}  // namespace
+
+Summa25dLocalData::Summa25dLocalData(std::int64_t n,
+                                     const Summa25dConfig& config, int rank,
+                                     const util::Matrix& a,
+                                     const util::Matrix& b) {
+  validate_config(n, config);
+  const int per_layer = config.q * config.q;
+  if (rank < 0 || rank >= per_layer * config.c) {
+    throw std::invalid_argument("Summa25dLocalData: rank outside grid");
+  }
+  if (a.rows() != n || a.cols() != n || b.rows() != n || b.cols() != n) {
+    throw std::invalid_argument("Summa25dLocalData: globals must be n x n");
+  }
+  const int layer = rank / per_layer;
+  const int within = rank % per_layer;
+  layer_zero_ = layer == 0;
+  extent_ = summa_block(n, layer_grid(config, config.panel), within);
+  if (layer_zero_) {
+    a_ = util::extract_block(a, extent_.row0, extent_.col0, extent_.rows,
+                             extent_.cols);
+    b_ = util::extract_block(b, extent_.row0, extent_.col0, extent_.rows,
+                             extent_.cols);
+  } else {
+    // Receive buffers for the replication broadcast.
+    a_ = util::Matrix(extent_.rows, extent_.cols);
+    b_ = util::Matrix(extent_.rows, extent_.cols);
+  }
+  c_ = util::Matrix(extent_.rows, extent_.cols);
+}
+
+void Summa25dLocalData::gather_c(util::Matrix& c_global) const {
+  if (!layer_zero_) {
+    throw std::logic_error(
+        "Summa25dLocalData: gather_c from a non-zero layer");
+  }
+  util::place_block(c_global, c_, extent_.row0, extent_.col0);
+}
+
+Summa25dReport summa25d_rank(sgmpi::Comm& world, std::int64_t n,
+                             const Summa25dConfig& config,
+                             const device::AbstractProcessor& ap,
+                             Summa25dLocalData* data, bool contended) {
+  validate_config(n, config);
+  const int per_layer = config.q * config.q;
+  if (world.size() != per_layer * config.c) {
+    throw std::invalid_argument("summa25d: world size != q*q*c");
+  }
+  const int rank = world.rank();
+  const int layer = rank / per_layer;
+  const int within = rank % per_layer;
+  const int gi = within / config.q;
+  const int gj = within % config.q;
+  const SummaBlock my =
+      summa_block(n, layer_grid(config, config.panel), within);
+
+  Summa25dReport report;
+
+  // --- Step 1: replicate A and B blocks from layer 0 down the stack ---
+  if (config.c > 1) {
+    std::vector<int> stack;
+    for (int l = 0; l < config.c; ++l) stack.push_back(l * per_layer + within);
+    sgmpi::Comm depth = world.subgroup(stack);
+    const std::int64_t bytes =
+        my.rows * my.cols * static_cast<std::int64_t>(sizeof(double));
+    if (data != nullptr) {
+      report.mpi_time_s += depth.bcast(data->a_block().data(),
+                                       my.rows * my.cols, 0);
+      report.mpi_time_s += depth.bcast(data->b_block().data(),
+                                       my.rows * my.cols, 0);
+    } else {
+      report.mpi_time_s += depth.bcast_bytes(nullptr, bytes, 0);
+      report.mpi_time_s += depth.bcast_bytes(nullptr, bytes, 0);
+    }
+    report.replication_bytes += 2 * bytes;
+    report.bcasts += 2;
+  }
+
+  // --- Step 2: SUMMA over this layer's k share ---
+  std::vector<int> row_members, col_members;
+  for (int j = 0; j < config.q; ++j) {
+    row_members.push_back(layer * per_layer + gi * config.q + j);
+  }
+  for (int i = 0; i < config.q; ++i) {
+    col_members.push_back(layer * per_layer + i * config.q + gj);
+  }
+  sgmpi::Comm row = config.q > 1 ? world.subgroup(row_members) : world;
+  sgmpi::Comm col = config.q > 1 ? world.subgroup(col_members) : world;
+
+  const std::int64_t k_lo = part_offset(n, config.c, layer);
+  const std::int64_t k_hi = part_offset(n, config.c, layer + 1);
+
+  std::vector<double> wa, wb;
+  if (data != nullptr) {
+    wa.resize(static_cast<std::size_t>(my.rows * config.panel));
+    wb.resize(static_cast<std::size_t>(my.cols * config.panel));
+  }
+
+  for (std::int64_t k0 = k_lo; k0 < k_hi; k0 += config.panel) {
+    const std::int64_t bcur = std::min(config.panel, k_hi - k0);
+    ++report.steps;
+
+    // A panel [k0, k0+bcur) along my layer row; segments split at the
+    // q-grid column ownership boundaries.
+    std::int64_t k = k0;
+    while (k < k0 + bcur) {
+      int owner_col = 0;
+      while (part_offset(n, config.q, owner_col + 1) <= k) ++owner_col;
+      const std::int64_t seg_end = std::min<std::int64_t>(
+          k0 + bcur, part_offset(n, config.q, owner_col + 1));
+      const std::int64_t seg = seg_end - k;
+      if (config.q > 1) {
+        const std::int64_t bytes =
+            my.rows * seg * static_cast<std::int64_t>(sizeof(double));
+        if (data != nullptr) {
+          std::vector<double> seg_buf(
+              static_cast<std::size_t>(my.rows * seg));
+          if (gj == owner_col) {
+            const std::int64_t local_col =
+                k - part_offset(n, config.q, owner_col);
+            util::copy_matrix(seg_buf.data(), seg,
+                              data->a_block().data() + local_col,
+                              data->a_block().cols(), my.rows, seg);
+          }
+          report.mpi_time_s +=
+              row.bcast(seg_buf.data(), my.rows * seg, owner_col);
+          util::copy_matrix(wa.data() + (k - k0), bcur, seg_buf.data(), seg,
+                            my.rows, seg);
+        } else {
+          report.mpi_time_s += row.bcast_bytes(nullptr, bytes, owner_col);
+        }
+        ++report.bcasts;
+        report.bcast_bytes += bytes;
+      } else if (data != nullptr) {
+        util::copy_matrix(wa.data() + (k - k0), bcur,
+                          data->a_block().data() + k,
+                          data->a_block().cols(), my.rows, seg);
+      }
+      k = seg_end;
+    }
+
+    // B panel down my layer column.
+    k = k0;
+    while (k < k0 + bcur) {
+      int owner_row = 0;
+      while (part_offset(n, config.q, owner_row + 1) <= k) ++owner_row;
+      const std::int64_t seg_end = std::min<std::int64_t>(
+          k0 + bcur, part_offset(n, config.q, owner_row + 1));
+      const std::int64_t seg = seg_end - k;
+      if (config.q > 1) {
+        const std::int64_t bytes =
+            seg * my.cols * static_cast<std::int64_t>(sizeof(double));
+        if (data != nullptr) {
+          std::vector<double> seg_buf(
+              static_cast<std::size_t>(seg * my.cols));
+          if (gi == owner_row) {
+            const std::int64_t local_row =
+                k - part_offset(n, config.q, owner_row);
+            util::copy_matrix(seg_buf.data(), my.cols,
+                              data->b_block().data() +
+                                  local_row * data->b_block().cols(),
+                              data->b_block().cols(), seg, my.cols);
+          }
+          report.mpi_time_s +=
+              col.bcast(seg_buf.data(), seg * my.cols, owner_row);
+          util::copy_matrix(wb.data() + (k - k0) * my.cols, my.cols,
+                            seg_buf.data(), my.cols, seg, my.cols);
+        } else {
+          report.mpi_time_s += col.bcast_bytes(nullptr, bytes, owner_row);
+        }
+        ++report.bcasts;
+        report.bcast_bytes += bytes;
+      } else if (data != nullptr) {
+        util::copy_matrix(
+            wb.data() + (k - k0) * my.cols, my.cols,
+            data->b_block().data() + k * data->b_block().cols(),
+            data->b_block().cols(), seg, my.cols);
+      }
+      k = seg_end;
+    }
+
+    // Rank-b update of the layer-local partial C.
+    device::KernelCost cost;
+    if (data == nullptr) {
+      cost = ap.kernel_cost(my.rows, my.cols, bcur, contended);
+    } else {
+      cost = ap.run_gemm(my.rows, my.cols, bcur, wa.data(), bcur, wb.data(),
+                         my.cols, data->c_block().data(), my.cols, contended);
+    }
+    auto& clk = world.clock();
+    const double t0 = clk.now();
+    clk.advance_compute(cost.compute_s + cost.transfer_s);
+    if (world.events().enabled()) {
+      world.events().record({world.world_rank(), trace::EventKind::kCompute,
+                             t0, clk.now(), 0,
+                             blas::gemm_flops(my.rows, my.cols, bcur),
+                             "2.5d k0=" + std::to_string(k0)});
+    }
+    report.flops += blas::gemm_flops(my.rows, my.cols, bcur);
+  }
+
+  // --- Step 3: reduce the partial C blocks across the stack ---
+  if (config.c > 1) {
+    std::vector<int> stack;
+    for (int l = 0; l < config.c; ++l) stack.push_back(l * per_layer + within);
+    sgmpi::Comm depth = world.subgroup(stack);
+    const std::int64_t count = my.rows * my.cols;
+    report.mpi_time_s += depth.allreduce_sum_buffer(
+        data != nullptr ? data->c_block().data() : nullptr, count);
+    report.reduce_bytes +=
+        count * static_cast<std::int64_t>(sizeof(double));
+  }
+  return report;
+}
+
+}  // namespace summagen::core

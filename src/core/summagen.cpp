@@ -1,0 +1,276 @@
+#include "src/core/summagen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/matrix.hpp"
+
+namespace summagen::core {
+namespace {
+
+int root_index(const std::vector<int>& members, int world_rank) {
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == world_rank) return static_cast<int>(i);
+  }
+  throw std::logic_error("summagen: sub-partition owner not in its row/col");
+}
+
+/// Horizontal communications of A (paper Figure 2).
+void stage_a(sgmpi::Comm& world, const partition::PartitionSpec& spec,
+             LocalData* data, util::Matrix* wa,
+             const SummaGenOptions& options, RankReport& report) {
+  const int rank = world.rank();
+  const auto roff = spec.row_offsets();
+  const auto coff = spec.col_offsets();
+  const auto [myi, block_lda] = spec.row_span(rank);
+  const std::int64_t wa_base = roff[static_cast<std::size_t>(myi)];
+  std::vector<double> tmp;
+
+  for (int blocki = myi; blocki < myi + block_lda; ++blocki) {
+    if (!spec.row_contains(rank, blocki)) continue;
+    const std::int64_t h = spec.subph[static_cast<std::size_t>(blocki)];
+    if (h == 0) continue;
+    const std::int64_t wa_row0 = roff[static_cast<std::size_t>(blocki)] -
+                                 wa_base;
+    const std::vector<int> owners = spec.ranks_in_row(blocki);
+
+    if (owners.size() == 1) {
+      // Special case: the whole sub-partition row is mine — no
+      // communication, just local copies of A into WA.
+      if (data != nullptr) {
+        for (int bj = 0; bj < spec.subpldb; ++bj) {
+          const std::int64_t w = spec.subpw[static_cast<std::size_t>(bj)];
+          if (w == 0) continue;
+          const util::Matrix& part = data->a_part(blocki, bj);
+          util::copy_matrix(
+              wa->data() + wa_row0 * wa->cols() +
+                  coff[static_cast<std::size_t>(bj)],
+              wa->cols(), part.data(), part.cols(), h, w);
+        }
+      }
+      continue;
+    }
+
+    sgmpi::Comm row = world.subgroup(owners);
+    for (int bj = 0; bj < spec.subpldb; ++bj) {
+      const std::int64_t w = spec.subpw[static_cast<std::size_t>(bj)];
+      if (w == 0) continue;
+      const int owner = spec.owner(blocki, bj);
+      const int root = root_index(owners, owner);
+      // Optionally split the sub-partition into row panels (the paper's
+      // block size r): smaller receive buffers, more broadcasts.
+      const std::int64_t panel =
+          options.bcast_panel_rows > 0 ? options.bcast_panel_rows : h;
+      for (std::int64_t p0 = 0; p0 < h; p0 += panel) {
+        const std::int64_t hh = std::min(panel, h - p0);
+        const std::int64_t bytes =
+            hh * w * static_cast<std::int64_t>(sizeof(double));
+        if (data == nullptr) {
+          report.mpi_time_s += row.bcast_bytes(nullptr, bytes, root);
+        } else {
+          const double* src;
+          if (owner == rank) {
+            // Owned sub-partitions are stored contiguously, so the local A
+            // block doubles as the broadcast source buffer.
+            const util::Matrix& part = data->a_part(blocki, bj);
+            report.mpi_time_s += row.bcast_bytes(
+                const_cast<double*>(part.data() + p0 * w), bytes, root);
+            src = part.data() + p0 * w;
+          } else {
+            tmp.resize(static_cast<std::size_t>(hh * w));
+            report.mpi_time_s += row.bcast_bytes(tmp.data(), bytes, root);
+            src = tmp.data();
+          }
+          util::copy_matrix(wa->data() + (wa_row0 + p0) * wa->cols() +
+                                coff[static_cast<std::size_t>(bj)],
+                            wa->cols(), src, w, hh, w);
+        }
+        ++report.bcasts;
+        report.bcast_bytes += bytes;
+      }
+    }
+  }
+}
+
+/// Vertical communications of B (paper Figure 3).
+void stage_b(sgmpi::Comm& world, const partition::PartitionSpec& spec,
+             LocalData* data, util::Matrix* wb,
+             const SummaGenOptions& options, RankReport& report) {
+  const int rank = world.rank();
+  const auto roff = spec.row_offsets();
+  const auto coff = spec.col_offsets();
+  const auto [myj, block_ldb] = spec.col_span(rank);
+  const std::int64_t wb_base = coff[static_cast<std::size_t>(myj)];
+  std::vector<double> tmp;
+
+  for (int blockj = myj; blockj < myj + block_ldb; ++blockj) {
+    if (!spec.col_contains(rank, blockj)) continue;
+    const std::int64_t w = spec.subpw[static_cast<std::size_t>(blockj)];
+    if (w == 0) continue;
+    const std::int64_t wb_col0 = coff[static_cast<std::size_t>(blockj)] -
+                                 wb_base;
+    const std::vector<int> owners = spec.ranks_in_col(blockj);
+
+    if (owners.size() == 1) {
+      if (data != nullptr) {
+        for (int bi = 0; bi < spec.subplda; ++bi) {
+          const std::int64_t h = spec.subph[static_cast<std::size_t>(bi)];
+          if (h == 0) continue;
+          const util::Matrix& part = data->b_part(bi, blockj);
+          util::copy_matrix(
+              wb->data() + roff[static_cast<std::size_t>(bi)] * wb->cols() +
+                  wb_col0,
+              wb->cols(), part.data(), part.cols(), h, w);
+        }
+      }
+      continue;
+    }
+
+    sgmpi::Comm col = world.subgroup(owners);
+    for (int bi = 0; bi < spec.subplda; ++bi) {
+      const std::int64_t h = spec.subph[static_cast<std::size_t>(bi)];
+      if (h == 0) continue;
+      const int owner = spec.owner(bi, blockj);
+      const int root = root_index(owners, owner);
+      const std::int64_t panel =
+          options.bcast_panel_rows > 0 ? options.bcast_panel_rows : h;
+      for (std::int64_t p0 = 0; p0 < h; p0 += panel) {
+        const std::int64_t hh = std::min(panel, h - p0);
+        const std::int64_t bytes =
+            hh * w * static_cast<std::int64_t>(sizeof(double));
+        if (data == nullptr) {
+          report.mpi_time_s += col.bcast_bytes(nullptr, bytes, root);
+        } else {
+          const double* src;
+          if (owner == rank) {
+            const util::Matrix& part = data->b_part(bi, blockj);
+            report.mpi_time_s += col.bcast_bytes(
+                const_cast<double*>(part.data() + p0 * w), bytes, root);
+            src = part.data() + p0 * w;
+          } else {
+            tmp.resize(static_cast<std::size_t>(hh * w));
+            report.mpi_time_s += col.bcast_bytes(tmp.data(), bytes, root);
+            src = tmp.data();
+          }
+          util::copy_matrix(
+              wb->data() +
+                  (roff[static_cast<std::size_t>(bi)] + p0) * wb->cols() +
+                  wb_col0,
+              wb->cols(), src, w, hh, w);
+        }
+        ++report.bcasts;
+        report.bcast_bytes += bytes;
+      }
+    }
+  }
+}
+
+/// Local computations (paper Figure 4): one DGEMM per owned sub-partition.
+void stage_compute(sgmpi::Comm& world, const partition::PartitionSpec& spec,
+                   const device::AbstractProcessor& ap, LocalData* data,
+                   const util::Matrix* wa, const util::Matrix* wb,
+                   bool contended, RankReport& report) {
+  const int rank = world.rank();
+  const auto roff = spec.row_offsets();
+  const auto coff = spec.col_offsets();
+  const auto [myi, block_lda] = spec.row_span(rank);
+  const auto [myj, block_ldb] = spec.col_span(rank);
+  const std::int64_t wa_base = roff[static_cast<std::size_t>(myi)];
+  const std::int64_t wb_base = coff[static_cast<std::size_t>(myj)];
+
+  for (int blocki = myi; blocki < myi + block_lda; ++blocki) {
+    const std::int64_t h = spec.subph[static_cast<std::size_t>(blocki)];
+    if (h == 0) continue;
+    for (int blockj = myj; blockj < myj + block_ldb; ++blockj) {
+      const std::int64_t w = spec.subpw[static_cast<std::size_t>(blockj)];
+      if (w == 0) continue;
+      if (spec.owner(blocki, blockj) != rank) continue;
+
+      device::KernelCost cost;
+      if (data == nullptr) {
+        cost = ap.kernel_cost(h, w, spec.n, contended);
+      } else {
+        const partition::Rect& cr = data->c_rect();
+        const std::int64_t wa_row0 =
+            roff[static_cast<std::size_t>(blocki)] - wa_base;
+        const std::int64_t wb_col0 =
+            coff[static_cast<std::size_t>(blockj)] - wb_base;
+        double* cptr =
+            data->c().data() +
+            (roff[static_cast<std::size_t>(blocki)] - cr.row0) *
+                data->c().cols() +
+            (coff[static_cast<std::size_t>(blockj)] - cr.col0);
+        cost = ap.run_gemm(h, w, spec.n, wa->data() + wa_row0 * wa->cols(),
+                           wa->cols(), wb->data() + wb_col0, wb->cols(), cptr,
+                           data->c().cols(), contended);
+      }
+
+      auto& clk = world.clock();
+      const double t0 = clk.now();
+      clk.advance_compute(cost.compute_s);
+      if (world.events().enabled()) {
+        world.events().record({world.world_rank(),
+                               trace::EventKind::kCompute, t0, clk.now(),
+                               0, blas::gemm_flops(h, w, spec.n),
+                               "subp(" + std::to_string(blocki) + "," +
+                                   std::to_string(blockj) + ")"});
+      }
+      if (cost.transfer_s > 0.0) {
+        // Host<->device staging: part of the kernel (and of Fig. 6b's
+        // computation time), but drawing communication power.
+        const double t1 = clk.now();
+        clk.advance_compute(cost.transfer_s);
+        if (world.events().enabled()) {
+          world.events().record({world.world_rank(),
+                                 trace::EventKind::kTransfer, t1, clk.now(),
+                                 cost.transferred_bytes, 0, "staging"});
+        }
+      }
+
+      ++report.gemm_calls;
+      report.flops += blas::gemm_flops(h, w, spec.n);
+      report.kernel_compute_s += cost.compute_s;
+      report.kernel_transfer_s += cost.transfer_s;
+    }
+  }
+}
+
+}  // namespace
+
+RankReport summagen_rank(sgmpi::Comm& world,
+                         const partition::PartitionSpec& spec,
+                         const device::AbstractProcessor& ap, LocalData* data,
+                         bool contended, const SummaGenOptions& options) {
+  spec.validate(world.size());
+  if (data != nullptr && !data->numeric()) {
+    throw std::invalid_argument(
+        "summagen_rank: pass nullptr for the modeled plane");
+  }
+  const int rank = world.rank();
+  const auto roff = spec.row_offsets();
+  const auto coff = spec.col_offsets();
+  const auto [myi, block_lda] = spec.row_span(rank);
+  const auto [myj, block_ldb] = spec.col_span(rank);
+
+  RankReport report;
+
+  util::Matrix wa, wb;
+  if (data != nullptr) {
+    const std::int64_t wa_rows =
+        roff[static_cast<std::size_t>(myi + block_lda)] -
+        roff[static_cast<std::size_t>(myi)];
+    const std::int64_t wb_cols =
+        coff[static_cast<std::size_t>(myj + block_ldb)] -
+        coff[static_cast<std::size_t>(myj)];
+    wa = util::Matrix(wa_rows, spec.n);
+    wb = util::Matrix(spec.n, wb_cols);
+  }
+
+  stage_a(world, spec, data, &wa, options, report);
+  stage_b(world, spec, data, &wb, options, report);
+  stage_compute(world, spec, ap, data, &wa, &wb, contended, report);
+  return report;
+}
+
+}  // namespace summagen::core

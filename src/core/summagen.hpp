@@ -1,0 +1,71 @@
+// SummaGen: parallel matrix-matrix multiplication over (possibly
+// non-rectangular) partitions — the paper's primary contribution
+// (Section IV).
+//
+// C = A * B with A, B, C square n x n matrices laid out by a PartitionSpec.
+// Like SUMMA, the algorithm has three stages, executed by every rank:
+//
+//   1. Horizontal communications of A (Figure 2): for every sub-partition
+//      row the rank appears in, every sub-partition of that row is
+//      broadcast across the row's owners (or copied locally when a single
+//      processor owns the whole row), accumulating into the working matrix
+//      WA (covering rows x n).
+//   2. Vertical communications of B (Figure 3): symmetric, down the
+//      sub-partition columns, into WB (n x covering columns).
+//   3. Local computations (Figure 4): one DGEMM per *owned* sub-partition
+//      (height x n) * (n x width) — computing per sub-partition rather than
+//      WA*WB avoids redundantly computing cells owned by other ranks.
+//
+// The function is data-plane agnostic: with a numeric LocalData it moves
+// and multiplies real doubles; with `data == nullptr` it performs the same
+// communication schedule with null payloads and only advances the virtual
+// clocks (benches at paper-scale N).
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/dataplane.hpp"
+#include "src/device/device.hpp"
+#include "src/mpi/mpi.hpp"
+#include "src/partition/spec.hpp"
+
+namespace summagen::core {
+
+/// Execution options shared by all ranks of a run.
+struct SummaGenOptions {
+  /// Split every sub-partition broadcast into row panels of at most this
+  /// many rows (the paper's "blocks of size r" made operational): bounds
+  /// the temporary receive buffer at panel * width elements at the cost of
+  /// more broadcast latencies. 0 = broadcast whole sub-partitions (the
+  /// paper's Figures 2-3 behaviour).
+  std::int64_t bcast_panel_rows = 0;
+};
+
+/// Per-rank accounting returned by one SummaGen execution.
+struct RankReport {
+  int bcasts = 0;                  ///< broadcasts participated in
+  std::int64_t bcast_bytes = 0;    ///< payload bytes of those broadcasts
+  double mpi_time_s = 0.0;         ///< modeled MPI time charged to this rank
+  int gemm_calls = 0;              ///< local DGEMM invocations
+  std::int64_t flops = 0;          ///< local floating-point operations
+  double kernel_compute_s = 0.0;   ///< modeled in-core kernel time
+  double kernel_transfer_s = 0.0;  ///< modeled host<->device staging time
+};
+
+/// Executes SummaGen on the calling rank.
+///
+/// `world` must have one rank per processor named in `spec`; `ap` is this
+/// rank's abstract processor (its performance model prices the local
+/// DGEMMs). `data` selects the plane: a numeric LocalData for this rank and
+/// spec, or nullptr for the modeled plane. `contended` mirrors the paper's
+/// simultaneous-load measurement methodology.
+///
+/// All ranks must call collectively with the same spec. Throws
+/// std::invalid_argument on spec/world mismatches.
+RankReport summagen_rank(sgmpi::Comm& world,
+                         const partition::PartitionSpec& spec,
+                         const device::AbstractProcessor& ap, LocalData* data,
+                         bool contended = true,
+                         const SummaGenOptions& options = {});
+
+}  // namespace summagen::core

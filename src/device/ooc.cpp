@@ -1,0 +1,148 @@
+#include "src/device/ooc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/matrix.hpp"
+
+namespace summagen::device {
+namespace {
+
+constexpr std::int64_t kElem = sizeof(double);
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Footprint of one (tm x tk)*(tk x tn) tile on the device: A panel, B panel,
+// C tile plus an equally-sized accumulation workspace.
+std::int64_t tile_footprint(std::int64_t tm, std::int64_t tn,
+                            std::int64_t tk) {
+  return kElem * (tm * tk + tk * tn + 2 * tm * tn);
+}
+
+}  // namespace
+
+OutOfCorePlan plan_out_of_core(std::int64_t m, std::int64_t n, std::int64_t k,
+                               std::int64_t memory_bytes, bool staged) {
+  if (m <= 0 || n <= 0 || k <= 0) {
+    throw std::invalid_argument("plan_out_of_core: non-positive dimension");
+  }
+  if (memory_bytes <= 0) {
+    throw std::invalid_argument("plan_out_of_core: non-positive memory");
+  }
+
+  OutOfCorePlan plan;
+  if (tile_footprint(m, n, k) <= memory_bytes) {
+    plan.tile_m = m;
+    plan.tile_n = n;
+    plan.tile_k = k;
+    plan.passes = 1;
+    if (staged) {
+      // Copy A and B in, C out (C starts zero on device; beta folding is
+      // done on the host side by SummaGen's accumulation).
+      plan.transferred_bytes = kElem * (m * k + k * n + m * n);
+      plan.transfer_messages = 3;
+    }
+    return plan;
+  }
+
+  // Candidate search: for each k-depth (k, k/2, k/4, ..., 1) use the
+  // largest square m/n tile that fits and keep the tiling with the least
+  // traffic. Each candidate's tile grows with memory, so the chosen plan's
+  // traffic is monotone non-increasing in the budget.
+  auto traffic = [&](std::int64_t tm, std::int64_t tn, std::int64_t tk) {
+    const std::int64_t pm = ceil_div(m, tm);
+    const std::int64_t pn = ceil_div(n, tn);
+    const std::int64_t pk = ceil_div(k, tk);
+    // Loop order (im, in, ik): C stays resident across the k loop, so it
+    // moves in+out once per (im, in); A and B tiles move every iteration.
+    return kElem * (pm * pn * pk * (tm * tk + tk * tn) + 2 * m * n);
+  };
+
+  bool found = false;
+  std::int64_t best_traffic = 0;
+  for (std::int64_t tk = k;; tk = tk / 2) {
+    // Largest square t with 8*(2*t*tk + 2*t^2) <= memory:
+    //   t = (-tk + sqrt(tk^2 + memory/4)) / 2  (positive root).
+    const double mk = static_cast<double>(memory_bytes) /
+                      static_cast<double>(kElem);
+    const double t_real =
+        (-static_cast<double>(tk) +
+         std::sqrt(static_cast<double>(tk) * static_cast<double>(tk) + mk)) /
+        2.0;
+    std::int64_t t = static_cast<std::int64_t>(std::floor(t_real));
+    t = std::min<std::int64_t>(t, std::max(m, n));
+    if (t >= 1) {
+      const std::int64_t tm = std::min(t, m);
+      std::int64_t tn = std::min(t, n);
+      // Grow the n extent into any slack the m clamp freed up.
+      while (tn < n && tile_footprint(tm, tn + 1, tk) <= memory_bytes) {
+        ++tn;
+      }
+      if (tile_footprint(tm, tn, tk) <= memory_bytes) {
+        const std::int64_t cand = traffic(tm, tn, tk);
+        if (!found || cand < best_traffic) {
+          found = true;
+          best_traffic = cand;
+          plan.tile_m = tm;
+          plan.tile_n = tn;
+          plan.tile_k = tk;
+        }
+      }
+    }
+    if (tk == 1) break;
+  }
+  if (!found) {
+    throw std::invalid_argument(
+        "plan_out_of_core: device memory too small for a single row tile");
+  }
+
+  const std::int64_t pm = ceil_div(m, plan.tile_m);
+  const std::int64_t pn = ceil_div(n, plan.tile_n);
+  const std::int64_t pk = ceil_div(k, plan.tile_k);
+  plan.passes = static_cast<int>(pm * pn * pk);
+  plan.transferred_bytes = best_traffic;
+  plan.transfer_messages = pm * pn * (2 * pk + 2);
+  return plan;
+}
+
+OutOfCorePlan out_of_core_gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                               const double* a, std::int64_t lda,
+                               const double* b, std::int64_t ldb, double* c,
+                               std::int64_t ldc, std::int64_t memory_bytes,
+                               const blas::GemmOptions& kernel) {
+  const OutOfCorePlan plan =
+      plan_out_of_core(m, n, k, memory_bytes, /*staged=*/true);
+  const std::int64_t tm = plan.tile_m;
+  const std::int64_t tn = plan.tile_n;
+  const std::int64_t tk = plan.tile_k;
+
+  // Staging buffers play the role of device memory.
+  std::vector<double> dev_a(static_cast<std::size_t>(tm * tk));
+  std::vector<double> dev_b(static_cast<std::size_t>(tk * tn));
+  std::vector<double> dev_c(static_cast<std::size_t>(tm * tn));
+
+  for (std::int64_t i0 = 0; i0 < m; i0 += tm) {
+    const std::int64_t mm = std::min(tm, m - i0);
+    for (std::int64_t j0 = 0; j0 < n; j0 += tn) {
+      const std::int64_t nn = std::min(tn, n - j0);
+      // "Copy C tile to device" (accumulation base).
+      util::copy_matrix(dev_c.data(), nn, c + i0 * ldc + j0, ldc, mm, nn);
+      for (std::int64_t l0 = 0; l0 < k; l0 += tk) {
+        const std::int64_t kk = std::min(tk, k - l0);
+        util::copy_matrix(dev_a.data(), kk, a + i0 * lda + l0, lda, mm, kk);
+        util::copy_matrix(dev_b.data(), nn, b + l0 * ldb + j0, ldb, kk, nn);
+        blas::dgemm(mm, nn, kk, 1.0, dev_a.data(), kk, dev_b.data(), nn, 1.0,
+                    dev_c.data(), nn, kernel);
+      }
+      // "Copy C tile back to host".
+      util::copy_matrix(c + i0 * ldc + j0, ldc, dev_c.data(), nn, mm, nn);
+    }
+  }
+  return plan;
+}
+
+}  // namespace summagen::device

@@ -1,0 +1,47 @@
+// Out-of-core DGEMM engine — substrate for the paper's ZZGemmOOC (GPU) and
+// XeonPhiOOC (Phi) packages [27].
+//
+// An accelerator's kernel must fit device memory; when the (m x k)*(k x n)
+// footprint exceeds it, the multiplication is tiled so each tile (A panel +
+// B panel + C tile + workspace) fits, with host<->device transfers per tile.
+// `plan_out_of_core` produces the transfer plan used by the performance
+// model; `out_of_core_gemm` executes the plan numerically (real arithmetic
+// through sgblas, with tile staging buffers standing in for device memory).
+#pragma once
+
+#include <cstdint>
+
+#include "src/blas/gemm.hpp"
+
+namespace summagen::device {
+
+/// Tiling and traffic of one out-of-core (or staged in-core) DGEMM.
+struct OutOfCorePlan {
+  std::int64_t tile_m = 0;  ///< tile extents chosen so a tile fits memory
+  std::int64_t tile_n = 0;
+  std::int64_t tile_k = 0;
+  int passes = 1;  ///< number of tiles (1 = fits in core)
+  std::int64_t transferred_bytes = 0;  ///< total host<->device traffic
+  std::int64_t transfer_messages = 0;  ///< number of DMA transfers
+};
+
+/// Plans the tiling for an (m x k)*(k x n) DGEMM against `memory_bytes` of
+/// device memory. When `staged` is true (accelerators), traffic includes the
+/// initial copy-in of A/B and copy-out of C even if everything fits.
+/// Throws std::invalid_argument if memory is too small for any tiling
+/// (less than a handful of matrix rows).
+OutOfCorePlan plan_out_of_core(std::int64_t m, std::int64_t n, std::int64_t k,
+                               std::int64_t memory_bytes, bool staged);
+
+/// Numerically computes C += A*B through the tiled path of
+/// `plan_out_of_core(m, n, k, memory_bytes, /*staged=*/true)`.
+/// Tiles are copied into staging buffers (the simulated device memory)
+/// before each in-core multiplication, exactly as the OOC packages do.
+/// Returns the plan that was executed.
+OutOfCorePlan out_of_core_gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                               const double* a, std::int64_t lda,
+                               const double* b, std::int64_t ldb, double* c,
+                               std::int64_t ldc, std::int64_t memory_bytes,
+                               const blas::GemmOptions& kernel = {});
+
+}  // namespace summagen::device

@@ -1,0 +1,76 @@
+// Platform descriptions: a set of abstract processors plus the node-level
+// fabric and power figures.
+//
+// `hclserver1()` is the reproduction's stand-in for the paper's research
+// server (Table I): a dual-socket Haswell CPU, an Nvidia K40c and an Intel
+// Xeon Phi 3120P, modelled as three abstract processors. The model is
+// calibrated so that
+//   * the summed theoretical peak is 2.5 TFLOPs (paper Section I/VI-A);
+//   * contended speeds in the paper's "constant" range have relative values
+//     ~{1.0, 2.0, 0.9} for {AbsCPU, AbsGPU, AbsXeonPhi} (Section VI-A);
+//   * the Phi develops an out-of-core knee near edge ~13.7k and maximal
+//     profile variations in [12800, 19200] (Section VI-B);
+//   * the combined achievable peak is ~84% of theoretical (Section VI-A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/device/device.hpp"
+#include "src/device/speed_function.hpp"
+#include "src/trace/hockney.hpp"
+
+namespace summagen::device {
+
+/// A heterogeneous node — or a cluster of them (see `cluster`).
+struct Platform {
+  std::string name;
+  std::vector<DeviceSpec> devices;
+  trace::HockneyParams mpi_link;  ///< intra-node fabric between processors
+  double static_power_w = 230.0;  ///< paper: measured static power
+
+  /// Multi-node topology: node id per device (empty = single node) and the
+  /// network link between nodes. Filled by `cluster()`.
+  std::vector<int> node_of;
+  trace::HockneyParams internode_link{20.0e-6, 1.0 / 1.0e9};
+
+  int nprocs() const { return static_cast<int>(devices.size()); }
+
+  /// Sum of device theoretical peaks (the paper's 2.5 TFLOPs figure).
+  double theoretical_peak_flops() const;
+
+  /// One abstract processor per device, sharing a numeric kernel config.
+  std::vector<AbstractProcessor> processors(
+      blas::GemmOptions numeric_kernel = {}) const;
+
+  /// Figure-5 style speed functions for every device, sampled at `edges`.
+  std::vector<SpeedFunction> profiles(
+      const std::vector<double>& edges, bool contended = true,
+      Interpolation interp = Interpolation::kPiecewiseLinear) const;
+
+  /// Mean contended speeds over [lo_edge, hi_edge], normalised so the first
+  /// device is 1.0 — how the paper derives its CPM speeds {1.0, 2.0, 0.9}.
+  std::vector<double> constant_relative_speeds(double lo_edge,
+                                               double hi_edge) const;
+
+  /// The reproduction's HCLServer1 (see file comment).
+  static Platform hclserver1();
+
+  /// p identical devices of the given speed — for tests and baselines.
+  static Platform homogeneous(int p, double flops_per_s = 100.0e9);
+
+  /// Three devices with contended speeds proportional to `speeds` (constant
+  /// profiles, no ramps/variations) — for controlled shape studies.
+  static Platform synthetic(const std::vector<double>& speeds,
+                            double unit_flops = 100.0e9);
+
+  /// `nodes` copies of `node_platform` connected by `internode` — the
+  /// paper's future-work scenario ("distributed-memory nodes and large
+  /// clusters"). Device names gain a node suffix; static power scales with
+  /// the node count.
+  static Platform cluster(const Platform& node_platform, int nodes,
+                          trace::HockneyParams internode = {20.0e-6,
+                                                            1.0 / 1.0e9});
+};
+
+}  // namespace summagen::device

@@ -1,0 +1,168 @@
+#include "src/device/speed_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace summagen::device {
+namespace {
+
+// Akima 1970 sub-spline slopes. Robust to the non-smooth profiles FPMs
+// produce: unlike cubic splines it does not overshoot near sharp kinks,
+// which is why FuPerMod offers it as a performance-model option.
+std::vector<double> akima_slopes(const std::vector<SpeedPoint>& pts) {
+  const std::size_t n = pts.size();
+  std::vector<double> slope(n, 0.0);
+  if (n == 1) return slope;
+  if (n == 2) {
+    const double d =
+        (pts[1].flops_per_s - pts[0].flops_per_s) / (pts[1].edge - pts[0].edge);
+    slope[0] = slope[1] = d;
+    return slope;
+  }
+  // Segment slopes with two phantom segments replicated at each end.
+  std::vector<double> m(n + 3, 0.0);
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    m[i + 2] = (pts[i + 1].flops_per_s - pts[i].flops_per_s) /
+               (pts[i + 1].edge - pts[i].edge);
+  }
+  m[1] = 2.0 * m[2] - m[3];
+  m[0] = 2.0 * m[1] - m[2];
+  m[n + 1] = 2.0 * m[n] - m[n - 1];
+  m[n + 2] = 2.0 * m[n + 1] - m[n];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w1 = std::abs(m[i + 3] - m[i + 2]);
+    const double w2 = std::abs(m[i + 1] - m[i]);
+    if (w1 + w2 == 0.0) {
+      slope[i] = 0.5 * (m[i + 1] + m[i + 2]);
+    } else {
+      slope[i] = (w1 * m[i + 1] + w2 * m[i + 2]) / (w1 + w2);
+    }
+  }
+  return slope;
+}
+
+}  // namespace
+
+SpeedFunction SpeedFunction::constant(double flops_per_s) {
+  if (flops_per_s <= 0.0) {
+    throw std::invalid_argument("SpeedFunction: non-positive constant speed");
+  }
+  SpeedFunction sf;
+  sf.points_ = {{1.0, flops_per_s}};
+  return sf;
+}
+
+SpeedFunction SpeedFunction::from_points(std::vector<SpeedPoint> points,
+                                         Interpolation interp) {
+  if (points.empty()) {
+    throw std::invalid_argument("SpeedFunction: no sample points");
+  }
+  std::sort(points.begin(), points.end(),
+            [](const SpeedPoint& a, const SpeedPoint& b) {
+              return a.edge < b.edge;
+            });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].flops_per_s <= 0.0) {
+      throw std::invalid_argument("SpeedFunction: non-positive speed sample");
+    }
+    if (i > 0 && points[i].edge == points[i - 1].edge) {
+      throw std::invalid_argument("SpeedFunction: duplicate edge sample");
+    }
+  }
+  SpeedFunction sf;
+  sf.points_ = std::move(points);
+  sf.interp_ = interp;
+  if (interp == Interpolation::kAkima && sf.points_.size() >= 2) {
+    sf.akima_slope_ = akima_slopes(sf.points_);
+  }
+  return sf;
+}
+
+double SpeedFunction::flops_at_edge(double edge) const {
+  const auto& p = points_;
+  if (p.size() == 1) return p.front().flops_per_s;
+  if (edge <= p.front().edge) return p.front().flops_per_s;
+  if (edge >= p.back().edge) return p.back().flops_per_s;
+  // Find segment i with p[i].edge <= edge < p[i+1].edge.
+  const auto it = std::upper_bound(
+      p.begin(), p.end(), edge,
+      [](double e, const SpeedPoint& sp) { return e < sp.edge; });
+  const std::size_t hi = static_cast<std::size_t>(it - p.begin());
+  const std::size_t lo = hi - 1;
+  const double h = p[hi].edge - p[lo].edge;
+  const double t = (edge - p[lo].edge) / h;
+
+  if (interp_ == Interpolation::kPiecewiseLinear || akima_slope_.empty()) {
+    return p[lo].flops_per_s + t * (p[hi].flops_per_s - p[lo].flops_per_s);
+  }
+  // Cubic Hermite with Akima slopes.
+  const double y0 = p[lo].flops_per_s;
+  const double y1 = p[hi].flops_per_s;
+  const double d0 = akima_slope_[lo] * h;
+  const double d1 = akima_slope_[hi] * h;
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  const double v = (2 * t3 - 3 * t2 + 1) * y0 + (t3 - 2 * t2 + t) * d0 +
+                   (-2 * t3 + 3 * t2) * y1 + (t3 - t2) * d1;
+  // A speed can never be negative; Akima may undershoot near cliffs.
+  return std::max(v, 1.0);
+}
+
+double SpeedFunction::relative_variation(double lo_edge, double hi_edge) const {
+  if (hi_edge < lo_edge) std::swap(lo_edge, hi_edge);
+  double lo = flops_at_edge(lo_edge);
+  double hi = lo;
+  double sum = 0.0;
+  int count = 0;
+  // Sample the interpolated profile plus the knots in range.
+  const int kSamples = 64;
+  for (int i = 0; i <= kSamples; ++i) {
+    const double e = lo_edge + (hi_edge - lo_edge) * i / kSamples;
+    const double s = flops_at_edge(e);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+    sum += s;
+    ++count;
+  }
+  for (const auto& pt : points_) {
+    if (pt.edge >= lo_edge && pt.edge <= hi_edge) {
+      lo = std::min(lo, pt.flops_per_s);
+      hi = std::max(hi, pt.flops_per_s);
+      sum += pt.flops_per_s;
+      ++count;
+    }
+  }
+  const double meanv = sum / count;
+  return std::max(hi - meanv, meanv - lo) / meanv;
+}
+
+double zone_time(const SpeedFunction& sf, double area, double n) {
+  if (area < 0.0 || n <= 0.0) {
+    throw std::invalid_argument("zone_time: bad area or n");
+  }
+  if (area == 0.0) return 0.0;
+  const double flops = 2.0 * area * n;
+  return flops / sf.flops_at_edge(std::sqrt(area));
+}
+
+std::vector<double> profile_grid(double lo, double hi, int count,
+                                 double step) {
+  if (count < 2 || lo <= 0.0 || hi <= lo) {
+    throw std::invalid_argument("profile_grid: bad arguments");
+  }
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(count));
+  const double ratio = std::pow(hi / lo, 1.0 / (count - 1));
+  double x = lo;
+  for (int i = 0; i < count; ++i, x *= ratio) {
+    double snapped = std::round(x / step) * step;
+    snapped = std::max(snapped, step);
+    if (grid.empty() || snapped > grid.back()) grid.push_back(snapped);
+  }
+  const double hi_snapped = std::max(step, std::round(hi / step) * step);
+  if (hi_snapped > grid.back()) grid.push_back(hi_snapped);
+  return grid;
+}
+
+}  // namespace summagen::device

@@ -1,0 +1,81 @@
+// Functional performance models (FPMs): speed as a function of problem size.
+//
+// The paper's Figure 5 plots, for each abstract processor, the speed
+// 2*x^3 / t of a square x-by-x DGEMM against x, measured with all abstract
+// processors loaded simultaneously. Those discrete profiles are the inputs
+// of both partitioning regimes:
+//   * CPM  — constant speed functions (Section VI-A, speeds {1.0, 2.0, 0.9});
+//   * FPM  — non-smooth functions driving the load-imbalancing partitioner
+//            of Khaleghzadeh et al. (Section VI-B).
+//
+// A SpeedFunction stores discrete (edge, flops/s) samples with a choice of
+// interpolation: piecewise linear (FuPerMod model b) or Akima sub-spline
+// (FuPerMod model c), plus exact constant functions (model a).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace summagen::device {
+
+/// One sample of a performance profile: a square `edge x edge` DGEMM ran at
+/// `flops_per_s` (= 2*edge^3 / measured seconds).
+struct SpeedPoint {
+  double edge = 0.0;
+  double flops_per_s = 0.0;
+};
+
+enum class Interpolation { kPiecewiseLinear, kAkima };
+
+/// Discrete speed function with interpolation; immutable after construction.
+///
+/// Outside the sampled range the profile is clamped to the boundary values
+/// (the standard FPM convention — extrapolating performance is unsafe).
+class SpeedFunction {
+ public:
+  /// Constant performance model: same speed at every size.
+  static SpeedFunction constant(double flops_per_s);
+
+  /// Builds from samples; they are sorted by edge. Throws on empty input,
+  /// duplicate edges, or non-positive speeds.
+  static SpeedFunction from_points(std::vector<SpeedPoint> points,
+                                   Interpolation interp =
+                                       Interpolation::kPiecewiseLinear);
+
+  /// Speed (flops/s) of a square DGEMM with the given edge.
+  double flops_at_edge(double edge) const;
+
+  /// True for constant-model functions.
+  bool is_constant() const { return points_.size() == 1; }
+
+  const std::vector<SpeedPoint>& points() const { return points_; }
+  Interpolation interpolation() const { return interp_; }
+
+  /// Largest relative deviation from the mean speed over [lo, hi] — used to
+  /// decide whether a profile is "constant over a range" as in Section VI-A.
+  double relative_variation(double lo_edge, double hi_edge) const;
+
+ private:
+  SpeedFunction() = default;
+  std::vector<SpeedPoint> points_;
+  Interpolation interp_ = Interpolation::kPiecewiseLinear;
+  // Akima slopes, one per point (computed once at construction).
+  std::vector<double> akima_slope_;
+};
+
+/// Modeled computation time of a zone of `area` matrix elements inside a
+/// PMM of size n: the zone performs 2*area*n flops, at the speed the profile
+/// predicts for the equivalent square problem (edge = sqrt(area)).
+///
+/// This is the paper's A(Z) / s(A(Z)) with the area<->edge mapping made
+/// explicit (Section II, "speed functions of processors of areas of zones").
+double zone_time(const SpeedFunction& sf, double area, double n);
+
+/// Natural-ish sample grid for building profiles: geometric-ish progression
+/// of edges from `lo` to `hi` with `count` samples, snapped to multiples
+/// of `step`.
+std::vector<double> profile_grid(double lo, double hi, int count,
+                                 double step = 64.0);
+
+}  // namespace summagen::device

@@ -1,0 +1,94 @@
+#include "src/energy/energy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace summagen::energy {
+namespace {
+
+bool is_compute(trace::EventKind k) {
+  return k == trace::EventKind::kCompute;
+}
+
+// Transfers (host<->device staging) and MPI traffic draw the comm power.
+bool is_comm(trace::EventKind k) {
+  return k == trace::EventKind::kBcast || k == trace::EventKind::kBarrier ||
+         k == trace::EventKind::kTransfer;
+}
+
+double event_watts(const trace::Event& e, const device::Platform& platform) {
+  if (e.rank < 0 || e.rank >= static_cast<int>(platform.devices.size())) {
+    return 0.0;  // events from auxiliary actors carry no device power
+  }
+  const auto& dev = platform.devices[static_cast<std::size_t>(e.rank)];
+  if (is_compute(e.kind)) return dev.dynamic_power_w;
+  if (is_comm(e.kind)) return dev.comm_power_w;
+  return 0.0;
+}
+
+}  // namespace
+
+EnergyBreakdown dynamic_energy_exact(const std::vector<trace::Event>& events,
+                                     const device::Platform& platform,
+                                     double elapsed_s) {
+  if (elapsed_s < 0.0) {
+    throw std::invalid_argument("dynamic_energy_exact: negative elapsed");
+  }
+  EnergyBreakdown out;
+  out.elapsed_s = elapsed_s;
+  out.static_j = platform.static_power_w * elapsed_s;
+  out.per_rank_dynamic_j.assign(platform.devices.size(), 0.0);
+  for (const trace::Event& e : events) {
+    const double watts = event_watts(e, platform);
+    if (watts <= 0.0) continue;
+    const double dt = std::max(0.0, e.vend - e.vstart);
+    out.per_rank_dynamic_j[static_cast<std::size_t>(e.rank)] += watts * dt;
+  }
+  for (double j : out.per_rank_dynamic_j) out.dynamic_j += j;
+  out.total_j = out.static_j + out.dynamic_j;
+  return out;
+}
+
+double instantaneous_power(const std::vector<trace::Event>& events,
+                           const device::Platform& platform, double t) {
+  double watts = platform.static_power_w;
+  for (const trace::Event& e : events) {
+    if (t < e.vstart || t >= e.vend) continue;
+    watts += event_watts(e, platform);
+  }
+  return watts;
+}
+
+MeterReading simulate_wattsup(const std::vector<trace::Event>& events,
+                              const device::Platform& platform,
+                              double elapsed_s, const MeterOptions& opts) {
+  if (opts.sample_period_s <= 0.0) {
+    throw std::invalid_argument("simulate_wattsup: bad sample period");
+  }
+  MeterReading reading;
+  reading.elapsed_s = elapsed_s;
+  util::Rng rng(opts.seed);
+
+  // The meter reports the average power of each period; approximate with
+  // the midpoint sample, then apply the datasheet noise terms.
+  for (double t0 = 0.0; t0 < elapsed_s; t0 += opts.sample_period_s) {
+    const double t_mid = std::min(t0 + 0.5 * opts.sample_period_s, elapsed_s);
+    double w = instantaneous_power(events, platform, t_mid);
+    w *= 1.0 + rng.uniform(-opts.accuracy, opts.accuracy);
+    w += rng.uniform(-opts.floor_accuracy_w, opts.floor_accuracy_w);
+    if (w < opts.min_watts) w = 0.0;
+    reading.samples_w.push_back(w);
+    const double dt = std::min(opts.sample_period_s, elapsed_s - t0);
+    reading.total_j += w * dt;
+  }
+  return reading;
+}
+
+double dynamic_from_meter(const MeterReading& reading,
+                          double static_power_w) {
+  return reading.total_j - static_power_w * reading.elapsed_s;
+}
+
+}  // namespace summagen::energy

@@ -1,0 +1,73 @@
+// Energy model and WattsUp-style meter simulator (paper Section VI-C).
+//
+// The paper measures node power with a WattsUp Pro meter (1 sample/s, +-3%
+// accuracy, 0.5 W minimum) between the wall outlet and the server, with
+// fans pinned at full speed so their draw folds into the static power
+// (measured: 230 W). Dynamic energy is then
+//     E_D = E_T - P_S * T_E                                   (Eq. 5)
+// with E_T the total metered energy of a run of length T_E.
+//
+// Here power is modeled: each abstract processor draws its device's
+// `dynamic_power_w` while computing and `comm_power_w` while communicating
+// (intervals taken from the run's EventLog), on top of the platform static
+// power. Two estimators are provided:
+//   * `dynamic_energy_exact`  - closed-form integration of the intervals;
+//   * `simulate_wattsup`      - 1 Hz sampling with meter noise, mirroring
+//                               the HCLWattsUp measurement path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/device/platform.hpp"
+#include "src/trace/events.hpp"
+
+namespace summagen::energy {
+
+/// Energy of one run, joules.
+struct EnergyBreakdown {
+  double elapsed_s = 0.0;   ///< T_E (parallel execution time)
+  double static_j = 0.0;    ///< P_S * T_E
+  double dynamic_j = 0.0;   ///< E_D
+  double total_j = 0.0;     ///< E_T = static + dynamic
+  std::vector<double> per_rank_dynamic_j;
+};
+
+/// Exact interval integration of the events against the platform's
+/// device powers. `elapsed_s` is the run's parallel execution time (max
+/// virtual completion over ranks). Event ranks index platform devices.
+EnergyBreakdown dynamic_energy_exact(const std::vector<trace::Event>& events,
+                                     const device::Platform& platform,
+                                     double elapsed_s);
+
+/// Meter configuration (defaults = the paper's WattsUp Pro).
+struct MeterOptions {
+  double sample_period_s = 1.0;
+  double accuracy = 0.03;     ///< +-3% multiplicative noise
+  double min_watts = 0.5;     ///< readings below this floor clip to 0
+  double floor_accuracy_w = 0.3;  ///< +-0.3 W additive noise near the floor
+  std::uint64_t seed = 0x7a77;
+};
+
+/// A simulated meter trace.
+struct MeterReading {
+  std::vector<double> samples_w;  ///< one per sample period
+  double total_j = 0.0;           ///< E_T integrated from the samples
+  double elapsed_s = 0.0;
+};
+
+/// Samples total node power over [0, elapsed_s] at the meter cadence with
+/// multiplicative accuracy noise, and integrates to E_T.
+MeterReading simulate_wattsup(const std::vector<trace::Event>& events,
+                              const device::Platform& platform,
+                              double elapsed_s, const MeterOptions& opts = {});
+
+/// The paper's Eq. 5: E_D = E_T - P_S * T_E.
+double dynamic_from_meter(const MeterReading& reading, double static_power_w);
+
+/// Instantaneous modeled node power at virtual time t (static + active
+/// device draws); exposed for tests and the meter.
+double instantaneous_power(const std::vector<trace::Event>& events,
+                           const device::Platform& platform, double t);
+
+}  // namespace summagen::energy

@@ -1,0 +1,371 @@
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/mpi/context.hpp"
+#include "src/mpi/mpi.hpp"
+
+namespace summagen::sgmpi {
+
+namespace {
+
+void validate_root(int root, int size) {
+  if (root < 0 || root >= size) {
+    throw std::invalid_argument("sgmpi: root " + std::to_string(root) +
+                                " outside communicator of size " +
+                                std::to_string(size));
+  }
+}
+
+}  // namespace
+
+int Comm::size() const noexcept {
+  return static_cast<int>(ctx_->state(state_index_).members.size());
+}
+
+const std::vector<int>& Comm::world_ranks() const noexcept {
+  return ctx_->state(state_index_).members;
+}
+
+int Comm::world_rank() const noexcept {
+  return world_ranks()[static_cast<std::size_t>(rank_)];
+}
+
+trace::VirtualClock& Comm::clock() {
+  return ctx_->clocks[static_cast<std::size_t>(world_rank())];
+}
+
+const trace::VirtualClock& Comm::clock() const {
+  return ctx_->clocks[static_cast<std::size_t>(world_rank())];
+}
+
+trace::EventLog& Comm::events() { return ctx_->event_log; }
+
+const trace::HockneyParams& Comm::link() const {
+  return ctx_->state(state_index_).link;
+}
+
+const trace::HockneyParams& Comm::link_to(int dest) const {
+  const int me = world_rank();
+  const int other = world_ranks()[static_cast<std::size_t>(dest)];
+  if (ctx_->node_of(me) == ctx_->node_of(other)) return ctx_->config.link;
+  return ctx_->config.internode_link;
+}
+
+void Comm::barrier() {
+  auto& st = ctx_->state(state_index_);
+  const int q = size();
+  if (q == 1) return;
+  const double entry = clock().now();
+  double entry_max = 0.0;
+  st.meeting.rendezvous(
+      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      [&] { st.entry_max = std::max(st.entry_max, entry); },
+      [&] {
+        st.op_complete = st.entry_max + barrier_cost(link(), q);
+      });
+  st.meeting.rendezvous(
+      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      [&] { entry_max = st.entry_max; },
+      [&] { st.entry_max = 0.0; });
+  clock().wait_until(entry_max);
+  clock().advance_comm(barrier_cost(link(), q));
+  if (events().enabled()) {
+    events().record({world_rank(), trace::EventKind::kBarrier, entry,
+                     clock().now(), 0, 0, ""});
+  }
+}
+
+double Comm::bcast_bytes(void* data, std::int64_t bytes, int root) {
+  const int q = size();
+  validate_root(root, q);
+  if (bytes < 0) throw std::invalid_argument("sgmpi: negative bcast size");
+  if (q == 1) return 0.0;
+
+  auto& st = ctx_->state(state_index_);
+  const double entry = clock().now();
+  const double cost = trace::bcast_cost(link(), bytes, q);
+
+  // Phase 1: gather entry times, publish the root's source buffer.
+  st.meeting.rendezvous(
+      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      [&] {
+        st.entry_max = std::max(st.entry_max, entry);
+        if (rank_ == root) st.bcast_src = data;
+      },
+      [&] { st.op_complete = st.entry_max + cost; });
+
+  // Data movement happens outside the lock; the trailing rendezvous keeps
+  // the root's buffer alive until every receiver has copied.
+  if (data != nullptr && rank_ != root && st.bcast_src != nullptr) {
+    std::memcpy(data, st.bcast_src, static_cast<std::size_t>(bytes));
+  }
+
+  double entry_max = 0.0;
+  st.meeting.rendezvous(
+      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      [&] { entry_max = st.entry_max; },
+      [&] {
+        st.bcast_src = nullptr;
+        st.entry_max = 0.0;
+      });
+
+  clock().wait_until(entry_max);
+  clock().advance_comm(cost);
+  if (events().enabled()) {
+    events().record({world_rank(), trace::EventKind::kBcast, entry,
+                     clock().now(), bytes, 0,
+                     "root=w" + std::to_string(world_ranks()[static_cast<
+                                    std::size_t>(root)])});
+  }
+  return cost;
+}
+
+void Comm::send_bytes(const void* data, std::int64_t bytes, int dest,
+                      int tag) {
+  const int q = size();
+  if (dest < 0 || dest >= q) {
+    throw std::invalid_argument("sgmpi: send to invalid rank");
+  }
+  if (dest == rank_) {
+    throw std::invalid_argument("sgmpi: send to self is not supported");
+  }
+  if (bytes < 0) throw std::invalid_argument("sgmpi: negative send size");
+
+  detail::Message msg;
+  msg.comm_state = state_index_;
+  msg.src_comm_rank = rank_;
+  msg.tag = tag;
+  msg.bytes = bytes;
+  msg.sender_entry_vtime = clock().now();
+  if (data != nullptr && bytes > 0) {
+    const auto* p = static_cast<const std::byte*>(data);
+    msg.payload.assign(p, p + bytes);
+  }
+
+  const int dest_world = world_ranks()[static_cast<std::size_t>(dest)];
+  auto& box = ctx_->mailboxes[static_cast<std::size_t>(dest_world)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+  clock().advance_comm(link_to(dest).p2p(bytes));
+}
+
+void Comm::recv_bytes(void* data, std::int64_t bytes, int source, int tag) {
+  const int q = size();
+  if (source < 0 || source >= q) {
+    throw std::invalid_argument("sgmpi: recv from invalid rank");
+  }
+  if (bytes < 0) throw std::invalid_argument("sgmpi: negative recv size");
+
+  auto& box = ctx_->mailboxes[static_cast<std::size_t>(world_rank())];
+  const double entry = clock().now();
+  detail::Message msg;
+  {
+    std::unique_lock<std::mutex> lock(box.mutex);
+    const auto poll = std::chrono::duration<double>(
+        ctx_->config.poll_interval_s);
+    for (;;) {
+      const auto it = std::find_if(
+          box.queue.begin(), box.queue.end(), [&](const detail::Message& m) {
+            return m.comm_state == state_index_ && m.src_comm_rank == source &&
+                   m.tag == tag;
+          });
+      if (it != box.queue.end()) {
+        msg = std::move(*it);
+        box.queue.erase(it);
+        break;
+      }
+      if (ctx_->aborted.load(std::memory_order_relaxed)) throw AbortedError();
+      box.cv.wait_for(lock, poll);
+    }
+  }
+  if (msg.bytes != bytes) {
+    throw std::invalid_argument(
+        "sgmpi: recv size mismatch (got " + std::to_string(msg.bytes) +
+        " bytes, expected " + std::to_string(bytes) + ")");
+  }
+  if (data != nullptr && !msg.payload.empty()) {
+    std::memcpy(data, msg.payload.data(), msg.payload.size());
+  }
+  clock().wait_until(msg.sender_entry_vtime);
+  clock().advance_comm(link_to(source).p2p(bytes));
+  if (events().enabled()) {
+    events().record({world_rank(), trace::EventKind::kTransfer, entry,
+                     clock().now(), bytes, 0,
+                     "recv from c" + std::to_string(source)});
+  }
+}
+
+double Comm::allreduce_max(double value) {
+  const int q = size();
+  if (q == 1) return value;
+  auto& st = ctx_->state(state_index_);
+  const double entry = clock().now();
+  const double cost = trace::allreduce_cost(link(), sizeof(double), q);
+  st.meeting.rendezvous(
+      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      [&] {
+        st.entry_max = std::max(st.entry_max, entry);
+        st.reduce_acc = st.reduce_started ? std::max(st.reduce_acc, value)
+                                          : value;
+        st.reduce_started = true;
+      },
+      [] {});
+  const double result = st.reduce_acc;
+  double entry_max = 0.0;
+  st.meeting.rendezvous(
+      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      [&] { entry_max = st.entry_max; },
+      [&] {
+        st.entry_max = 0.0;
+        st.reduce_acc = 0.0;
+        st.reduce_started = false;
+      });
+  clock().wait_until(entry_max);
+  clock().advance_comm(cost);
+  return result;
+}
+
+double Comm::allreduce_sum(double value) {
+  const int q = size();
+  if (q == 1) return value;
+  auto& st = ctx_->state(state_index_);
+  const double entry = clock().now();
+  const double cost = trace::allreduce_cost(link(), sizeof(double), q);
+  st.meeting.rendezvous(
+      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      [&] {
+        st.entry_max = std::max(st.entry_max, entry);
+        st.reduce_acc += value;
+      },
+      [] {});
+  const double result = st.reduce_acc;
+  double entry_max = 0.0;
+  st.meeting.rendezvous(
+      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      [&] { entry_max = st.entry_max; },
+      [&] {
+        st.entry_max = 0.0;
+        st.reduce_acc = 0.0;
+      });
+  clock().wait_until(entry_max);
+  clock().advance_comm(cost);
+  return result;
+}
+
+double Comm::allreduce_sum_buffer(double* data, std::int64_t count) {
+  if (count < 0) {
+    throw std::invalid_argument("sgmpi: negative allreduce count");
+  }
+  const int q = size();
+  if (q == 1 || count == 0) return 0.0;
+  auto& st = ctx_->state(state_index_);
+  const double entry = clock().now();
+  const double cost = trace::allreduce_cost(
+      link(), count * static_cast<std::int64_t>(sizeof(double)), q);
+
+  // Phase 1: element-wise accumulation into the shared buffer (first
+  // contributor seeds it).
+  st.meeting.rendezvous(
+      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      [&] {
+        st.entry_max = std::max(st.entry_max, entry);
+        if (data != nullptr) {
+          if (!st.reduce_started) {
+            st.reduce_buf.assign(data, data + count);
+          } else {
+            for (std::int64_t i = 0; i < count; ++i) {
+              st.reduce_buf[static_cast<std::size_t>(i)] += data[i];
+            }
+          }
+        }
+        st.reduce_started = true;
+      },
+      [] {});
+
+  // Copy the result out before the trailing rendezvous releases the state.
+  if (data != nullptr && !st.reduce_buf.empty()) {
+    std::copy(st.reduce_buf.begin(), st.reduce_buf.end(), data);
+  }
+
+  double entry_max = 0.0;
+  st.meeting.rendezvous(
+      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      [&] { entry_max = st.entry_max; },
+      [&] {
+        st.entry_max = 0.0;
+        st.reduce_started = false;
+        st.reduce_buf.clear();
+      });
+  clock().wait_until(entry_max);
+  clock().advance_comm(cost);
+  if (events().enabled()) {
+    events().record({world_rank(), trace::EventKind::kBcast, entry,
+                     clock().now(),
+                     count * static_cast<std::int64_t>(sizeof(double)), 0,
+                     "allreduce"});
+  }
+  return cost;
+}
+
+std::vector<double> Comm::gather(double value, int root) {
+  const int q = size();
+  validate_root(root, q);
+  if (q == 1) return {value};
+  auto& st = ctx_->state(state_index_);
+  const double entry = clock().now();
+  const double cost =
+      trace::bcast_rounds(q) * link().p2p(sizeof(double));
+  st.meeting.rendezvous(
+      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      [&] {
+        st.entry_max = std::max(st.entry_max, entry);
+        if (st.gather_buf.size() != static_cast<std::size_t>(q)) {
+          st.gather_buf.assign(static_cast<std::size_t>(q), 0.0);
+        }
+        st.gather_buf[static_cast<std::size_t>(rank_)] = value;
+      },
+      [] {});
+  std::vector<double> result;
+  if (rank_ == root) result = st.gather_buf;
+  double entry_max = 0.0;
+  st.meeting.rendezvous(
+      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      [&] { entry_max = st.entry_max; },
+      [&] {
+        st.entry_max = 0.0;
+        st.gather_buf.clear();
+      });
+  clock().wait_until(entry_max);
+  clock().advance_comm(cost);
+  return result;
+}
+
+Comm Comm::subgroup(const std::vector<int>& members) {
+  if (members.empty()) {
+    throw std::invalid_argument("sgmpi: subgroup with no members");
+  }
+  for (int m : members) {
+    if (m < 0 || m >= ctx_->config.nranks) {
+      throw std::invalid_argument("sgmpi: subgroup member " +
+                                  std::to_string(m) + " is not a world rank");
+    }
+  }
+  std::vector<int> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("sgmpi: subgroup with duplicate members");
+  }
+  const auto it = std::find(members.begin(), members.end(), world_rank());
+  if (it == members.end()) {
+    throw std::invalid_argument(
+        "sgmpi: calling rank is not a member of the subgroup");
+  }
+  const std::size_t index = ctx_->subgroup_state(members);
+  return Comm(ctx_, index, static_cast<int>(it - members.begin()));
+}
+
+}  // namespace summagen::sgmpi

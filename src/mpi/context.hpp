@@ -1,0 +1,165 @@
+// Internal shared state of the sgmpi runtime. Not part of the public API.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "src/mpi/mpi.hpp"
+
+namespace summagen::sgmpi::detail {
+
+/// Reusable rendezvous point: all `size` participants meet; each runs
+/// `contribute` under the lock, the last arrival additionally runs
+/// `finalize` under the lock, then everyone is released together.
+///
+/// Waits poll the context abort flag so that an exception on one rank
+/// unwinds the whole parallel region instead of deadlocking.
+class Meeting {
+ public:
+  template <typename Contribute, typename Finalize>
+  void rendezvous(const std::atomic<bool>& aborted, double poll_interval_s,
+                  int size, Contribute&& contribute, Finalize&& finalize) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    contribute();
+    if (++count_ == size) {
+      finalize();
+      count_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    const std::uint64_t my_generation = generation_;
+    const auto poll = std::chrono::duration<double>(poll_interval_s);
+    while (generation_ == my_generation) {
+      if (aborted.load(std::memory_order_relaxed)) throw AbortedError();
+      cv_.wait_for(lock, poll);
+    }
+    if (aborted.load(std::memory_order_relaxed)) throw AbortedError();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int count_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// State shared by all members of one communicator.
+struct CommState {
+  explicit CommState(std::vector<int> members_in)
+      : members(std::move(members_in)) {}
+
+  std::vector<int> members;  ///< world ranks; communicator rank = index
+  trace::HockneyParams link;  ///< fabric used by this communicator's
+                              ///< collectives (set at creation)
+
+  Meeting meeting;
+
+  // Scratch for the collective in flight (written in `contribute`/`finalize`
+  // under the meeting lock, reset by the trailing rendezvous).
+  const void* bcast_src = nullptr;
+  double entry_max = 0.0;
+  double op_complete = 0.0;
+  double reduce_acc = 0.0;
+  bool reduce_started = false;  ///< first contributor seeds the accumulator
+  std::vector<double> gather_buf;
+  std::vector<double> reduce_buf;  ///< buffer allreduce accumulator
+};
+
+/// Eagerly-buffered point-to-point message.
+struct Message {
+  std::size_t comm_state = 0;  ///< matching is per communicator
+  int src_comm_rank = 0;
+  int tag = 0;
+  std::int64_t bytes = 0;
+  double sender_entry_vtime = 0.0;
+  std::vector<std::byte> payload;  ///< empty in modeled-only transfers
+};
+
+/// Per-world-rank receive queue.
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+
+}  // namespace summagen::sgmpi::detail
+
+namespace summagen::sgmpi {
+
+/// Whole-runtime shared state (one per Runtime).
+class Context {
+ public:
+  explicit Context(Config config_in)
+      : config(std::move(config_in)),
+        clocks(static_cast<std::size_t>(config.nranks)),
+        event_log(config.record_events),
+        mailboxes(static_cast<std::size_t>(config.nranks)) {
+    if (!config.node_of.empty() &&
+        config.node_of.size() != static_cast<std::size_t>(config.nranks)) {
+      throw std::invalid_argument("sgmpi: node_of size != nranks");
+    }
+    // State 0 is the world communicator.
+    std::vector<int> world(static_cast<std::size_t>(config.nranks));
+    for (int r = 0; r < config.nranks; ++r)
+      world[static_cast<std::size_t>(r)] = r;
+    states.emplace_back(world);
+    states.back().link = link_for(world);
+    subgroup_cache.emplace(std::move(world), 0);
+  }
+
+  detail::CommState& state(std::size_t index) { return states[index]; }
+
+  int node_of(int rank) const {
+    if (config.node_of.empty()) return 0;
+    return config.node_of[static_cast<std::size_t>(rank)];
+  }
+
+  /// Intra-node fabric when every listed rank shares a node, inter-node
+  /// link otherwise.
+  trace::HockneyParams link_for(const std::vector<int>& ranks) const {
+    if (config.node_of.empty() || ranks.size() < 2) return config.link;
+    const int first = node_of(ranks.front());
+    for (int r : ranks) {
+      if (node_of(r) != first) return config.internode_link;
+    }
+    return config.link;
+  }
+
+  /// Returns the index of the cached communicator state for `members`,
+  /// creating it if needed. Communicators are cached by member list: every
+  /// logical re-creation with the same members reuses the state, which is
+  /// sound because all members order their operations identically.
+  std::size_t subgroup_state(const std::vector<int>& members) {
+    std::lock_guard<std::mutex> lock(states_mutex);
+    const auto it = subgroup_cache.find(members);
+    if (it != subgroup_cache.end()) return it->second;
+    states.emplace_back(members);
+    states.back().link = link_for(members);
+    const std::size_t index = states.size() - 1;
+    subgroup_cache.emplace(members, index);
+    return index;
+  }
+
+  Config config;
+  std::vector<trace::VirtualClock> clocks;
+  trace::EventLog event_log;
+  std::atomic<bool> aborted{false};
+  bool poisoned = false;  ///< set after an aborted run; Runtime enforces
+
+  std::mutex states_mutex;
+  std::deque<detail::CommState> states;  ///< stable addresses
+  std::map<std::vector<int>, std::size_t> subgroup_cache;
+
+  std::vector<detail::Mailbox> mailboxes;
+};
+
+}  // namespace summagen::sgmpi

@@ -1,0 +1,176 @@
+// sgmpi: an in-process MPI-like message-passing runtime.
+//
+// Substrate replacing Intel MPI in the reproduction (DESIGN.md §2). The
+// paper runs SummaGen with one MPI process per abstract processor on a
+// single node; here each rank is a `std::thread`, and the primitives the
+// paper's code uses (communicators, sub-communicators over the ranks of a
+// sub-partition row/column, `MPI_Bcast`, point-to-point) are implemented
+// over shared memory with rendezvous synchronisation.
+//
+// Timing: every operation advances the calling rank's *virtual clock* using
+// the Hockney model (Section III-A of the paper). Collectives are
+// synchronising in virtual time: completion = max(entry times) + tree cost.
+// Payload pointers may be null, in which case only the clocks move — this is
+// the `Modeled` data plane that lets benches run at the paper's N (10+ GB
+// matrices) without allocating them.
+//
+// Thread-safety: a Comm handle belongs to exactly one rank/thread. All ranks
+// of a communicator must invoke collectives in the same order (standard MPI
+// contract).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/events.hpp"
+#include "src/trace/hockney.hpp"
+#include "src/trace/vclock.hpp"
+
+namespace summagen::sgmpi {
+
+class Context;
+
+/// Configuration of a runtime instance.
+struct Config {
+  int nranks = 3;
+  trace::HockneyParams link;   ///< intra-node fabric between ranks
+  bool record_events = false;  ///< populate the EventLog
+
+  /// Multi-node topology (paper future work: "distributed-memory nodes and
+  /// large clusters"). `node_of[rank]` maps each rank to a node id; empty =
+  /// all ranks on one node. Communication between ranks on different nodes
+  /// is priced with `internode_link`; a collective whose members span nodes
+  /// pays the inter-node price (its broadcast tree crosses the network).
+  std::vector<int> node_of;
+  trace::HockneyParams internode_link{20.0e-6, 1.0 / 1.0e9};
+
+  /// Watchdog: rendezvous waits poll the abort flag with this period.
+  double poll_interval_s = 0.02;
+};
+
+/// Thrown on the sibling ranks when one rank aborts with an exception, so
+/// the whole parallel region unwinds instead of deadlocking.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError() : std::runtime_error("sgmpi: run aborted by another rank") {}
+};
+
+/// Communicator handle bound to one rank.
+///
+/// `rank()`/`size()` follow MPI conventions. For subgroup communicators,
+/// `world_ranks()[r]` maps communicator rank r to the world rank — the
+/// `comm_ranks` array of the paper's Figure 2.
+class Comm {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+  const std::vector<int>& world_ranks() const noexcept;
+  int world_rank() const noexcept;
+
+  /// Synchronising barrier (virtual cost: two empty tree traversals).
+  void barrier();
+
+  /// Broadcast of `bytes` bytes from communicator rank `root`. All members
+  /// call with the same `bytes` and `root`; `data` is the send buffer on
+  /// the root and the receive buffer elsewhere (may be null everywhere for
+  /// modeled-only traffic). Returns the modeled cost charged to this rank.
+  double bcast_bytes(void* data, std::int64_t bytes, int root);
+
+  /// Typed convenience over bcast_bytes.
+  double bcast(double* data, std::int64_t count, int root) {
+    return bcast_bytes(data, count * static_cast<std::int64_t>(sizeof(double)),
+                       root);
+  }
+
+  /// Blocking point-to-point (eager buffered send, matching by source+tag;
+  /// messages between a (src,dst,tag) triple are delivered in order).
+  void send_bytes(const void* data, std::int64_t bytes, int dest, int tag);
+  void recv_bytes(void* data, std::int64_t bytes, int source, int tag);
+  void send(const double* data, std::int64_t count, int dest, int tag) {
+    send_bytes(data, count * static_cast<std::int64_t>(sizeof(double)), dest,
+               tag);
+  }
+  void recv(double* data, std::int64_t count, int source, int tag) {
+    recv_bytes(data, count * static_cast<std::int64_t>(sizeof(double)), source,
+               tag);
+  }
+
+  /// Allreduce of one double with max/sum combiners.
+  double allreduce_max(double value);
+  double allreduce_sum(double value);
+
+  /// Element-wise sum-allreduce of a buffer of `count` doubles (in place on
+  /// every member). `data` may be null everywhere for modeled-only traffic.
+  /// Returns the modeled cost charged to this rank.
+  double allreduce_sum_buffer(double* data, std::int64_t count);
+
+  /// Gathers one double from every member onto `root` (others get {}).
+  std::vector<double> gather(double value, int root);
+
+  /// Collective among exactly the listed *world* ranks (sorted ascending or
+  /// in the order given; communicator rank = index in the list). Every
+  /// listed rank must call with an identical list; the calling rank must be
+  /// a member. This is the `get_subp_comm` of the paper's Figure 2/3.
+  Comm subgroup(const std::vector<int>& members);
+
+  /// Virtual clock of this rank (shared across all communicators).
+  trace::VirtualClock& clock();
+  const trace::VirtualClock& clock() const;
+
+  /// Event log of the run (shared, may be disabled).
+  trace::EventLog& events();
+
+  /// Hockney parameters used by this communicator: the intra-node fabric
+  /// if all members share a node, the inter-node link otherwise.
+  const trace::HockneyParams& link() const;
+
+  /// Link used for point-to-point traffic to communicator rank `dest`.
+  const trace::HockneyParams& link_to(int dest) const;
+
+ private:
+  friend class Runtime;
+  friend class Context;
+  Comm(std::shared_ptr<Context> ctx, std::size_t state_index, int rank)
+      : ctx_(std::move(ctx)), state_index_(state_index), rank_(rank) {}
+
+  std::shared_ptr<Context> ctx_;
+  std::size_t state_index_;  ///< index of the CommState in the context
+  int rank_;                 ///< my rank within this communicator
+};
+
+/// Owns the parallel region: spawns `nranks` threads, hands each a world
+/// communicator, joins, and rethrows the first exception.
+class Runtime {
+ public:
+  explicit Runtime(Config config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Executes `body(world)` on every rank. May be called repeatedly; clocks
+  /// and the event log persist across calls until `reset_clocks()`.
+  void run(const std::function<void(Comm&)>& body);
+
+  int nranks() const noexcept { return config_.nranks; }
+
+  /// Clock of `rank` (valid between runs).
+  const trace::VirtualClock& clock(int rank) const;
+
+  /// Maximum virtual completion time over all ranks — the parallel
+  /// execution time of the last run.
+  double max_vtime() const;
+
+  trace::EventLog& events();
+
+  void reset_clocks();
+
+ private:
+  Config config_;
+  std::shared_ptr<Context> ctx_;
+};
+
+}  // namespace summagen::sgmpi

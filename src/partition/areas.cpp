@@ -1,0 +1,208 @@
+#include "src/partition/areas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace summagen::partition {
+
+std::vector<std::int64_t> partition_areas_cpm(
+    std::int64_t total, const std::vector<double>& speeds) {
+  if (total <= 0) throw std::invalid_argument("partition_areas_cpm: total<=0");
+  if (speeds.empty()) {
+    throw std::invalid_argument("partition_areas_cpm: no speeds");
+  }
+  double sum = 0.0;
+  for (double s : speeds) {
+    if (s <= 0.0) {
+      throw std::invalid_argument("partition_areas_cpm: non-positive speed");
+    }
+    sum += s;
+  }
+  const std::size_t p = speeds.size();
+  std::vector<std::int64_t> areas(p);
+  std::vector<std::pair<double, std::size_t>> remainders(p);
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    const double exact = static_cast<double>(total) * speeds[i] / sum;
+    areas[i] = static_cast<std::int64_t>(std::floor(exact));
+    remainders[i] = {exact - std::floor(exact), i};
+    assigned += areas[i];
+  }
+  // Largest-remainder apportionment of the leftover elements.
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; assigned < total; ++i, ++assigned) {
+    ++areas[remainders[i % p].second];
+  }
+  return areas;
+}
+
+double distribution_time(
+    std::int64_t n, const std::vector<const device::SpeedFunction*>& speeds,
+    const std::vector<std::int64_t>& areas) {
+  if (speeds.size() != areas.size()) {
+    throw std::invalid_argument("distribution_time: size mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    worst = std::max(worst, device::zone_time(*speeds[i],
+                                              static_cast<double>(areas[i]),
+                                              static_cast<double>(n)));
+  }
+  return worst;
+}
+
+namespace {
+
+// One pass of unit moves: repeatedly move `delta` area from the bottleneck
+// processor to the best-improving recipient while the makespan improves.
+bool refine_once(std::int64_t n,
+                 const std::vector<const device::SpeedFunction*>& speeds,
+                 std::vector<std::int64_t>& areas, std::int64_t delta) {
+  const std::size_t p = speeds.size();
+  auto t = [&](std::size_t i, std::int64_t a) {
+    return device::zone_time(*speeds[i], static_cast<double>(a),
+                             static_cast<double>(n));
+  };
+  // Find the bottleneck.
+  std::size_t worst = 0;
+  double worst_t = -1.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    const double ti = t(i, areas[i]);
+    if (ti > worst_t) {
+      worst_t = ti;
+      worst = i;
+    }
+  }
+  if (areas[worst] < delta) return false;
+  // Try giving delta to each other processor; accept the best strict win.
+  double best_new = worst_t;
+  std::size_t best_j = p;
+  for (std::size_t j = 0; j < p; ++j) {
+    if (j == worst) continue;
+    double cand = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      std::int64_t a = areas[i];
+      if (i == worst) a -= delta;
+      if (i == j) a += delta;
+      cand = std::max(cand, t(i, a));
+    }
+    if (cand < best_new) {
+      best_new = cand;
+      best_j = j;
+    }
+  }
+  if (best_j == p) return false;
+  areas[worst] -= delta;
+  areas[best_j] += delta;
+  return true;
+}
+
+}  // namespace
+
+FpmResult partition_areas_fpm(
+    std::int64_t n, const std::vector<const device::SpeedFunction*>& speeds,
+    const FpmOptions& opts) {
+  if (n <= 0) throw std::invalid_argument("partition_areas_fpm: n <= 0");
+  if (speeds.empty()) {
+    throw std::invalid_argument("partition_areas_fpm: no speed functions");
+  }
+  const std::size_t p = speeds.size();
+  const std::int64_t total = n * n;
+
+  if (p == 1) {
+    FpmResult res;
+    res.areas = {total};
+    res.tcomp = distribution_time(n, speeds, res.areas);
+    return res;
+  }
+
+  std::int64_t step = opts.grid_step;
+  if (step <= 0) step = std::max<std::int64_t>(1, total / 1024);
+  const std::int64_t slots = total / step;  // areas quantised as k*step
+  if (slots < static_cast<std::int64_t>(p)) {
+    throw std::invalid_argument("partition_areas_fpm: grid step too coarse");
+  }
+
+  // DP over processors: best[i][w] = minimal makespan assigning w slots to
+  // processors 0..i. The last processor absorbs the rounding remainder
+  // total - slots*step (at most step-1 elements; harmless vs refinement).
+  const auto W = static_cast<std::size_t>(slots);
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(W + 1, inf), cur(W + 1, inf);
+  // choice[i][w]: slots given to processor i in the best solution.
+  std::vector<std::vector<std::int32_t>> choice(
+      p, std::vector<std::int32_t>(W + 1, -1));
+
+  auto t_of = [&](std::size_t i, std::int64_t a) {
+    return device::zone_time(*speeds[i], static_cast<double>(a),
+                             static_cast<double>(n));
+  };
+
+  for (std::size_t w = 0; w <= W; ++w) {
+    prev[w] = t_of(0, static_cast<std::int64_t>(w) * step);
+    choice[0][w] = static_cast<std::int32_t>(w);
+  }
+  for (std::size_t i = 1; i < p; ++i) {
+    for (std::size_t w = 0; w <= W; ++w) {
+      double best = inf;
+      std::int32_t best_k = -1;
+      for (std::size_t k = 0; k <= w; ++k) {
+        const double mine = t_of(i, static_cast<std::int64_t>(k) * step);
+        if (mine >= best) continue;  // monotone prune on own time
+        const double m = std::max(mine, prev[w - k]);
+        if (m < best) {
+          best = m;
+          best_k = static_cast<std::int32_t>(k);
+        }
+      }
+      cur[w] = best;
+      choice[i][w] = best_k;
+    }
+    std::swap(prev, cur);
+  }
+
+  // Reconstruct.
+  FpmResult res;
+  res.areas.assign(p, 0);
+  std::size_t w = W;
+  for (std::size_t i = p; i-- > 0;) {
+    const std::int32_t k = choice[i][w];
+    res.areas[i] = static_cast<std::int64_t>(k) * step;
+    w -= static_cast<std::size_t>(k);
+  }
+  // Fold the grid remainder into the bottom (it is < step elements).
+  std::int64_t used = std::accumulate(res.areas.begin(), res.areas.end(),
+                                      std::int64_t{0});
+  res.areas[0] += total - used;
+
+  // Unit-granularity local refinement with a shrinking step schedule.
+  std::int64_t delta = std::max<std::int64_t>(1, step / 2);
+  int iters = opts.refine_iters;
+  while (delta >= 1 && iters > 0) {
+    bool moved = false;
+    while (iters > 0 && refine_once(n, speeds, res.areas, delta)) {
+      moved = true;
+      --iters;
+    }
+    if (delta == 1 && !moved) break;
+    delta /= 2;
+  }
+
+  res.tcomp = distribution_time(n, speeds, res.areas);
+  return res;
+}
+
+FpmResult partition_areas_fpm(std::int64_t n,
+                              const std::vector<device::SpeedFunction>& speeds,
+                              const FpmOptions& opts) {
+  std::vector<const device::SpeedFunction*> ptrs;
+  ptrs.reserve(speeds.size());
+  for (const auto& s : speeds) ptrs.push_back(&s);
+  return partition_areas_fpm(n, ptrs, opts);
+}
+
+}  // namespace summagen::partition

@@ -1,0 +1,58 @@
+// Workload partitioners: how many matrix elements each processor gets.
+//
+// Step 1 of every shape-construction algorithm in the paper's Section V:
+//  * constant speeds  -> areas proportional to speed (the classic CPM
+//    distribution used by Kalinov-Lastovetsky and Beaumont et al.);
+//  * non-constant speeds -> the load-imbalancing data-partitioning algorithm
+//    of Khaleghzadeh et al. [17], which minimises the parallel computation
+//    time  max_i a_i / s_i(a_i)  over non-smooth functional performance
+//    models. Its optima may be deliberately imbalanced: a processor in a
+//    performance trough gets less work than proportionality suggests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/device/speed_function.hpp"
+
+namespace summagen::partition {
+
+/// Integer areas proportional to `speeds`, summing exactly to `total`
+/// (largest-remainder rounding). Throws on non-positive speeds/total.
+std::vector<std::int64_t> partition_areas_cpm(std::int64_t total,
+                                              const std::vector<double>& speeds);
+
+/// Options of the FPM load-imbalancing partitioner.
+struct FpmOptions {
+  /// DP grid step in elements of area; 0 = auto (~total/1024, snapped).
+  std::int64_t grid_step = 0;
+  /// Local-refinement sweeps after the DP solve.
+  int refine_iters = 200;
+};
+
+/// Result of the FPM partitioner.
+struct FpmResult {
+  std::vector<std::int64_t> areas;  ///< sums exactly to n*n
+  double tcomp = 0.0;  ///< achieved max_i zone_time(s_i, a_i, n)
+};
+
+/// Distributes the n*n elements of the matrices over the processors whose
+/// speed functions are given, minimising the parallel computation time
+/// max_i zone_time(speed[i], a_i, n) (paper Eq. 3). Dynamic program over an
+/// area grid followed by unit-granularity local refinement.
+FpmResult partition_areas_fpm(
+    std::int64_t n, const std::vector<const device::SpeedFunction*>& speeds,
+    const FpmOptions& opts = {});
+
+/// Convenience overload for owning containers.
+FpmResult partition_areas_fpm(std::int64_t n,
+                              const std::vector<device::SpeedFunction>& speeds,
+                              const FpmOptions& opts = {});
+
+/// Parallel computation time of a distribution under the given FPMs
+/// (max over processors of zone_time).
+double distribution_time(std::int64_t n,
+                         const std::vector<const device::SpeedFunction*>& speeds,
+                         const std::vector<std::int64_t>& areas);
+
+}  // namespace summagen::partition

@@ -1,0 +1,188 @@
+#include "src/partition/column_based.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace summagen::partition {
+
+ColumnLayout optimal_column_layout(const std::vector<double>& areas) {
+  if (areas.empty()) {
+    throw std::invalid_argument("optimal_column_layout: no areas");
+  }
+  double total = 0.0;
+  for (double a : areas) {
+    if (a < 0.0) throw std::invalid_argument("optimal_column_layout: a < 0");
+    total += a;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("optimal_column_layout: zero total area");
+  }
+
+  const std::size_t p = areas.size();
+  // Sort indices by area descending (BR: columns are consecutive runs of the
+  // sorted sequence).
+  std::vector<int> order(p);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return areas[static_cast<std::size_t>(a)] >
+                                       areas[static_cast<std::size_t>(b)]; });
+
+  // Normalised prefix sums over the sorted areas.
+  std::vector<double> prefix(p + 1, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    prefix[i + 1] =
+        prefix[i] + areas[static_cast<std::size_t>(order[i])] / total;
+  }
+
+  // dp[i] = minimal cost of arranging the first i sorted processors;
+  // a column of processors (j..i-1] has width w = prefix[i]-prefix[j] and
+  // contributes (i-j)*w + 1 to the sum of half-perimeters (unit square).
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(p + 1, inf);
+  std::vector<std::size_t> cut(p + 1, 0);
+  dp[0] = 0.0;
+  for (std::size_t i = 1; i <= p; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double w = prefix[i] - prefix[j];
+      const double cost = dp[j] + static_cast<double>(i - j) * w + 1.0;
+      if (cost < dp[i]) {
+        dp[i] = cost;
+        cut[i] = j;
+      }
+    }
+  }
+
+  ColumnLayout layout;
+  std::size_t i = p;
+  std::vector<std::vector<int>> cols_rev;
+  while (i > 0) {
+    const std::size_t j = cut[i];
+    std::vector<int> col;
+    for (std::size_t k = j; k < i; ++k) col.push_back(order[k]);
+    cols_rev.push_back(std::move(col));
+    i = j;
+  }
+  layout.columns.assign(cols_rev.rbegin(), cols_rev.rend());
+  layout.continuous_half_perimeter = dp[p];
+  return layout;
+}
+
+PartitionSpec column_based_partition(std::int64_t n,
+                                     const std::vector<std::int64_t>& areas) {
+  if (n <= 0) throw std::invalid_argument("column_based_partition: n <= 0");
+  std::vector<double> rel(areas.size());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    if (areas[i] < 0) {
+      throw std::invalid_argument("column_based_partition: negative area");
+    }
+    rel[i] = static_cast<double>(areas[i]);
+    total += areas[i];
+  }
+  if (total != n * n) {
+    throw std::invalid_argument(
+        "column_based_partition: areas must sum to n*n");
+  }
+  const ColumnLayout layout = optimal_column_layout(rel);
+  const auto ncols = static_cast<int>(layout.columns.size());
+
+  // Integer column widths proportional to column areas, exact sum n.
+  std::vector<std::int64_t> col_area(static_cast<std::size_t>(ncols), 0);
+  for (int c = 0; c < ncols; ++c) {
+    for (int idx : layout.columns[static_cast<std::size_t>(c)]) {
+      col_area[static_cast<std::size_t>(c)] +=
+          areas[static_cast<std::size_t>(idx)];
+    }
+  }
+  std::vector<std::int64_t> width(static_cast<std::size_t>(ncols), 0);
+  std::int64_t used = 0;
+  for (int c = 0; c < ncols; ++c) {
+    width[static_cast<std::size_t>(c)] = std::max<std::int64_t>(
+        1, std::llround(static_cast<double>(col_area[static_cast<std::size_t>(
+                            c)]) /
+                        static_cast<double>(total) * static_cast<double>(n)));
+    used += width[static_cast<std::size_t>(c)];
+  }
+  width[static_cast<std::size_t>(ncols - 1)] += n - used;
+  if (width[static_cast<std::size_t>(ncols - 1)] < 1) {
+    throw std::invalid_argument("column_based_partition: n too small");
+  }
+
+  // Each column has its own rectangle heights; a single PartitionSpec grid
+  // needs global row cuts, so take the union of every column's boundaries
+  // (a foreign cut merely subdivides a rectangle without changing owners).
+  std::vector<std::vector<std::int64_t>> col_heights(
+      static_cast<std::size_t>(ncols));
+  for (int c = 0; c < ncols; ++c) {
+    const auto& members = layout.columns[static_cast<std::size_t>(c)];
+    std::int64_t remaining = n;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      std::int64_t h;
+      if (k + 1 == members.size()) {
+        h = remaining;
+      } else {
+        h = std::llround(
+            static_cast<double>(areas[static_cast<std::size_t>(members[k])]) /
+            static_cast<double>(col_area[static_cast<std::size_t>(c)]) *
+            static_cast<double>(n));
+        h = std::clamp<std::int64_t>(h, 0, remaining);
+      }
+      col_heights[static_cast<std::size_t>(c)].push_back(h);
+      remaining -= h;
+    }
+  }
+
+  // Global row cuts.
+  std::vector<std::int64_t> row_cuts = {0, n};
+  for (int c = 0; c < ncols; ++c) {
+    std::int64_t y = 0;
+    for (std::int64_t h : col_heights[static_cast<std::size_t>(c)]) {
+      y += h;
+      row_cuts.push_back(y);
+    }
+  }
+  std::sort(row_cuts.begin(), row_cuts.end());
+  row_cuts.erase(std::unique(row_cuts.begin(), row_cuts.end()),
+                 row_cuts.end());
+
+  PartitionSpec spec;
+  spec.n = n;
+  spec.subplda = static_cast<int>(row_cuts.size()) - 1;
+  spec.subpldb = ncols;
+  spec.subph.resize(static_cast<std::size_t>(spec.subplda));
+  for (int i = 0; i < spec.subplda; ++i) {
+    spec.subph[static_cast<std::size_t>(i)] =
+        row_cuts[static_cast<std::size_t>(i) + 1] -
+        row_cuts[static_cast<std::size_t>(i)];
+  }
+  spec.subpw = width;
+  spec.subp.assign(
+      static_cast<std::size_t>(spec.subplda) * static_cast<std::size_t>(ncols),
+      0);
+  for (int c = 0; c < ncols; ++c) {
+    const auto& members = layout.columns[static_cast<std::size_t>(c)];
+    std::size_t seg = 0;
+    std::int64_t seg_end = col_heights[static_cast<std::size_t>(c)].empty()
+                               ? n
+                               : col_heights[static_cast<std::size_t>(c)][0];
+    std::int64_t y = 0;
+    for (int i = 0; i < spec.subplda; ++i) {
+      // Advance to the rectangle containing row band [y, y+h).
+      while (y >= seg_end && seg + 1 < members.size()) {
+        ++seg;
+        seg_end += col_heights[static_cast<std::size_t>(c)][seg];
+      }
+      spec.subp[static_cast<std::size_t>(i) * static_cast<std::size_t>(ncols) +
+                static_cast<std::size_t>(c)] =
+          members[std::min(seg, members.size() - 1)];
+      y += spec.subph[static_cast<std::size_t>(i)];
+    }
+  }
+  spec.validate(static_cast<int>(areas.size()));
+  return spec;
+}
+
+}  // namespace summagen::partition

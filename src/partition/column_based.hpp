@@ -1,0 +1,43 @@
+// Beaumont et al. column-based rectangular partitioning (baseline).
+//
+// The first research thread the paper surveys (Section III-B): partition the
+// unit square into p rectangles of prescribed areas, arranged in full-height
+// columns, minimising the sum of half-perimeters. Beaumont et al. [2] prove
+// the arrangement optimal among column-based layouts when processors are
+// sorted by area and columns contain consecutive processors; we find that
+// optimum exactly by dynamic programming over the sorted areas.
+//
+// Used as the rectangular baseline in ablations and tests; the paper's four
+// experimental shapes live in shapes.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/partition/spec.hpp"
+
+namespace summagen::partition {
+
+/// Column-based layout: processors grouped into columns.
+struct ColumnLayout {
+  /// columns[c] lists indices into the sorted-areas array, top to bottom.
+  std::vector<std::vector<int>> columns;
+  /// Lower bound on the sum of half-perimeters in the continuous (unit
+  /// square) relaxation, scaled to the n x n grid.
+  double continuous_half_perimeter = 0.0;
+};
+
+/// Chooses the optimal column structure for the given relative areas
+/// (continuous model). Areas need not be sorted; indices in the result
+/// refer to the input order.
+ColumnLayout optimal_column_layout(const std::vector<double>& areas);
+
+/// Builds a rectangular PartitionSpec of an n x n matrix from integer areas
+/// using the optimal column-based arrangement. Column widths and rectangle
+/// heights are rounded to integers with exact-cover fix-ups; every rank's
+/// area therefore only approximates its request (as in all integer-grid
+/// partitioners).
+PartitionSpec column_based_partition(std::int64_t n,
+                                     const std::vector<std::int64_t>& areas);
+
+}  // namespace summagen::partition

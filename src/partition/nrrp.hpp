@@ -1,0 +1,69 @@
+// NRRP-style non-rectangular recursive partitioning for arbitrary p.
+//
+// The paper's reference [11] (Beaumont, Eyraud-Dubois, Lambert, IPDPS 2016)
+// combines Nagamochi-Abe recursive rectangle dissection with the
+// square-corner idea to reach a 2/sqrt(3) approximation of the optimal
+// communication volume for any number of processors. The paper's own
+// experimental scope stops at three processors; this module implements the
+// recursive scheme so SummaGen runs beyond that — the "large clusters"
+// future work of its conclusion.
+//
+// Algorithm (our rendition of the NRRP structure):
+//  * recursively dissect an integer rectangle among a set of areas,
+//    splitting the area-sorted set into two balanced groups and cutting
+//    perpendicular to the longer side;
+//  * at two-processor leaves, choose between a guillotine cut and a
+//    *corner* (non-rectangular) layout by realized half-perimeter — the
+//    corner wins exactly when 2*sqrt(a_small) < min(h, w), the Becker
+//    3:1-ratio criterion generalised to rectangles;
+//  * all cuts are integer with exact-area re-apportionment, so the emitted
+//    PartitionSpec covers the matrix exactly.
+//
+// The result's quality is measured against the universal lower bound
+// sum_i 2*sqrt(a_i) on the total half-perimeter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/partition/spec.hpp"
+
+namespace summagen::partition {
+
+struct NrrpOptions {
+  /// Allow non-rectangular (corner) leaves; false degrades to a pure
+  /// recursive rectangular dissection (the Nagamochi-Abe baseline).
+  bool allow_non_rectangular = true;
+};
+
+/// Partitions the n x n matrix into zones of the given areas (summing to
+/// n*n, every area >= 0) using the recursive scheme above. Supports any
+/// p >= 1. Throws std::invalid_argument on bad input.
+PartitionSpec nrrp_partition(std::int64_t n,
+                             const std::vector<std::int64_t>& areas,
+                             const NrrpOptions& opts = {});
+
+/// Two-level partitioning for clusters: first dissect the matrix among
+/// processor *groups* (nodes) with rectangular cuts — every node gets one
+/// rectangle, so inter-node traffic stays minimal and node-local — then
+/// run the full recursive scheme (corner leaves allowed) inside each node's
+/// rectangle among its own processors.
+///
+/// `areas_by_group[g][i]` is the area of group g's i-th processor; global
+/// ranks are assigned group-major (group 0's processors first). All areas
+/// must sum to n*n.
+PartitionSpec nrrp_hierarchical(
+    std::int64_t n,
+    const std::vector<std::vector<std::int64_t>>& areas_by_group,
+    const NrrpOptions& opts = {});
+
+/// Universal lower bound on the sum of zone half-perimeters: each zone of
+/// area a has half-perimeter >= 2*sqrt(a).
+double half_perimeter_lower_bound(const std::vector<std::int64_t>& areas);
+
+/// Quality of a partition against the lower bound:
+/// total_half_perimeter / lower_bound (>= 1; NRRP's theoretical guarantee
+/// for the continuous problem is 2/sqrt(3) ~ 1.155).
+double nrrp_quality(const PartitionSpec& spec);
+
+}  // namespace summagen::partition

@@ -1,0 +1,359 @@
+#include "src/partition/push.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/partition/shapes.hpp"
+#include "src/util/rng.hpp"
+
+namespace summagen::partition {
+namespace {
+
+// Balanced split of n elements over g cells: offsets[i] of cell i.
+std::vector<std::int64_t> cell_offsets(std::int64_t n, int g) {
+  std::vector<std::int64_t> off(static_cast<std::size_t>(g) + 1, 0);
+  for (int i = 0; i <= g; ++i) {
+    off[static_cast<std::size_t>(i)] =
+        n / g * i + std::min<std::int64_t>(i, n % g);
+  }
+  return off;
+}
+
+struct CellRect {
+  int r0 = -1, r1 = -1, c0 = -1, c1 = -1;  // inclusive, -1 = empty
+  bool empty() const { return r0 < 0; }
+  bool contains(int i, int j) const {
+    return !empty() && i >= r0 && i <= r1 && j >= c0 && j <= c1;
+  }
+  // Chebyshev distance from a cell to the rectangle (0 if inside).
+  int distance(int i, int j) const {
+    if (empty()) return 0;
+    const int di = i < r0 ? r0 - i : (i > r1 ? i - r1 : 0);
+    const int dj = j < c0 ? c0 - j : (j > c1 ? j - c1 : 0);
+    return std::max(di, dj);
+  }
+};
+
+enum class Side { kTop, kBottom, kLeft, kRight };
+constexpr Side kSides[] = {Side::kTop, Side::kBottom, Side::kLeft,
+                           Side::kRight};
+
+/// Cell-grid ownership with incremental covering bookkeeping.
+class PushState {
+ public:
+  PushState(std::int64_t n, int g, std::vector<int> owner, int nprocs)
+      : g_(g), owner_(std::move(owner)), off_(cell_offsets(n, g)) {
+    row_count_.assign(static_cast<std::size_t>(nprocs),
+                      std::vector<int>(static_cast<std::size_t>(g), 0));
+    col_count_ = row_count_;
+    for (int i = 0; i < g; ++i) {
+      for (int j = 0; j < g; ++j) {
+        const auto p = static_cast<std::size_t>(at(i, j));
+        ++row_count_[p][static_cast<std::size_t>(i)];
+        ++col_count_[p][static_cast<std::size_t>(j)];
+      }
+    }
+  }
+
+  int nprocs() const { return static_cast<int>(row_count_.size()); }
+
+  int at(int i, int j) const {
+    return owner_[static_cast<std::size_t>(i) * static_cast<std::size_t>(g_) +
+                  static_cast<std::size_t>(j)];
+  }
+
+  CellRect covering(int proc) const {
+    const auto p = static_cast<std::size_t>(proc);
+    CellRect r;
+    for (int i = 0; i < g_; ++i) {
+      if (row_count_[p][static_cast<std::size_t>(i)] > 0) {
+        if (r.r0 < 0) r.r0 = i;
+        r.r1 = i;
+      }
+    }
+    for (int j = 0; j < g_; ++j) {
+      if (col_count_[p][static_cast<std::size_t>(j)] > 0) {
+        if (r.c0 < 0) r.c0 = j;
+        r.c1 = j;
+      }
+    }
+    return r;
+  }
+
+  /// Covering half-perimeter of one processor, in matrix elements.
+  std::int64_t hp(int proc) const {
+    const CellRect r = covering(proc);
+    if (r.empty()) return 0;
+    return (off_[static_cast<std::size_t>(r.r1) + 1] -
+            off_[static_cast<std::size_t>(r.r0)]) +
+           (off_[static_cast<std::size_t>(r.c1) + 1] -
+            off_[static_cast<std::size_t>(r.c0)]);
+  }
+
+  std::int64_t total_hp() const {
+    std::int64_t total = 0;
+    for (int p = 0; p < nprocs(); ++p) total += hp(p);
+    return total;
+  }
+
+  void set_owner(int i, int j, int proc) {
+    const auto old = static_cast<std::size_t>(at(i, j));
+    const auto now = static_cast<std::size_t>(proc);
+    if (old == now) return;
+    --row_count_[old][static_cast<std::size_t>(i)];
+    --col_count_[old][static_cast<std::size_t>(j)];
+    ++row_count_[now][static_cast<std::size_t>(i)];
+    ++col_count_[now][static_cast<std::size_t>(j)];
+    owner_[static_cast<std::size_t>(i) * static_cast<std::size_t>(g_) +
+           static_cast<std::size_t>(j)] = proc;
+  }
+
+  /// p's cells on one side of its covering rectangle.
+  std::vector<std::pair<int, int>> side_cells(int proc, Side side) const {
+    const CellRect r = covering(proc);
+    std::vector<std::pair<int, int>> out;
+    if (r.empty()) return out;
+    auto collect_row = [&](int i) {
+      for (int j = r.c0; j <= r.c1; ++j) {
+        if (at(i, j) == proc) out.emplace_back(i, j);
+      }
+    };
+    auto collect_col = [&](int j) {
+      for (int i = r.r0; i <= r.r1; ++i) {
+        if (at(i, j) == proc) out.emplace_back(i, j);
+      }
+    };
+    switch (side) {
+      case Side::kTop:
+        collect_row(r.r0);
+        break;
+      case Side::kBottom:
+        collect_row(r.r1);
+        break;
+      case Side::kLeft:
+        collect_col(r.c0);
+        break;
+      case Side::kRight:
+        collect_col(r.c1);
+        break;
+    }
+    return out;
+  }
+
+  const std::vector<int>& owners() const { return owner_; }
+  std::vector<int>& owners() { return owner_; }
+
+ private:
+  int g_;
+  std::vector<int> owner_;
+  std::vector<std::int64_t> off_;
+  std::vector<std::vector<int>> row_count_;
+  std::vector<std::vector<int>> col_count_;
+};
+
+constexpr std::int64_t kInfeasible = std::numeric_limits<std::int64_t>::min();
+
+/// One push move: processor p vacates one side line of its covering,
+/// receiving an equal number of q's cells chosen to keep p compact
+/// (donors ranked by distance to p's post-shrink covering). Returns the
+/// half-perimeter gain, or kInfeasible if the move is impossible;
+/// `apply` leaves the move in place, otherwise the state is restored.
+std::int64_t try_line_push(PushState& state, int p, Side side, int q,
+                           bool apply) {
+  const auto line = state.side_cells(p, side);
+  if (line.empty()) return kInfeasible;
+
+  // Post-shrink covering estimate: the covering without the vacated line.
+  CellRect target = state.covering(p);
+  switch (side) {
+    case Side::kTop:
+      ++target.r0;
+      break;
+    case Side::kBottom:
+      --target.r1;
+      break;
+    case Side::kLeft:
+      ++target.c0;
+      break;
+    case Side::kRight:
+      --target.c1;
+      break;
+  }
+  if (target.r0 > target.r1 || target.c0 > target.c1) return kInfeasible;
+
+  // Donor cells of q, nearest to the post-shrink covering first.
+  std::vector<std::pair<int, int>> donors;
+  {
+    const CellRect qr = state.covering(q);
+    if (qr.empty()) return kInfeasible;
+    for (int i = qr.r0; i <= qr.r1; ++i) {
+      for (int j = qr.c0; j <= qr.c1; ++j) {
+        if (state.at(i, j) == q) donors.emplace_back(i, j);
+      }
+    }
+  }
+  if (donors.size() < line.size()) return kInfeasible;
+  std::stable_sort(donors.begin(), donors.end(),
+                   [&](const auto& a, const auto& b) {
+                     return target.distance(a.first, a.second) <
+                            target.distance(b.first, b.second);
+                   });
+  donors.resize(line.size());
+
+  const std::int64_t before = state.hp(p) + state.hp(q);
+  for (const auto& [i, j] : line) state.set_owner(i, j, q);
+  for (const auto& [i, j] : donors) state.set_owner(i, j, p);
+  const std::int64_t gain = before - (state.hp(p) + state.hp(q));
+  if (!apply) {
+    for (const auto& [i, j] : donors) state.set_owner(i, j, q);
+    for (const auto& [i, j] : line) state.set_owner(i, j, p);
+  }
+  return gain;
+}
+
+}  // namespace
+
+PushResult push_optimize(std::int64_t n,
+                         const std::vector<std::int64_t>& areas,
+                         const PushOptions& opts) {
+  if (n <= 0) throw std::invalid_argument("push_optimize: n <= 0");
+  if (areas.empty()) throw std::invalid_argument("push_optimize: no areas");
+  if (opts.grid < 2 || opts.grid > n) {
+    throw std::invalid_argument("push_optimize: grid must be in [2, n]");
+  }
+  const int g = opts.grid;
+  const auto p = static_cast<int>(areas.size());
+  std::int64_t total = 0;
+  for (std::int64_t a : areas) {
+    if (a < 0) throw std::invalid_argument("push_optimize: negative area");
+    total += a;
+  }
+  if (total != n * n) {
+    throw std::invalid_argument("push_optimize: areas must sum to n*n");
+  }
+  const std::int64_t cells = static_cast<std::int64_t>(g) * g;
+  if (p > cells) {
+    throw std::invalid_argument("push_optimize: more processors than cells");
+  }
+
+  // Quantise areas to cell counts (largest remainder).
+  std::vector<std::int64_t> cell_count(static_cast<std::size_t>(p), 0);
+  {
+    std::vector<std::pair<double, std::size_t>> rem(
+        static_cast<std::size_t>(p));
+    std::int64_t assigned = 0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(p); ++i) {
+      const double exact = static_cast<double>(areas[i]) /
+                           static_cast<double>(total) *
+                           static_cast<double>(cells);
+      cell_count[i] = static_cast<std::int64_t>(exact);
+      rem[i] = {exact - static_cast<double>(cell_count[i]), i};
+      assigned += cell_count[i];
+    }
+    std::sort(rem.begin(), rem.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t i = 0; assigned < cells; ++i, ++assigned) {
+      ++cell_count[rem[i % rem.size()].second];
+    }
+  }
+
+  // 1D starting layout: column-major runs, widest first.
+  std::vector<int> owner(static_cast<std::size_t>(cells), 0);
+  {
+    const auto order = ranks_by_area(areas);
+    std::size_t next = 0;
+    for (int rank : order) {
+      for (std::int64_t c = 0;
+           c < cell_count[static_cast<std::size_t>(rank)]; ++c, ++next) {
+        const auto col = static_cast<int>(next) / g;
+        const auto row = static_cast<int>(next) % g;
+        owner[static_cast<std::size_t>(row) * static_cast<std::size_t>(g) +
+              static_cast<std::size_t>(col)] = rank;
+      }
+    }
+  }
+
+  const std::vector<int> initial_owner = owner;
+  PushResult result;
+  result.initial_half_perimeter =
+      PushState(n, g, initial_owner, p).total_hp();
+
+  // Annealed descent over line pushes. Pure greedy stalls: reshaping a
+  // zone from a slice into a corner square first *expands* the other
+  // zone's covering (an energy barrier) before the repeated shrink moves
+  // pay it back. A geometric cooling schedule crosses such barriers early
+  // and locks in late; several independent restarts guard against bad
+  // basins, and the best layout ever seen is what we return.
+  struct Move {
+    int p, q;
+    Side side;
+  };
+  std::vector<Move> moves;
+  for (int a = 0; a < p; ++a) {
+    for (int b = 0; b < p; ++b) {
+      if (a == b) continue;
+      for (Side s : kSides) moves.push_back({a, b, s});
+    }
+  }
+
+  std::vector<int> best_owner = initial_owner;
+  std::int64_t best_hp = result.initial_half_perimeter;
+
+  for (int restart = 0; restart < std::max(1, opts.restarts); ++restart) {
+    PushState state(n, g, initial_owner, p);
+    util::Rng rng(util::derive_seed(opts.seed,
+                                    static_cast<std::uint64_t>(restart)));
+    const int iters_per_pass = 16 * static_cast<int>(moves.size());
+    double temperature = static_cast<double>(n) / 2.0;
+    const double cooling = 0.92;
+    for (int pass = 0; pass < opts.max_passes; ++pass) {
+      ++result.passes;
+      bool advanced = false;
+      for (int it = 0; it < iters_per_pass; ++it) {
+        const Move& m = moves[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(moves.size()) - 1))];
+        const std::int64_t gain =
+            try_line_push(state, m.p, m.side, m.q, /*apply=*/false);
+        if (gain == kInfeasible) continue;
+        const bool accept =
+            gain > 0 ||
+            (temperature > 1e-9 &&
+             rng.uniform(0.0, 1.0) <
+                 std::exp(static_cast<double>(gain) / temperature));
+        if (!accept) continue;
+        try_line_push(state, m.p, m.side, m.q, /*apply=*/true);
+        ++result.swaps;
+        advanced = true;
+        const std::int64_t now = state.total_hp();
+        if (now < best_hp) {
+          best_hp = now;
+          best_owner = state.owners();
+        }
+      }
+      temperature *= cooling;
+      if (!advanced && temperature < 1.0) break;
+    }
+  }
+
+  // Assemble the PartitionSpec from the best cell grid seen.
+  const auto off = cell_offsets(n, g);
+  PartitionSpec spec;
+  spec.n = n;
+  spec.subplda = g;
+  spec.subpldb = g;
+  for (int i = 0; i < g; ++i) {
+    spec.subph.push_back(off[static_cast<std::size_t>(i) + 1] -
+                         off[static_cast<std::size_t>(i)]);
+  }
+  spec.subpw = spec.subph;
+  spec.subp = best_owner;
+  spec.validate(p);
+  result.spec = std::move(spec);
+  result.final_half_perimeter = result.spec.total_half_perimeter();
+  return result;
+}
+
+}  // namespace summagen::partition

@@ -1,0 +1,53 @@
+// The Push Technique of DeFlumere & Lastovetsky (the paper's refs [9, 10])
+// as an executable optimizer.
+//
+// Their proofs of shape optimality work by *pushing* matrix elements
+// between processors: starting from any partition whose per-processor
+// areas realise the load balance, elements are moved so the total
+// communication volume — the sum of covering-rectangle half-perimeters —
+// strictly decreases, until no improving move exists. The shapes the
+// descent converges to are the candidates for optimality (square corner,
+// straight line, ... depending on the speed ratios).
+//
+// This module implements the descent on a coarse cell grid: areas are
+// quantised to g x g cells, moves are area-preserving swaps of two cells
+// owned by different processors, and a swap is accepted iff it lowers the
+// half-perimeter sum. Deterministic given the seed.
+//
+// It is a *search* companion to the closed-form builders in shapes.hpp:
+// tests verify that for two processors the descent rediscovers the
+// square-corner shape beyond the 3:1 speed ratio and the straight line
+// below it — the Becker/DeFlumere results the paper builds on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/partition/spec.hpp"
+
+namespace summagen::partition {
+
+struct PushOptions {
+  int grid = 32;        ///< cell grid resolution (g x g cells)
+  int max_passes = 64;  ///< annealing passes (one temperature step each)
+  int restarts = 4;     ///< independent annealing runs; best kept
+  std::uint64_t seed = 1;  ///< base seed (each restart derives its own)
+};
+
+struct PushResult {
+  PartitionSpec spec;  ///< assembled from the final cell grid
+  std::int64_t initial_half_perimeter = 0;  ///< of the 1D starting layout
+  std::int64_t final_half_perimeter = 0;
+  int swaps = 0;    ///< accepted moves
+  int passes = 0;   ///< descent passes executed
+};
+
+/// Runs the push descent for an n x n matrix and the given per-processor
+/// areas (summing to n*n). Starts from the traditional 1D layout.
+/// Throws std::invalid_argument on bad input (including more processors
+/// than grid cells).
+PushResult push_optimize(std::int64_t n,
+                         const std::vector<std::int64_t>& areas,
+                         const PushOptions& opts = {});
+
+}  // namespace summagen::partition

@@ -1,0 +1,293 @@
+#include "src/partition/shapes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace summagen::partition {
+namespace {
+
+// Rounds `x` to a multiple of `g` clamped into [lo, hi] (lo/hi are
+// themselves multiples of g by construction of the callers).
+std::int64_t snap(double x, std::int64_t g, std::int64_t lo, std::int64_t hi) {
+  std::int64_t v = std::llround(x / static_cast<double>(g)) * g;
+  return std::clamp(v, lo, hi);
+}
+
+void check_inputs(std::int64_t n, const std::vector<std::int64_t>& areas,
+                  std::int64_t granularity) {
+  if (n <= 0) throw std::invalid_argument("build_shape: n <= 0");
+  if (granularity < 1 || n % granularity != 0) {
+    throw std::invalid_argument(
+        "build_shape: granularity must be >= 1 and divide n");
+  }
+  std::int64_t sum = 0;
+  for (std::int64_t a : areas) {
+    if (a < 0) throw std::invalid_argument("build_shape: negative area");
+    sum += a;
+  }
+  if (sum != n * n) {
+    throw std::invalid_argument("build_shape: areas sum to " +
+                                std::to_string(sum) + ", expected n*n = " +
+                                std::to_string(n * n));
+  }
+}
+
+PartitionSpec square_corner3(std::int64_t n,
+                             const std::vector<std::int64_t>& areas,
+                             std::int64_t g) {
+  const auto order = ranks_by_area(areas);
+  const int r1 = order[0], r2 = order[1], r3 = order[2];
+  // Second-largest area gets the top-left square, smallest the bottom-right
+  // square (Figure 1a), the largest the remaining non-rectangular zone.
+  //
+  // Feasibility: the corner squares must not overlap, i.e. side2 + side3
+  // <= n. Near-homogeneous inputs violate that (square corner is a shape
+  // for heterogeneous systems); degrade gracefully by shrinking both sides
+  // proportionally — the most balanced layout the shape admits.
+  double side2 =
+      std::sqrt(static_cast<double>(areas[static_cast<std::size_t>(r2)]));
+  double side3 =
+      std::sqrt(static_cast<double>(areas[static_cast<std::size_t>(r3)]));
+  if (side2 + side3 > static_cast<double>(n)) {
+    const double scale = static_cast<double>(n) / (side2 + side3);
+    side2 *= scale;
+    side3 *= scale;
+  }
+  const std::int64_t n2 = snap(side2, g, g, n - g);
+  const std::int64_t n3 = snap(side3, g, 0, n - n2);
+  PartitionSpec spec;
+  spec.n = n;
+  spec.subplda = 3;
+  spec.subpldb = 3;
+  spec.subph = {n2, n - n2 - n3, n3};
+  spec.subpw = {n2, n - n2 - n3, n3};
+  spec.subp = {r2, r1, r1, r1, r1, r1, r1, r1, r3};
+  return spec;
+}
+
+PartitionSpec square_corner2(std::int64_t n,
+                             const std::vector<std::int64_t>& areas,
+                             std::int64_t g) {
+  const auto order = ranks_by_area(areas);
+  const int r1 = order[0], r2 = order[1];
+  const std::int64_t n2 = snap(
+      std::sqrt(static_cast<double>(areas[static_cast<std::size_t>(r2)])), g,
+      0, n - g);
+  PartitionSpec spec;
+  spec.n = n;
+  spec.subplda = 2;
+  spec.subpldb = 2;
+  spec.subph = {n - n2, n2};
+  spec.subpw = {n - n2, n2};
+  spec.subp = {r1, r1, r1, r2};
+  return spec;
+}
+
+PartitionSpec square_rectangle(std::int64_t n,
+                               const std::vector<std::int64_t>& areas,
+                               std::int64_t g) {
+  const auto order = ranks_by_area(areas);
+  const int r1 = order[0], r2 = order[1], r3 = order[2];
+  // Right-most full-height rectangle for the second-largest area
+  // (Section V-2 Step 2), a square adjoining it for the smallest
+  // (Step 3), the rest to the largest.
+  const std::int64_t w1 =
+      snap(static_cast<double>(areas[static_cast<std::size_t>(r2)]) /
+               static_cast<double>(n),
+           g, g, n - 2 * g);
+  const std::int64_t n3 = snap(
+      std::sqrt(static_cast<double>(areas[static_cast<std::size_t>(r3)])), g,
+      0, std::min(n - g, n - w1 - g));
+  PartitionSpec spec;
+  spec.n = n;
+  spec.subplda = 2;
+  spec.subpldb = 3;
+  spec.subph = {n - n3, n3};
+  spec.subpw = {n - w1 - n3, n3, w1};
+  spec.subp = {r1, r1, r2, r1, r3, r2};
+  return spec;
+}
+
+PartitionSpec block_rectangle(std::int64_t n,
+                              const std::vector<std::int64_t>& areas,
+                              std::int64_t g) {
+  const auto order = ranks_by_area(areas);
+  const int r1 = order[0], r2 = order[1], r3 = order[2];
+  // Full-width top rectangle for the largest area (Section V-3 Step 2);
+  // the bottom strip is split between the other two, with the
+  // second-largest right-most (Figure 1c).
+  const std::int64_t h1 =
+      snap(static_cast<double>(areas[static_cast<std::size_t>(r1)]) /
+               static_cast<double>(n),
+           g, g, n - g);
+  const std::int64_t hb = n - h1;
+  const std::int64_t w2 =
+      snap(static_cast<double>(areas[static_cast<std::size_t>(r2)]) /
+               static_cast<double>(hb),
+           g, g, n - g);
+  PartitionSpec spec;
+  spec.n = n;
+  spec.subplda = 2;
+  spec.subpldb = 2;
+  spec.subph = {h1, hb};
+  spec.subpw = {n - w2, w2};
+  spec.subp = {r1, r1, r3, r2};
+  return spec;
+}
+
+PartitionSpec l_rectangle(std::int64_t n,
+                          const std::vector<std::int64_t>& areas,
+                          std::int64_t g) {
+  const auto order = ranks_by_area(areas);
+  const int r1 = order[0], r2 = order[1], r3 = order[2];
+  // The two smaller zones stack inside a square-ish block at the top-right
+  // edge; the largest wraps it as an L (left column + bottom strip).
+  const double block_area = static_cast<double>(
+      areas[static_cast<std::size_t>(r2)] +
+      areas[static_cast<std::size_t>(r3)]);
+  const std::int64_t wr = snap(std::sqrt(block_area), g, g, n - g);
+  const std::int64_t h2 =
+      snap(static_cast<double>(areas[static_cast<std::size_t>(r2)]) /
+               static_cast<double>(wr),
+           g, g, n - g);
+  const std::int64_t h3 =
+      snap(static_cast<double>(areas[static_cast<std::size_t>(r3)]) /
+               static_cast<double>(wr),
+           g, 0, n - h2);
+  PartitionSpec spec;
+  spec.n = n;
+  spec.subplda = 3;
+  spec.subpldb = 2;
+  spec.subph = {h2, h3, n - h2 - h3};
+  spec.subpw = {n - wr, wr};
+  spec.subp = {r1, r2, r1, r3, r1, r1};
+  return spec;
+}
+
+PartitionSpec one_dimensional(std::int64_t n,
+                              const std::vector<std::int64_t>& areas,
+                              std::int64_t g) {
+  const auto order = ranks_by_area(areas);
+  const auto p = static_cast<int>(areas.size());
+  // Vertical slices, widest (fastest processor) leftmost (Figure 1d).
+  std::vector<std::int64_t> widths(static_cast<std::size_t>(p), 0);
+  std::int64_t used = 0;
+  for (int i = 1; i < p; ++i) {
+    const int r = order[static_cast<std::size_t>(i)];
+    std::int64_t w =
+        snap(static_cast<double>(areas[static_cast<std::size_t>(r)]) /
+                 static_cast<double>(n),
+             g, 0, n - used - g);
+    widths[static_cast<std::size_t>(i)] = w;
+    used += w;
+  }
+  widths[0] = n - used;  // the largest absorbs the rounding error
+  if (widths[0] < 0) {
+    throw std::invalid_argument("build_shape: 1D widths overflow n");
+  }
+  PartitionSpec spec;
+  spec.n = n;
+  spec.subplda = 1;
+  spec.subpldb = p;
+  spec.subph = {n};
+  spec.subpw = widths;
+  spec.subp.resize(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    spec.subp[static_cast<std::size_t>(i)] =
+        order[static_cast<std::size_t>(i)];
+  }
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<Shape>& all_shapes() {
+  static const std::vector<Shape> kAll = {
+      Shape::kSquareCorner, Shape::kSquareRectangle, Shape::kBlockRectangle,
+      Shape::kOneDimensional};
+  return kAll;
+}
+
+const std::vector<Shape>& extended_shapes() {
+  static const std::vector<Shape> kAll = {
+      Shape::kSquareCorner, Shape::kSquareRectangle, Shape::kBlockRectangle,
+      Shape::kOneDimensional, Shape::kLRectangle};
+  return kAll;
+}
+
+const char* shape_name(Shape shape) {
+  switch (shape) {
+    case Shape::kSquareCorner:
+      return "square_corner";
+    case Shape::kSquareRectangle:
+      return "square_rectangle";
+    case Shape::kBlockRectangle:
+      return "block_rectangle";
+    case Shape::kOneDimensional:
+      return "one_dimensional";
+    case Shape::kLRectangle:
+      return "l_rectangle";
+  }
+  return "?";
+}
+
+std::vector<int> ranks_by_area(const std::vector<std::int64_t>& areas) {
+  std::vector<int> order(areas.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return areas[static_cast<std::size_t>(a)] >
+           areas[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+PartitionSpec build_shape(Shape shape, std::int64_t n,
+                          const std::vector<std::int64_t>& areas,
+                          std::int64_t granularity) {
+  check_inputs(n, areas, granularity);
+  const auto p = static_cast<int>(areas.size());
+  PartitionSpec spec;
+  switch (shape) {
+    case Shape::kSquareCorner:
+      if (p == 3) {
+        spec = square_corner3(n, areas, granularity);
+      } else if (p == 2) {
+        spec = square_corner2(n, areas, granularity);
+      } else {
+        throw std::invalid_argument(
+            "build_shape: square corner needs 2 or 3 processors");
+      }
+      break;
+    case Shape::kSquareRectangle:
+      if (p != 3) {
+        throw std::invalid_argument(
+            "build_shape: square rectangle needs 3 processors");
+      }
+      spec = square_rectangle(n, areas, granularity);
+      break;
+    case Shape::kBlockRectangle:
+      if (p != 3) {
+        throw std::invalid_argument(
+            "build_shape: block rectangle needs 3 processors");
+      }
+      spec = block_rectangle(n, areas, granularity);
+      break;
+    case Shape::kOneDimensional:
+      if (p < 1) throw std::invalid_argument("build_shape: p < 1");
+      spec = one_dimensional(n, areas, granularity);
+      break;
+    case Shape::kLRectangle:
+      if (p != 3) {
+        throw std::invalid_argument(
+            "build_shape: L rectangle needs 3 processors");
+      }
+      spec = l_rectangle(n, areas, granularity);
+      break;
+  }
+  spec.validate(p);
+  return spec;
+}
+
+}  // namespace summagen::partition

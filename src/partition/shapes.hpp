@@ -1,0 +1,67 @@
+// The four partition shapes studied by the paper (Section V, Figure 1),
+// proven optimal for three processors with constant speeds by DeFlumere et
+// al.'s Push Technique:
+//
+//   a) Square corner      - two opposite corner squares, one non-rectangular
+//                           zone (the shape of Becker et al. generalised);
+//   b) Square rectangle   - a full-height rectangle, a square beside it, the
+//                           rest non-rectangular;
+//   c) Block 2D rectangular - a full-width rectangle on top, the bottom
+//                           strip split in two; all zones rectangular;
+//   d) Traditional 1D rectangular - vertical slices.
+//
+// Each builder takes the matrix size and the per-rank areas produced by a
+// workload partitioner (Step 1 of Section V: CPM-proportional or FPM
+// load-imbalancing) and emits the {subp, subph, subpw} arrays. The paper
+// constructs those arrays manually; automating the construction is one of
+// the gaps this library fills.
+//
+// Integer rounding means achieved zone areas only approximate the requested
+// ones; `build_shape` guarantees exact cover of the n x n matrix and
+// assigns the approximation error to the most capable (largest-area) rank.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/partition/spec.hpp"
+
+namespace summagen::partition {
+
+enum class Shape {
+  kSquareCorner,
+  kSquareRectangle,
+  kBlockRectangle,
+  kOneDimensional,
+  /// Extension: the "L rectangular" candidate from DeFlumere et al.'s
+  /// six potentially optimal three-processor shapes [9, 10] — the largest
+  /// zone is an L wrapping a right-edge block that the other two split
+  /// horizontally. Not part of the paper's four-shape evaluation.
+  kLRectangle,
+};
+
+/// The paper's four evaluated shapes, in its presentation order.
+const std::vector<Shape>& all_shapes();
+
+/// The four paper shapes plus the extension shapes (kLRectangle).
+const std::vector<Shape>& extended_shapes();
+
+const char* shape_name(Shape shape);
+
+/// Builds the PartitionSpec of `shape` for an n x n matrix where rank i
+/// requests `areas[i]` elements (areas must sum to n*n).
+///
+/// Supported processor counts: square corner 2 or 3; square rectangle and
+/// block rectangle exactly 3; 1D rectangular any p >= 1. Dimensions are
+/// rounded to multiples of `granularity` (the paper's block size r) when
+/// it divides n; pass 1 for element granularity.
+PartitionSpec build_shape(Shape shape, std::int64_t n,
+                          const std::vector<std::int64_t>& areas,
+                          std::int64_t granularity = 1);
+
+/// Ranks ordered by area descending (stable); helper shared by builders
+/// and tests. order[0] is the rank with the largest area.
+std::vector<int> ranks_by_area(const std::vector<std::int64_t>& areas);
+
+}  // namespace summagen::partition

@@ -1,0 +1,168 @@
+#include "src/partition/spec_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace summagen::partition {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+// Parses "{1, 2, 3}" (braces optional) into integers.
+std::vector<std::int64_t> parse_list(const std::string& value,
+                                     int line_number) {
+  std::string body = trim(value);
+  if (!body.empty() && body.front() == '{') {
+    if (body.back() != '}') {
+      throw std::invalid_argument("parse_spec: line " +
+                                  std::to_string(line_number) +
+                                  ": unterminated '{'");
+    }
+    body = body.substr(1, body.size() - 2);
+  }
+  std::vector<std::int64_t> out;
+  std::stringstream ss(body);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    token = trim(token);
+    if (token.empty()) {
+      throw std::invalid_argument("parse_spec: line " +
+                                  std::to_string(line_number) +
+                                  ": empty list element");
+    }
+    try {
+      std::size_t used = 0;
+      out.push_back(std::stoll(token, &used));
+      if (used != token.size()) throw std::invalid_argument(token);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parse_spec: line " +
+                                  std::to_string(line_number) +
+                                  ": bad integer '" + token + "'");
+    }
+  }
+  return out;
+}
+
+std::int64_t parse_scalar(const std::string& value, int line_number) {
+  const auto list = parse_list(value, line_number);
+  if (list.size() != 1) {
+    throw std::invalid_argument("parse_spec: line " +
+                                std::to_string(line_number) +
+                                ": expected a single integer");
+  }
+  return list.front();
+}
+
+}  // namespace
+
+std::string to_text(const PartitionSpec& spec) {
+  std::ostringstream os;
+  auto list = [&](const char* name, const auto& values) {
+    os << name << " = {";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      os << (i ? ", " : "") << values[i];
+    }
+    os << "}\n";
+  };
+  os << "# SummaGen partition (paper Section IV notation)\n";
+  os << "n = " << spec.n << "\n";
+  os << "subplda = " << spec.subplda << "\n";
+  os << "subpldb = " << spec.subpldb << "\n";
+  list("subp", spec.subp);
+  list("subph", spec.subph);
+  list("subpw", spec.subpw);
+  return os.str();
+}
+
+PartitionSpec parse_spec(const std::string& text) {
+  PartitionSpec spec;
+  bool has_n = false, has_lda = false, has_ldb = false;
+  bool has_subp = false, has_subph = false, has_subpw = false;
+
+  std::stringstream ss(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(ss, line)) {
+    ++line_number;
+    // Strip comments; the paper uses ';' between assignments too.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::stringstream statements(line);
+    std::string statement;
+    while (std::getline(statements, statement, ';')) {
+      statement = trim(statement);
+      if (statement.empty()) continue;
+      const auto eq = statement.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("parse_spec: line " +
+                                    std::to_string(line_number) +
+                                    ": expected 'key = value'");
+      }
+      const std::string key = trim(statement.substr(0, eq));
+      const std::string value = statement.substr(eq + 1);
+      auto once = [&](bool& flag) {
+        if (flag) {
+          throw std::invalid_argument("parse_spec: line " +
+                                      std::to_string(line_number) +
+                                      ": duplicate key '" + key + "'");
+        }
+        flag = true;
+      };
+      if (key == "n") {
+        once(has_n);
+        spec.n = parse_scalar(value, line_number);
+      } else if (key == "subplda") {
+        once(has_lda);
+        spec.subplda = static_cast<int>(parse_scalar(value, line_number));
+      } else if (key == "subpldb") {
+        once(has_ldb);
+        spec.subpldb = static_cast<int>(parse_scalar(value, line_number));
+      } else if (key == "subp") {
+        once(has_subp);
+        for (std::int64_t v : parse_list(value, line_number)) {
+          spec.subp.push_back(static_cast<int>(v));
+        }
+      } else if (key == "subph") {
+        once(has_subph);
+        spec.subph = parse_list(value, line_number);
+      } else if (key == "subpw") {
+        once(has_subpw);
+        spec.subpw = parse_list(value, line_number);
+      } else {
+        throw std::invalid_argument("parse_spec: line " +
+                                    std::to_string(line_number) +
+                                    ": unknown key '" + key + "'");
+      }
+    }
+  }
+  if (!has_n || !has_lda || !has_ldb || !has_subp || !has_subph ||
+      !has_subpw) {
+    throw std::invalid_argument(
+        "parse_spec: missing one of n/subplda/subpldb/subp/subph/subpw");
+  }
+  spec.validate();
+  return spec;
+}
+
+void save_spec(const std::string& path, const PartitionSpec& spec) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_spec: cannot open " + path);
+  out << to_text(spec);
+  if (!out) throw std::runtime_error("save_spec: write failed: " + path);
+}
+
+PartitionSpec load_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_spec: cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_spec(buffer.str());
+}
+
+}  // namespace summagen::partition

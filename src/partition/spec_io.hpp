@@ -1,0 +1,38 @@
+// Text serialisation of PartitionSpec in the paper's own notation.
+//
+// Section IV specifies partitions by listing the arrays, e.g. for the
+// square-corner example:
+//
+//     n = 16
+//     subplda = 3
+//     subpldb = 3
+//     subp = {0, 1, 1, 1, 1, 1, 1, 1, 2}
+//     subph = {9, 3, 4}
+//     subpw = {9, 3, 4}
+//
+// This module reads and writes exactly that format (order-insensitive,
+// `#` comments and blank lines allowed), so layouts can be exchanged with
+// the summagen_cli tool, stored alongside experiments, or written by
+// external partitioners.
+#pragma once
+
+#include <string>
+
+#include "src/partition/spec.hpp"
+
+namespace summagen::partition {
+
+/// Renders the spec in the paper's array notation (always parseable by
+/// `parse_spec`).
+std::string to_text(const PartitionSpec& spec);
+
+/// Parses the notation above. Throws std::invalid_argument naming the
+/// offending line on syntax errors, missing/duplicate keys, or an invalid
+/// resulting spec (validate() is applied).
+PartitionSpec parse_spec(const std::string& text);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure).
+void save_spec(const std::string& path, const PartitionSpec& spec);
+PartitionSpec load_spec(const std::string& path);
+
+}  // namespace summagen::partition

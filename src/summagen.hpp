@@ -1,0 +1,38 @@
+// Umbrella header: the whole SummaGen library with one include.
+//
+//   #include "src/summagen.hpp"
+//
+// pulls in the public API of every module; link against the `summagen`
+// CMake target. See README.md for a guided tour and DESIGN.md for the
+// module inventory.
+#pragma once
+
+#include "src/blas/gemm.hpp"                  // DGEMM kernels
+#include "src/core/dataplane.hpp"             // per-rank local matrices
+#include "src/core/reference.hpp"             // serial oracle
+#include "src/core/runner.hpp"                // one-call experiments
+#include "src/core/summa.hpp"                 // classic SUMMA baseline
+#include "src/core/summa25d.hpp"              // 2.5D replication algorithm
+#include "src/core/summagen.hpp"              // the SummaGen algorithm
+#include "src/device/device.hpp"              // abstract processors
+#include "src/device/ooc.hpp"                 // out-of-core GEMM engine
+#include "src/device/platform.hpp"            // HCLServer1 & friends
+#include "src/device/speed_function.hpp"      // functional performance models
+#include "src/energy/energy.hpp"              // power model + WattsUp meter
+#include "src/mpi/mpi.hpp"                    // in-process MPI-like runtime
+#include "src/partition/areas.hpp"            // workload partitioners
+#include "src/partition/column_based.hpp"     // Beaumont baseline
+#include "src/partition/nrrp.hpp"             // recursive non-rectangular
+#include "src/partition/push.hpp"             // Push-Technique optimizer
+#include "src/partition/shapes.hpp"           // the paper's shape builders
+#include "src/partition/spec.hpp"             // {subp, subph, subpw}
+#include "src/partition/spec_io.hpp"          // partition-file I/O
+#include "src/trace/events.hpp"               // event log
+#include "src/trace/gantt.hpp"                // Gantt / Chrome-trace output
+#include "src/trace/hockney.hpp"              // communication model
+#include "src/trace/stats.hpp"                // measurement statistics
+#include "src/trace/vclock.hpp"               // virtual clocks
+#include "src/util/cli.hpp"                   // flag parsing
+#include "src/util/matrix.hpp"                // dense matrices
+#include "src/util/rng.hpp"                   // deterministic randomness
+#include "src/util/table.hpp"                 // table/CSV output

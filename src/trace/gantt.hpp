@@ -1,0 +1,36 @@
+// ASCII Gantt chart of a run's event timeline.
+//
+// One lane per rank, `width` character buckets spanning [0, makespan];
+// each bucket shows the activity that dominates it:
+//   C compute   T host<->device transfer   B broadcast   R barrier
+//   c copy      . idle
+// A scale line and per-lane utilisation close the chart. Used by the
+// examples to make the virtual-time schedules of SummaGen runs visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/trace/events.hpp"
+
+namespace summagen::trace {
+
+struct GanttOptions {
+  int width = 72;        ///< characters per lane
+  bool show_scale = true;
+  bool show_utilisation = true;
+};
+
+/// Renders the events (any order) as a Gantt chart. Ranks are the lanes,
+/// ordered ascending; `makespan` of 0 autodetects from the events.
+/// Returns "" for an empty event set.
+std::string render_gantt(const std::vector<Event>& events,
+                         double makespan = 0.0, const GanttOptions& opts = {});
+
+/// Serialises the events in the Chrome trace-event JSON format: load the
+/// output in chrome://tracing or https://ui.perfetto.dev to browse a run's
+/// virtual-time schedule interactively. One track per rank; event names
+/// are the activity kinds, with bytes/flops/detail attached as args.
+std::string export_chrome_trace(const std::vector<Event>& events);
+
+}  // namespace summagen::trace

@@ -1,0 +1,30 @@
+#include "src/trace/hockney.hpp"
+
+namespace summagen::trace {
+
+int bcast_rounds(int nranks) noexcept {
+  if (nranks <= 1) return 0;
+  int rounds = 0;
+  int reached = 1;
+  while (reached < nranks) {
+    reached *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+double bcast_cost(const HockneyParams& link, std::int64_t bytes,
+                  int nranks) noexcept {
+  return static_cast<double>(bcast_rounds(nranks)) * link.p2p(bytes);
+}
+
+double barrier_cost(const HockneyParams& link, int nranks) noexcept {
+  return 2.0 * static_cast<double>(bcast_rounds(nranks)) * link.p2p(0);
+}
+
+double allreduce_cost(const HockneyParams& link, std::int64_t bytes,
+                      int nranks) noexcept {
+  return 2.0 * static_cast<double>(bcast_rounds(nranks)) * link.p2p(bytes);
+}
+
+}  // namespace summagen::trace

@@ -1,0 +1,43 @@
+// Hockney point-to-point communication model and derived collective costs.
+//
+// The paper (Section III-A) uses the standard Hockney model: transferring m
+// bytes between two processors costs alpha + beta*m, with alpha the latency
+// and beta the reciprocal bandwidth. SummaGen's communication stages are
+// built from broadcasts over row/column sub-communicators, so we also expose
+// a binomial-tree broadcast cost.
+#pragma once
+
+#include <cstdint>
+
+namespace summagen::trace {
+
+/// Parameters of one communication link (or of the shared-memory MPI fabric
+/// between abstract processors on the node).
+struct HockneyParams {
+  double alpha_s = 5.0e-6;       ///< latency per message, seconds
+  double beta_s_per_byte = 1.0 / 6.0e9;  ///< reciprocal bandwidth, s/byte
+
+  /// Cost of one point-to-point transfer of `bytes`.
+  double p2p(std::int64_t bytes) const noexcept {
+    return alpha_s + beta_s_per_byte * static_cast<double>(bytes);
+  }
+};
+
+/// Number of communication rounds of a binomial-tree broadcast among
+/// `nranks` participants: ceil(log2(nranks)); 0 when nranks <= 1.
+int bcast_rounds(int nranks) noexcept;
+
+/// Modeled completion time of a binomial-tree broadcast of `bytes` among
+/// `nranks` participants (root included): rounds * (alpha + beta*m).
+double bcast_cost(const HockneyParams& link, std::int64_t bytes,
+                  int nranks) noexcept;
+
+/// Modeled cost of a barrier among `nranks`: two tree traversals of empty
+/// messages (gather + release).
+double barrier_cost(const HockneyParams& link, int nranks) noexcept;
+
+/// Modeled cost of an allreduce of `bytes`: reduce-tree + broadcast-tree.
+double allreduce_cost(const HockneyParams& link, std::int64_t bytes,
+                      int nranks) noexcept;
+
+}  // namespace summagen::trace

@@ -1,0 +1,178 @@
+#include "src/trace/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace summagen::trace {
+namespace {
+
+// t_{0.975, df} for df = 1..30.
+constexpr std::array<double, 30> kT975 = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+
+// Inverse CDF of the standard normal (Acklam's rational approximation,
+// relative error < 1.15e-9).
+double normal_quantile(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("normal_quantile: p outside (0,1)");
+  }
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+// Standard normal CDF via erf.
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty sample");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double sample_stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double student_t_critical(int df, double confidence) {
+  if (df < 1) throw std::invalid_argument("student_t_critical: df < 1");
+  if (std::abs(confidence - 0.95) < 1e-12 && df <= 30) {
+    return kT975[static_cast<std::size_t>(df - 1)];
+  }
+  // Cornish-Fisher expansion around the normal quantile.
+  const double p = 0.5 + confidence / 2.0;
+  const double z = normal_quantile(p);
+  const double g1 = (z * z * z + z) / 4.0;
+  const double g2 = (5 * std::pow(z, 5) + 16 * z * z * z + 3 * z) / 96.0;
+  const double g3 =
+      (3 * std::pow(z, 7) + 19 * std::pow(z, 5) + 17 * z * z * z - 15 * z) /
+      384.0;
+  const double n = static_cast<double>(df);
+  return z + g1 / n + g2 / (n * n) + g3 / (n * n * n);
+}
+
+double confidence_halfwidth(const std::vector<double>& xs, double confidence) {
+  if (xs.size() < 2) return 0.0;
+  const double s = sample_stddev(xs);
+  const double t =
+      student_t_critical(static_cast<int>(xs.size()) - 1, confidence);
+  return t * s / std::sqrt(static_cast<double>(xs.size()));
+}
+
+MeasuredPoint measure_until_precise(const std::function<double()>& experiment,
+                                    const MeasureOptions& opts) {
+  if (opts.min_reps < 2) {
+    throw std::invalid_argument("measure_until_precise: min_reps < 2");
+  }
+  MeasuredPoint out;
+  while (out.repetitions < opts.max_reps) {
+    out.samples.push_back(experiment());
+    ++out.repetitions;
+    if (out.repetitions < opts.min_reps) continue;
+    out.mean = mean(out.samples);
+    out.ci_halfwidth = confidence_halfwidth(out.samples, opts.confidence);
+    if (out.mean > 0.0 && out.ci_halfwidth <= opts.precision * out.mean) {
+      out.converged = true;
+      break;
+    }
+  }
+  if (!out.samples.empty()) {
+    out.mean = mean(out.samples);
+    out.ci_halfwidth = confidence_halfwidth(out.samples, 0.95);
+  }
+  return out;
+}
+
+double chi_squared_critical(int df, double confidence) {
+  if (df < 1) throw std::invalid_argument("chi_squared_critical: df < 1");
+  // Wilson-Hilferty: chi2_p(df) ~ df * (1 - 2/(9 df) + z_p sqrt(2/(9 df)))^3
+  const double z = normal_quantile(confidence);
+  const double n = static_cast<double>(df);
+  const double term = 1.0 - 2.0 / (9.0 * n) + z * std::sqrt(2.0 / (9.0 * n));
+  return n * term * term * term;
+}
+
+ChiSquaredResult chi_squared_normality(const std::vector<double>& xs) {
+  ChiSquaredResult res;
+  if (xs.size() < 8) {
+    // Too few observations to bin meaningfully; report trivially plausible.
+    res.normality_plausible = true;
+    return res;
+  }
+  const double m = mean(xs);
+  const double s = sample_stddev(xs);
+  if (s == 0.0) {
+    res.normality_plausible = true;  // degenerate constant sample
+    return res;
+  }
+  // Equiprobable cells, ~5 expected observations each, at least 4 cells.
+  const int cells =
+      std::max(4, static_cast<int>(static_cast<double>(xs.size()) / 5.0));
+  std::vector<int> counts(static_cast<std::size_t>(cells), 0);
+  for (double x : xs) {
+    const double u = normal_cdf((x - m) / s);
+    int cell = static_cast<int>(u * cells);
+    cell = std::clamp(cell, 0, cells - 1);
+    ++counts[static_cast<std::size_t>(cell)];
+  }
+  const double expected = static_cast<double>(xs.size()) / cells;
+  double stat = 0.0;
+  for (int c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    stat += d * d / expected;
+  }
+  res.statistic = stat;
+  // Two parameters (mean, stddev) estimated from the data.
+  res.degrees_of_freedom = std::max(1, cells - 1 - 2);
+  res.critical_value = chi_squared_critical(res.degrees_of_freedom, 0.95);
+  res.normality_plausible = stat <= res.critical_value;
+  return res;
+}
+
+double percentage_spread(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("percentage_spread: empty");
+  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  if (*lo <= 0.0) throw std::invalid_argument("percentage_spread: non-positive");
+  return (*hi - *lo) / *lo * 100.0;
+}
+
+}  // namespace summagen::trace

@@ -1,0 +1,78 @@
+// Measurement statistics: Student-t confidence intervals, the paper's
+// repeat-until-precise experiment driver, and a Pearson chi-squared
+// normality check.
+//
+// Paper, Section VI: "To obtain an experimental data point, the application
+// is executed repeatedly until the sample mean lies in the 95% confidence
+// interval and a precision of 0.025 (2.5%) has been achieved. For this
+// purpose, Student's t-test is used ... We verify the validity of these
+// assumptions using Pearson's chi-squared test."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace summagen::trace {
+
+/// Sample mean.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation (n-1 denominator); 0 for n < 2.
+double sample_stddev(const std::vector<double>& xs);
+
+/// Two-sided Student-t critical value t_{1-alpha/2, df}.
+///
+/// Exact tabulated values for df in [1, 30] at 95% confidence; for larger df
+/// or other confidence levels falls back to the Cornish-Fisher expansion of
+/// the normal quantile, accurate to ~1e-3 for df >= 30.
+double student_t_critical(int df, double confidence = 0.95);
+
+/// Half-width of the confidence interval of the mean.
+double confidence_halfwidth(const std::vector<double>& xs,
+                            double confidence = 0.95);
+
+/// Result of the repetition driver.
+struct MeasuredPoint {
+  double mean = 0.0;
+  double ci_halfwidth = 0.0;  ///< at the requested confidence
+  int repetitions = 0;
+  bool converged = false;  ///< precision reached before max_reps
+  std::vector<double> samples;
+};
+
+/// Options matching the paper's methodology.
+struct MeasureOptions {
+  double confidence = 0.95;
+  double precision = 0.025;  ///< CI half-width <= precision * mean
+  int min_reps = 3;
+  int max_reps = 100;
+};
+
+/// Repeatedly invokes `experiment` (returning one observation, e.g. seconds)
+/// until the CI half-width is within `precision * mean`, or max_reps.
+MeasuredPoint measure_until_precise(const std::function<double()>& experiment,
+                                    const MeasureOptions& opts = {});
+
+/// Pearson chi-squared goodness-of-fit test against a normal distribution
+/// with the sample's mean/stddev. Returns the test statistic; the caller
+/// compares against `chi_squared_critical`. Bins chosen as equiprobable
+/// cells (>= 5 expected per cell when possible).
+struct ChiSquaredResult {
+  double statistic = 0.0;
+  int degrees_of_freedom = 0;
+  double critical_value = 0.0;  ///< at 95%
+  bool normality_plausible = false;
+};
+ChiSquaredResult chi_squared_normality(const std::vector<double>& xs);
+
+/// Upper critical value of the chi-squared distribution at `confidence`
+/// (Wilson-Hilferty approximation; ~1% accurate for df >= 2).
+double chi_squared_critical(int df, double confidence = 0.95);
+
+/// Percentage difference helpers used when reporting the paper's
+/// "average percentage difference of 8%" style claims: for a set of
+/// simultaneous observations, (max - min) / min * 100.
+double percentage_spread(const std::vector<double>& xs);
+
+}  // namespace summagen::trace

@@ -1,0 +1,44 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Keeps the bench binaries dependency-free while allowing parameter sweeps
+// to be customised from the shell.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace summagen::util {
+
+/// Parsed command-line flags with typed, defaulted accessors.
+class Cli {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed flags
+  /// (non-flag positional arguments are collected separately).
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --sizes 1024,2048,4096.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& fallback) const;
+
+  /// Comma-separated double list, e.g. --speeds 1.0,2.0,0.9.
+  std::vector<double> get_double_list(const std::string& name,
+                                      const std::vector<double>& fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace summagen::util

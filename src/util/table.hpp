@@ -1,0 +1,46 @@
+// Minimal table formatter used by the benchmark harness to print
+// paper-style tables (one bench binary per figure/table) both as aligned
+// ASCII and as machine-readable CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace summagen::util {
+
+/// Column-aligned table with a title, one header row, and value rows.
+///
+/// Usage:
+///   Table t("Figure 6a: Execution times (s)");
+///   t.set_header({"N", "square_corner", "square_rect", ...});
+///   t.add_row({"25600", "12.4", ...});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 4);
+  static std::string num(std::int64_t v);
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Aligned ASCII rendering.
+  void print(std::ostream& os) const;
+
+  /// CSV rendering (comma-separated, header first).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace summagen::util

@@ -1,0 +1,95 @@
+#include "src/core/dataplane.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/partition/shapes.hpp"
+#include "src/util/rng.hpp"
+
+namespace summagen::core {
+namespace {
+
+partition::PartitionSpec corner16() {
+  return partition::build_shape(partition::Shape::kSquareCorner, 16,
+                                {81, 159, 16});
+}
+
+TEST(LocalData, DefaultIsModeledPlane) {
+  LocalData d;
+  EXPECT_FALSE(d.numeric());
+  util::Matrix c(16, 16);
+  EXPECT_THROW(d.gather_c(corner16(), c), std::logic_error);
+}
+
+TEST(LocalData, ExtractsExactlyOwnedParts) {
+  const auto spec = corner16();
+  util::Matrix a(16, 16), b(16, 16);
+  util::fill_random(a, 1);
+  util::fill_random(b, 2);
+
+  const LocalData d0(spec, 0, a, b);
+  EXPECT_TRUE(d0.numeric());
+  EXPECT_TRUE(d0.owns(0, 0));
+  EXPECT_FALSE(d0.owns(0, 1));
+  EXPECT_EQ(d0.a_part(0, 0).rows(), 9);
+  EXPECT_EQ(d0.a_part(0, 0).cols(), 9);
+  EXPECT_EQ(d0.a_part(0, 0)(0, 0), a(0, 0));
+  EXPECT_EQ(d0.a_part(0, 0)(8, 8), a(8, 8));
+  EXPECT_THROW(d0.a_part(0, 1), std::out_of_range);
+  EXPECT_THROW(d0.b_part(2, 2), std::out_of_range);
+
+  const LocalData d2(spec, 2, a, b);
+  EXPECT_EQ(d2.a_part(2, 2)(0, 0), a(12, 12));
+  EXPECT_EQ(d2.b_part(2, 2)(3, 3), b(15, 15));
+}
+
+TEST(LocalData, CRectIsCoveringRectangle) {
+  const auto spec = corner16();
+  util::Matrix a(16, 16), b(16, 16);
+  const LocalData d1(spec, 1, a, b);
+  EXPECT_EQ(d1.c_rect().rows, 16);
+  EXPECT_EQ(d1.c_rect().cols, 16);
+  EXPECT_EQ(d1.c().rows(), 16);
+
+  const LocalData d2(spec, 2, a, b);
+  EXPECT_EQ(d2.c_rect().row0, 12);
+  EXPECT_EQ(d2.c().rows(), 4);
+  EXPECT_EQ(d2.c().cols(), 4);
+}
+
+TEST(LocalData, GatherWritesOnlyOwnedCells) {
+  const auto spec = corner16();
+  util::Matrix a(16, 16), b(16, 16);
+  LocalData d0(spec, 0, a, b);
+  d0.c().fill(7.0);  // pretend rank 0 computed its 9x9 zone
+
+  util::Matrix global(16, 16, -1.0);
+  d0.gather_c(spec, global);
+  EXPECT_EQ(global(0, 0), 7.0);
+  EXPECT_EQ(global(8, 8), 7.0);
+  EXPECT_EQ(global(0, 9), -1.0);   // P1's cell untouched
+  EXPECT_EQ(global(15, 15), -1.0);  // P2's cell untouched
+}
+
+TEST(LocalData, GatherOfNonRectangularZone) {
+  const auto spec = corner16();
+  util::Matrix a(16, 16), b(16, 16);
+  LocalData d1(spec, 1, a, b);
+  d1.c().fill(3.0);
+  util::Matrix global(16, 16, 0.0);
+  d1.gather_c(spec, global);
+  // P1's zone excludes the two corner squares.
+  EXPECT_EQ(global(0, 0), 0.0);
+  EXPECT_EQ(global(15, 15), 0.0);
+  EXPECT_EQ(global(0, 12), 3.0);
+  EXPECT_EQ(global(12, 0), 3.0);
+  EXPECT_EQ(global(10, 10), 3.0);
+}
+
+TEST(LocalData, RejectsWrongGlobalShape) {
+  const auto spec = corner16();
+  util::Matrix a(16, 15), b(16, 16);
+  EXPECT_THROW(LocalData(spec, 0, a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace summagen::core

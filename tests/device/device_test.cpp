@@ -1,0 +1,227 @@
+#include "src/device/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/matrix.hpp"
+#include "src/util/rng.hpp"
+
+namespace summagen::device {
+namespace {
+
+DeviceSpec plain_spec(double peak = 1.0e12) {
+  DeviceSpec d;
+  d.name = "test";
+  d.peak_flops = peak;
+  d.asymptotic_efficiency = 0.8;
+  d.contention_factor = 0.9;
+  d.ramp_edge = 100.0;
+  d.variation_amplitude = 0.0;
+  d.memory_bytes = 1LL << 40;
+  d.needs_staging = false;
+  return d;
+}
+
+TEST(AbstractProcessor, RejectsBadSpecs) {
+  DeviceSpec d = plain_spec();
+  d.peak_flops = 0.0;
+  EXPECT_THROW((AbstractProcessor{d}), std::invalid_argument);
+  d = plain_spec();
+  d.asymptotic_efficiency = 1.5;
+  EXPECT_THROW((AbstractProcessor{d}), std::invalid_argument);
+  d = plain_spec();
+  d.memory_bytes = 0;
+  EXPECT_THROW((AbstractProcessor{d}), std::invalid_argument);
+}
+
+TEST(AbstractProcessor, EffectiveFlopsRampsUpAndSaturates) {
+  const AbstractProcessor ap(plain_spec());
+  const double tiny = ap.effective_flops(10.0, false);
+  const double mid = ap.effective_flops(200.0, false);
+  const double big = ap.effective_flops(5000.0, false);
+  EXPECT_LT(tiny, mid);
+  EXPECT_LT(mid, big);
+  EXPECT_NEAR(big, 1.0e12 * 0.8, 1.0e12 * 0.8 * 0.01);
+}
+
+TEST(AbstractProcessor, ContentionSlowsDown) {
+  const AbstractProcessor ap(plain_spec());
+  const double solo = ap.effective_flops(1000.0, false);
+  const double loaded = ap.effective_flops(1000.0, true);
+  EXPECT_NEAR(loaded / solo, 0.9, 1e-9);
+}
+
+TEST(AbstractProcessor, KernelCostMatchesFlopsOverSpeed) {
+  const AbstractProcessor ap(plain_spec());
+  const auto cost = ap.kernel_cost(512, 512, 512, false);
+  const double edge = 512.0;
+  EXPECT_NEAR(cost.compute_s,
+              2.0 * 512.0 * 512.0 * 512.0 / ap.effective_flops(edge, false),
+              1e-12);
+  EXPECT_EQ(cost.transfer_s, 0.0);
+  EXPECT_EQ(cost.ooc_passes, 1);
+}
+
+TEST(AbstractProcessor, ZeroSizedKernelIsFree) {
+  const AbstractProcessor ap(plain_spec());
+  const auto cost = ap.kernel_cost(0, 16, 16);
+  EXPECT_EQ(cost.total_s(), 0.0);
+}
+
+TEST(AbstractProcessor, StagingAddsTransferCost) {
+  DeviceSpec d = plain_spec();
+  d.needs_staging = true;
+  d.pcie = trace::HockneyParams{1.0e-5, 1.0 / 1.0e9};  // 1 GB/s
+  const AbstractProcessor ap(d);
+  const auto cost = ap.kernel_cost(256, 256, 256, false);
+  // A, B in + C out = 3 * 256^2 * 8 bytes at 1 GB/s.
+  const double expected_bytes = 3.0 * 256 * 256 * 8;
+  EXPECT_GT(cost.transfer_s, expected_bytes / 1.0e9 * 0.99);
+  EXPECT_EQ(cost.transferred_bytes,
+            static_cast<std::int64_t>(expected_bytes));
+}
+
+TEST(AbstractProcessor, OutOfCoreKicksInBeyondDeviceMemory) {
+  DeviceSpec d = plain_spec();
+  d.needs_staging = true;
+  d.memory_bytes = 1 << 20;  // 1 MiB: a 256^3 DGEMM cannot fit
+  const AbstractProcessor ap(d);
+  const auto cost = ap.kernel_cost(256, 256, 256, false);
+  EXPECT_GT(cost.ooc_passes, 1);
+  EXPECT_GT(cost.transferred_bytes,
+            static_cast<std::int64_t>(3 * 256 * 256 * 8));
+}
+
+TEST(AbstractProcessor, OocOverlapHidesTraffic) {
+  DeviceSpec d = plain_spec();
+  d.needs_staging = true;
+  d.memory_bytes = 1 << 20;
+  d.ooc_overlap = 0.0;
+  const AbstractProcessor exposed(d);
+  d.ooc_overlap = 0.95;
+  const AbstractProcessor hidden(d);
+  EXPECT_GT(exposed.kernel_cost(256, 256, 256).transfer_s,
+            hidden.kernel_cost(256, 256, 256).transfer_s);
+}
+
+TEST(AbstractProcessor, RunGemmComputesCorrectProduct) {
+  const AbstractProcessor ap(plain_spec());
+  util::Matrix a(32, 48), b(48, 24), c(32, 24);
+  util::fill_random(a, 1);
+  util::fill_random(b, 2);
+  const auto cost =
+      ap.run_gemm(32, 24, 48, a.data(), 48, b.data(), 24, c.data(), 24);
+  EXPECT_GT(cost.compute_s, 0.0);
+  for (std::int64_t i = 0; i < 32; ++i) {
+    for (std::int64_t j = 0; j < 24; ++j) {
+      double acc = 0.0;
+      for (std::int64_t l = 0; l < 48; ++l) acc += a(i, l) * b(l, j);
+      EXPECT_NEAR(c(i, j), acc, 1e-10);
+    }
+  }
+}
+
+TEST(AbstractProcessor, RunGemmTakesOocPathWhenTooBig) {
+  DeviceSpec d = plain_spec();
+  d.needs_staging = true;
+  d.memory_bytes = 64 * 1024;  // forces tiling for a 64^3 problem
+  const AbstractProcessor ap(d);
+  util::Matrix a(64, 64), b(64, 64), c(64, 64), want(64, 64);
+  util::fill_random(a, 3);
+  util::fill_random(b, 4);
+  const auto cost =
+      ap.run_gemm(64, 64, 64, a.data(), 64, b.data(), 64, c.data(), 64);
+  EXPECT_GT(cost.ooc_passes, 1);
+  blas::dgemm(64, 64, 64, 1.0, a.data(), 64, b.data(), 64, 0.0, want.data(),
+              64);
+  EXPECT_LE(util::Matrix::max_abs_diff(c, want), 1e-10);
+}
+
+TEST(VariationMultiplier, DisabledWhenAmplitudeZero) {
+  DeviceSpec d = plain_spec();
+  for (double e = 10; e < 1e5; e *= 3) {
+    EXPECT_EQ(variation_multiplier(d, e), 1.0);
+  }
+}
+
+TEST(VariationMultiplier, StaysWithinUnitInterval) {
+  DeviceSpec d = plain_spec();
+  d.variation_amplitude = 0.3;
+  d.variation_boost = 0.4;
+  d.variation_lo_edge = 1000;
+  d.variation_hi_edge = 2000;
+  d.variation_decays = false;
+  for (double e = 1; e < 1e5; e *= 1.3) {
+    const double v = variation_multiplier(d, e);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(VariationMultiplier, DeterministicPerSeed) {
+  DeviceSpec d = plain_spec();
+  d.variation_amplitude = 0.2;
+  EXPECT_EQ(variation_multiplier(d, 777.0), variation_multiplier(d, 777.0));
+  DeviceSpec d2 = d;
+  d2.noise_seed = d.noise_seed + 1;
+  // Different seeds shift the oscillation phases.
+  bool differs = false;
+  for (double e = 100; e < 3000; e += 100) {
+    if (variation_multiplier(d, e) != variation_multiplier(d2, e)) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(VariationMultiplier, BoostWindowDeepensDips) {
+  DeviceSpec d = plain_spec();
+  d.variation_amplitude = 0.01;
+  d.variation_decays = false;
+  d.variation_boost = 0.5;
+  d.variation_lo_edge = 5000;
+  d.variation_hi_edge = 6000;
+  // Worst dip inside the window must exceed the worst dip far outside.
+  double worst_in = 1.0, worst_out = 1.0;
+  for (double e = 5000; e <= 6000; e += 10) {
+    worst_in = std::min(worst_in, variation_multiplier(d, e));
+  }
+  for (double e = 100; e <= 1100; e += 10) {
+    worst_out = std::min(worst_out, variation_multiplier(d, e));
+  }
+  EXPECT_LT(worst_in, worst_out - 0.1);
+}
+
+TEST(Profile, SpeedsEqualFlopsOverModeledTime) {
+  const AbstractProcessor ap(plain_spec());
+  const auto sf = ap.profile({128, 256, 512}, false);
+  for (double e : {128.0, 256.0, 512.0}) {
+    const auto x = static_cast<std::int64_t>(e);
+    const auto cost = ap.kernel_cost(x, x, x, false);
+    EXPECT_NEAR(sf.flops_at_edge(e),
+                2.0 * e * e * e / cost.total_s(),
+                1e-3 * sf.flops_at_edge(e));
+  }
+}
+
+TEST(Profile, RejectsEmptyOrNonPositiveGrid) {
+  const AbstractProcessor ap(plain_spec());
+  EXPECT_THROW(ap.profile({}), std::invalid_argument);
+  EXPECT_THROW(ap.profile({0.0}), std::invalid_argument);
+}
+
+TEST(GemmFootprint, CountsAllOperands) {
+  // A (m*k) + B (k*n) + C and workspace (2*m*n), 8 bytes each.
+  EXPECT_EQ(gemm_footprint_bytes(10, 20, 30),
+            8 * (10 * 30 + 30 * 20 + 2 * 10 * 20));
+}
+
+TEST(DeviceKind, Names) {
+  EXPECT_STREQ(to_string(DeviceKind::kMulticoreCpu), "multicore CPU");
+  EXPECT_STREQ(to_string(DeviceKind::kGpu), "GPU");
+  EXPECT_STREQ(to_string(DeviceKind::kManycoreCoprocessor),
+               "manycore coprocessor");
+}
+
+}  // namespace
+}  // namespace summagen::device

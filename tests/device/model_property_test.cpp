@@ -1,0 +1,122 @@
+// Model-level properties of the device substrate: bounds and monotonicity
+// that must survive any recalibration of the platform constants.
+#include <gtest/gtest.h>
+
+#include "src/device/platform.hpp"
+#include "src/util/rng.hpp"
+
+namespace summagen::device {
+namespace {
+
+std::vector<AbstractProcessor> all_processors() {
+  return Platform::hclserver1().processors();
+}
+
+TEST(ModelProperties, EffectiveFlopsNeverExceedPeak) {
+  for (const auto& ap : all_processors()) {
+    for (double edge = 16; edge < 50000; edge *= 1.7) {
+      EXPECT_LE(ap.effective_flops(edge, false), ap.spec().peak_flops)
+          << ap.spec().name << " edge " << edge;
+      EXPECT_GT(ap.effective_flops(edge, true), 0.0);
+    }
+  }
+}
+
+TEST(ModelProperties, KernelCostMonotoneInEachDimension) {
+  // Doubling any GEMM dimension cannot make the kernel cheaper.
+  for (const auto& ap : all_processors()) {
+    util::Rng rng(404);
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::int64_t m = rng.uniform_int(64, 4096);
+      const std::int64_t n = rng.uniform_int(64, 4096);
+      const std::int64_t k = rng.uniform_int(64, 4096);
+      const double base = ap.kernel_cost(m, n, k).total_s();
+      EXPECT_GE(ap.kernel_cost(2 * m, n, k).total_s(), base)
+          << ap.spec().name;
+      EXPECT_GE(ap.kernel_cost(m, 2 * n, k).total_s(), base);
+      EXPECT_GE(ap.kernel_cost(m, n, 2 * k).total_s(), base);
+    }
+  }
+}
+
+TEST(ModelProperties, ComputeTimeScalesRoughlyWithFlops) {
+  // At saturated sizes, 8x the flops costs 4x..16x the time (variations
+  // and OOC knees allowed, but nothing pathological).
+  for (const auto& ap : all_processors()) {
+    const double t1 = ap.kernel_cost(4096, 4096, 4096).compute_s;
+    const double t8 = ap.kernel_cost(8192, 8192, 8192).compute_s;
+    EXPECT_GT(t8 / t1, 4.0) << ap.spec().name;
+    EXPECT_LT(t8 / t1, 16.0) << ap.spec().name;
+  }
+}
+
+TEST(ModelProperties, MoreDeviceMemoryNeverMoreTransfer) {
+  DeviceSpec d;
+  d.name = "probe";
+  d.peak_flops = 1e12;
+  d.asymptotic_efficiency = 0.9;
+  d.needs_staging = true;
+  d.variation_amplitude = 0.0;
+  d.ooc_overlap = 0.5;
+  double prev = 1e300;
+  for (std::int64_t mem = 8 << 20; mem <= 512 << 20; mem *= 2) {
+    d.memory_bytes = mem;
+    const AbstractProcessor ap(d);
+    const double transfer = ap.kernel_cost(1024, 1024, 1024).transfer_s;
+    EXPECT_LE(transfer, prev) << "mem " << mem;
+    prev = transfer;
+  }
+}
+
+TEST(ModelProperties, ProfilesPositiveAndBoundedByPeak) {
+  const auto platform = Platform::hclserver1();
+  const auto grid = profile_grid(64, 38416, 48);
+  const auto profiles = platform.profiles(grid);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (double e : grid) {
+      const double s = profiles[i].flops_at_edge(e);
+      EXPECT_GT(s, 0.0);
+      EXPECT_LE(s, platform.devices[i].peak_flops);
+    }
+  }
+}
+
+TEST(ModelProperties, JitterIsUnbiasedEnough) {
+  // The lognormal run-to-run noise must average near 1x over many seeds.
+  DeviceSpec d;
+  d.name = "probe";
+  d.peak_flops = 1e12;
+  d.asymptotic_efficiency = 0.9;
+  d.variation_amplitude = 0.0;
+  d.temporal_jitter_sigma = 0.05;
+  double base;
+  {
+    DeviceSpec clean = d;
+    clean.temporal_jitter_sigma = 0.0;
+    base = AbstractProcessor(clean).kernel_cost(512, 512, 512).compute_s;
+  }
+  double sum = 0.0;
+  const int reps = 200;
+  for (int i = 0; i < reps; ++i) {
+    d.temporal_jitter_seed = 1000 + static_cast<std::uint64_t>(i);
+    sum += AbstractProcessor(d).kernel_cost(512, 512, 512).compute_s;
+  }
+  EXPECT_NEAR(sum / reps / base, 1.0, 0.02);
+}
+
+TEST(ModelProperties, ZoneTimeMatchesKernelAtSquareSizes) {
+  // zone_time through a profile built from the model agrees with the
+  // model's own square-kernel time at the sampled points.
+  const auto ap = all_processors()[0];
+  const auto sf = ap.profile({1024, 2048, 4096});
+  for (double e : {1024.0, 2048.0, 4096.0}) {
+    const auto x = static_cast<std::int64_t>(e);
+    // zone of area e^2 in a problem of size n=e: flops 2e^3.
+    const double via_zone = zone_time(sf, e * e, e);
+    const double via_kernel = ap.kernel_cost(x, x, x).total_s();
+    EXPECT_NEAR(via_zone, via_kernel, via_kernel * 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace summagen::device

@@ -1,0 +1,105 @@
+#include "src/device/ooc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/matrix.hpp"
+#include "src/util/rng.hpp"
+
+namespace summagen::device {
+namespace {
+
+constexpr std::int64_t kB = 8;  // element size
+
+TEST(Plan, InCoreUnstagedHasNoTraffic) {
+  const auto plan = plan_out_of_core(64, 64, 64, 1 << 30, /*staged=*/false);
+  EXPECT_EQ(plan.passes, 1);
+  EXPECT_EQ(plan.transferred_bytes, 0);
+  EXPECT_EQ(plan.transfer_messages, 0);
+  EXPECT_EQ(plan.tile_m, 64);
+}
+
+TEST(Plan, InCoreStagedMovesOperandsOnce) {
+  const auto plan = plan_out_of_core(64, 32, 16, 1 << 30, /*staged=*/true);
+  EXPECT_EQ(plan.passes, 1);
+  EXPECT_EQ(plan.transferred_bytes,
+            kB * (64 * 16 + 16 * 32 + 64 * 32));
+  EXPECT_EQ(plan.transfer_messages, 3);
+}
+
+TEST(Plan, TilesFitMemory) {
+  const std::int64_t mem = 200 * 1024;
+  const auto plan = plan_out_of_core(512, 512, 512, mem, true);
+  EXPECT_GT(plan.passes, 1);
+  const std::int64_t footprint =
+      kB * (plan.tile_m * plan.tile_k + plan.tile_k * plan.tile_n +
+            2 * plan.tile_m * plan.tile_n);
+  EXPECT_LE(footprint, mem);
+  EXPECT_GE(plan.tile_m, 1);
+  EXPECT_GE(plan.tile_n, 1);
+  EXPECT_GE(plan.tile_k, 1);
+}
+
+TEST(Plan, TrafficGrowsAsMemoryShrinks) {
+  const auto big = plan_out_of_core(256, 256, 256, 1 << 20, true);
+  const auto small = plan_out_of_core(256, 256, 256, 1 << 17, true);
+  EXPECT_GT(small.passes, big.passes);
+  EXPECT_GT(small.transferred_bytes, big.transferred_bytes);
+}
+
+TEST(Plan, TransferredAtLeastOperandSizes) {
+  const auto plan = plan_out_of_core(128, 128, 128, 1 << 17, true);
+  EXPECT_GE(plan.transferred_bytes,
+            kB * (128 * 128 * 3));  // can never move less than A+B+C
+}
+
+TEST(Plan, RejectsBadArguments) {
+  EXPECT_THROW(plan_out_of_core(0, 1, 1, 100, true), std::invalid_argument);
+  EXPECT_THROW(plan_out_of_core(1, 1, 1, 0, true), std::invalid_argument);
+  // Memory too small even for a single 1x1 tile with its workspace.
+  EXPECT_THROW(plan_out_of_core(1 << 20, 1 << 20, 1 << 20, 16, true),
+               std::invalid_argument);
+}
+
+class OocGemm : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(OocGemm, MatchesInCoreResultUnderMemoryPressure) {
+  const std::int64_t mem = GetParam();
+  const std::int64_t m = 48, n = 56, k = 40;
+  util::Matrix a(m, k), b(k, n), c(m, n), want(m, n);
+  util::fill_random(a, 11);
+  util::fill_random(b, 12);
+  // Seed C: out-of-core accumulates (C += A*B), so start non-zero.
+  util::fill_random(c, 13);
+  want = c;
+  blas::dgemm(m, n, k, 1.0, a.data(), k, b.data(), n, 1.0, want.data(), n);
+
+  const auto plan = out_of_core_gemm(m, n, k, a.data(), k, b.data(), n,
+                                     c.data(), n, mem);
+  EXPECT_LE(util::Matrix::max_abs_diff(c, want), 1e-10)
+      << "mem=" << mem << " passes=" << plan.passes;
+}
+
+INSTANTIATE_TEST_SUITE_P(MemorySizes, OocGemm,
+                         ::testing::Values<std::int64_t>(
+                             1 << 30,   // fits fully (degenerate single tile)
+                             64 << 10,  // a few tiles
+                             16 << 10,  // many tiles
+                             2 << 10),  // extreme tiling
+                         [](const auto& param_info) {
+                           return "mem" + std::to_string(param_info.param);
+                         });
+
+TEST(OocGemm, StridedBuffersWork) {
+  // Operands embedded in larger matrices (non-trivial leading dimensions).
+  const std::int64_t m = 20, n = 24, k = 16, ld = 40;
+  util::Matrix a(ld, ld), b(ld, ld), c(ld, ld), want(ld, ld);
+  util::fill_random(a, 21);
+  util::fill_random(b, 22);
+  blas::dgemm(m, n, k, 1.0, a.data(), ld, b.data(), ld, 1.0, want.data(), ld);
+  out_of_core_gemm(m, n, k, a.data(), ld, b.data(), ld, c.data(), ld,
+                   8 << 10);
+  EXPECT_LE(util::Matrix::max_abs_diff(c, want), 1e-10);
+}
+
+}  // namespace
+}  // namespace summagen::device

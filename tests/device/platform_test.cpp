@@ -1,0 +1,135 @@
+// Calibration properties of the simulated HCLServer1 — these pin the model
+// to the paper's headline numbers so refactors cannot silently drift the
+// reproduction.
+#include "src/device/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace summagen::device {
+namespace {
+
+TEST(Hclserver1, HasThreeDevicesAndPaperPeak) {
+  const auto p = Platform::hclserver1();
+  ASSERT_EQ(p.nprocs(), 3);
+  EXPECT_NEAR(p.theoretical_peak_flops(), 2.50e12, 1e9);
+  EXPECT_DOUBLE_EQ(p.static_power_w, 230.0);
+}
+
+TEST(Hclserver1, DeviceRolesMatchThePaper) {
+  const auto p = Platform::hclserver1();
+  EXPECT_EQ(p.devices[0].kind, DeviceKind::kMulticoreCpu);
+  EXPECT_EQ(p.devices[1].kind, DeviceKind::kGpu);
+  EXPECT_EQ(p.devices[2].kind, DeviceKind::kManycoreCoprocessor);
+  EXPECT_FALSE(p.devices[0].needs_staging);
+  EXPECT_TRUE(p.devices[1].needs_staging);
+  EXPECT_TRUE(p.devices[2].needs_staging);
+  EXPECT_EQ(p.devices[1].memory_bytes, 12LL << 30);
+  EXPECT_EQ(p.devices[2].memory_bytes, 6LL << 30);
+}
+
+TEST(Hclserver1, ConstantRangeRelativeSpeedsNearPaper) {
+  const auto p = Platform::hclserver1();
+  const auto rel = p.constant_relative_speeds(14000.0, 22000.0);
+  ASSERT_EQ(rel.size(), 3u);
+  EXPECT_DOUBLE_EQ(rel[0], 1.0);
+  EXPECT_NEAR(rel[1], 2.0, 0.15);  // paper: 2.0
+  EXPECT_NEAR(rel[2], 0.9, 0.1);   // paper: 0.9
+}
+
+TEST(Hclserver1, GpuIsFastestDeviceAtLargeSizes) {
+  const auto aps = Platform::hclserver1().processors();
+  const double cpu = aps[0].effective_flops(20000, true);
+  const double gpu = aps[1].effective_flops(20000, true);
+  const double phi = aps[2].effective_flops(20000, true);
+  EXPECT_GT(gpu, cpu);
+  EXPECT_GT(cpu, phi);
+}
+
+TEST(Hclserver1, CpuLeadsAtTinySizes) {
+  // The CPU's short efficiency ramp makes it relatively better at small
+  // problems — the effect that the FPM partitioner exploits at small N.
+  const auto aps = Platform::hclserver1().processors();
+  const double cpu = aps[0].effective_flops(128, true);
+  const double gpu = aps[1].effective_flops(128, true);
+  EXPECT_GT(cpu, gpu);
+}
+
+TEST(Hclserver1, PhiProfileSmoothBeforeWindowRoughInside) {
+  const auto p = Platform::hclserver1();
+  const auto grid = profile_grid(256, 12000, 64);
+  const auto profiles = p.profiles(grid);
+  const auto& phi = profiles[2];
+  // Paper: Phi profile smooth at small/medium sizes, maximal variations in
+  // the boost window (zone-edge [6400, 9600]). Compare post-ramp windows —
+  // relative_variation also sees the monotone efficiency ramp, so the
+  // pre-4000 region is excluded by design.
+  EXPECT_LT(phi.relative_variation(4400, 6300), 0.06);
+  EXPECT_GT(phi.relative_variation(6400, 9600),
+            phi.relative_variation(4400, 6300));
+}
+
+TEST(Hclserver1, ProfilesConstantInPaperRange) {
+  // Section VI-A: relative speeds nearly constant for N in [25600, 35840],
+  // i.e. zone edges ~[14000, 22000].
+  const auto p = Platform::hclserver1();
+  const auto grid = profile_grid(13000, 23000, 24);
+  for (const auto& sf : p.profiles(grid)) {
+    EXPECT_LT(sf.relative_variation(14000, 22000), 0.12);
+  }
+}
+
+TEST(Homogeneous, AllDevicesIdentical) {
+  const auto p = Platform::homogeneous(4, 50e9);
+  ASSERT_EQ(p.nprocs(), 4);
+  const auto rel = p.constant_relative_speeds(1000, 2000);
+  for (double r : rel) EXPECT_NEAR(r, 1.0, 1e-9);
+  EXPECT_THROW(Platform::homogeneous(0), std::invalid_argument);
+}
+
+TEST(Synthetic, SpeedsProportional) {
+  const auto p = Platform::synthetic({1.0, 2.0, 0.9});
+  const auto rel = p.constant_relative_speeds(1000, 2000);
+  EXPECT_NEAR(rel[1], 2.0, 1e-6);
+  EXPECT_NEAR(rel[2], 0.9, 1e-6);
+  EXPECT_THROW(Platform::synthetic({}), std::invalid_argument);
+  EXPECT_THROW(Platform::synthetic({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Cluster, ReplicatesDevicesAcrossNodes) {
+  const auto node = Platform::hclserver1();
+  const auto c = Platform::cluster(node, 3);
+  EXPECT_EQ(c.nprocs(), 9);
+  ASSERT_EQ(c.node_of.size(), 9u);
+  EXPECT_EQ(c.node_of[0], 0);
+  EXPECT_EQ(c.node_of[3], 1);
+  EXPECT_EQ(c.node_of[8], 2);
+  EXPECT_NEAR(c.theoretical_peak_flops(),
+              3.0 * node.theoretical_peak_flops(), 1e6);
+  EXPECT_DOUBLE_EQ(c.static_power_w, 3.0 * node.static_power_w);
+  // Replicas keep the device character but get distinct noise streams.
+  EXPECT_EQ(c.devices[0].peak_flops, c.devices[3].peak_flops);
+  EXPECT_NE(c.devices[0].noise_seed, c.devices[3].noise_seed);
+  EXPECT_NE(c.devices[0].name, c.devices[3].name);
+}
+
+TEST(Cluster, RejectsBadInput) {
+  EXPECT_THROW(Platform::cluster(Platform::hclserver1(), 0),
+               std::invalid_argument);
+  Platform empty;
+  EXPECT_THROW(Platform::cluster(empty, 2), std::invalid_argument);
+}
+
+TEST(Profiles, ContendedSlowerThanSolo) {
+  const auto p = Platform::hclserver1();
+  const auto grid = profile_grid(1024, 8192, 8);
+  const auto loaded = p.profiles(grid, true);
+  const auto solo = p.profiles(grid, false);
+  for (std::size_t d = 0; d < loaded.size(); ++d) {
+    for (double e : grid) {
+      EXPECT_LT(loaded[d].flops_at_edge(e), solo[d].flops_at_edge(e) + 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace summagen::device

@@ -1,0 +1,156 @@
+#include "src/device/speed_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace summagen::device {
+namespace {
+
+TEST(SpeedFunction, ConstantModel) {
+  const auto sf = SpeedFunction::constant(5.0e9);
+  EXPECT_TRUE(sf.is_constant());
+  EXPECT_EQ(sf.flops_at_edge(1.0), 5.0e9);
+  EXPECT_EQ(sf.flops_at_edge(1e6), 5.0e9);
+}
+
+TEST(SpeedFunction, ConstantRejectsNonPositive) {
+  EXPECT_THROW(SpeedFunction::constant(0.0), std::invalid_argument);
+  EXPECT_THROW(SpeedFunction::constant(-1.0), std::invalid_argument);
+}
+
+TEST(SpeedFunction, FromPointsSortsByEdge) {
+  const auto sf = SpeedFunction::from_points(
+      {{200.0, 2.0e9}, {100.0, 1.0e9}, {300.0, 3.0e9}});
+  EXPECT_EQ(sf.points().front().edge, 100.0);
+  EXPECT_EQ(sf.points().back().edge, 300.0);
+}
+
+TEST(SpeedFunction, RejectsEmptyDuplicateOrNonPositive) {
+  EXPECT_THROW(SpeedFunction::from_points({}), std::invalid_argument);
+  EXPECT_THROW(
+      SpeedFunction::from_points({{100.0, 1e9}, {100.0, 2e9}}),
+      std::invalid_argument);
+  EXPECT_THROW(SpeedFunction::from_points({{100.0, 0.0}}),
+               std::invalid_argument);
+}
+
+TEST(SpeedFunction, PiecewiseLinearInterpolatesExactly) {
+  const auto sf = SpeedFunction::from_points({{0.0, 10.0}, {10.0, 20.0}});
+  EXPECT_DOUBLE_EQ(sf.flops_at_edge(5.0), 15.0);
+  EXPECT_DOUBLE_EQ(sf.flops_at_edge(2.5), 12.5);
+}
+
+TEST(SpeedFunction, ClampsOutsideSampledRange) {
+  const auto sf =
+      SpeedFunction::from_points({{100.0, 1.0e9}, {200.0, 2.0e9}});
+  EXPECT_EQ(sf.flops_at_edge(10.0), 1.0e9);
+  EXPECT_EQ(sf.flops_at_edge(1e4), 2.0e9);
+}
+
+TEST(SpeedFunction, HitsKnotsExactlyBothInterpolations) {
+  const std::vector<SpeedPoint> pts = {
+      {64, 1.0e9}, {128, 3.0e9}, {256, 2.5e9}, {512, 4.0e9}, {1024, 3.9e9}};
+  for (auto interp :
+       {Interpolation::kPiecewiseLinear, Interpolation::kAkima}) {
+    const auto sf = SpeedFunction::from_points(pts, interp);
+    for (const auto& p : pts) {
+      EXPECT_NEAR(sf.flops_at_edge(p.edge), p.flops_per_s,
+                  1e-6 * p.flops_per_s);
+    }
+  }
+}
+
+TEST(SpeedFunction, AkimaIsSmootherThanLinearOnSmoothData) {
+  // Sample a smooth curve; Akima should reconstruct midpoints better.
+  std::vector<SpeedPoint> pts;
+  auto f = [](double x) { return 1e9 * (2.0 + std::sin(x / 200.0)); };
+  for (double x = 100; x <= 1500; x += 200) pts.push_back({x, f(x)});
+  const auto lin =
+      SpeedFunction::from_points(pts, Interpolation::kPiecewiseLinear);
+  const auto aki = SpeedFunction::from_points(pts, Interpolation::kAkima);
+  double lin_err = 0.0, aki_err = 0.0;
+  for (double x = 200; x <= 1400; x += 200) {  // knot midpoints
+    lin_err += std::abs(lin.flops_at_edge(x) - f(x));
+    aki_err += std::abs(aki.flops_at_edge(x) - f(x));
+  }
+  EXPECT_LT(aki_err, lin_err);
+}
+
+TEST(SpeedFunction, AkimaDoesNotOvershootCliffsBadly) {
+  // A sharp performance cliff; Akima (unlike cubic splines) stays bounded
+  // and we additionally clamp at a positive floor.
+  const auto sf = SpeedFunction::from_points(
+      {{100, 4e9}, {200, 4e9}, {300, 4e9}, {400, 1e9}, {500, 1e9},
+       {600, 1e9}},
+      Interpolation::kAkima);
+  for (double x = 100; x <= 600; x += 10) {
+    const double v = sf.flops_at_edge(x);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 4.6e9);
+  }
+}
+
+TEST(SpeedFunction, TwoPointAkimaFallsBackToLine) {
+  const auto sf = SpeedFunction::from_points({{0.0, 10.0}, {10.0, 30.0}},
+                                             Interpolation::kAkima);
+  EXPECT_NEAR(sf.flops_at_edge(5.0), 20.0, 1e-9);
+}
+
+TEST(SpeedFunction, RelativeVariationZeroForConstant) {
+  const auto sf = SpeedFunction::constant(1e9);
+  EXPECT_DOUBLE_EQ(sf.relative_variation(100, 1000), 0.0);
+}
+
+TEST(SpeedFunction, RelativeVariationDetectsDip) {
+  const auto sf = SpeedFunction::from_points(
+      {{100, 1e9}, {200, 1e9}, {300, 0.5e9}, {400, 1e9}});
+  EXPECT_GT(sf.relative_variation(100, 400), 0.2);
+  EXPECT_LT(sf.relative_variation(100, 200), 0.01);
+}
+
+TEST(ZoneTime, MatchesFormula) {
+  const auto sf = SpeedFunction::constant(2.0e9);
+  // zone of 10^6 elements in an n=1000 problem: 2*10^6*1000 flops.
+  EXPECT_DOUBLE_EQ(zone_time(sf, 1e6, 1000.0), 2e9 / 2.0e9);
+  EXPECT_DOUBLE_EQ(zone_time(sf, 0.0, 1000.0), 0.0);
+}
+
+TEST(ZoneTime, UsesSpeedAtSqrtArea) {
+  const auto sf = SpeedFunction::from_points({{10.0, 1e9}, {1000.0, 1e9},
+                                              {100.0, 5e8}});
+  // area 10^4 -> edge 100 -> speed 5e8.
+  EXPECT_DOUBLE_EQ(zone_time(sf, 1e4, 50.0), 2.0 * 1e4 * 50.0 / 5e8);
+}
+
+TEST(ZoneTime, RejectsBadInput) {
+  const auto sf = SpeedFunction::constant(1e9);
+  EXPECT_THROW(zone_time(sf, -1.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(zone_time(sf, 100.0, 0.0), std::invalid_argument);
+}
+
+TEST(ProfileGrid, CoversRangeMonotonically) {
+  const auto grid = profile_grid(64, 38416, 48);
+  EXPECT_GE(grid.size(), 2u);
+  EXPECT_EQ(grid.front(), 64.0);
+  EXPECT_GE(grid.back(), 38400.0);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i], grid[i - 1]);
+    EXPECT_EQ(std::fmod(grid[i], 64.0), 0.0);
+  }
+}
+
+TEST(ProfileGrid, SmallCountStillValid) {
+  const auto grid = profile_grid(64, 1024, 2);
+  EXPECT_EQ(grid.front(), 64.0);
+  EXPECT_EQ(grid.back(), 1024.0);
+}
+
+TEST(ProfileGrid, RejectsBadArguments) {
+  EXPECT_THROW(profile_grid(0, 100, 4), std::invalid_argument);
+  EXPECT_THROW(profile_grid(100, 100, 4), std::invalid_argument);
+  EXPECT_THROW(profile_grid(10, 100, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace summagen::device

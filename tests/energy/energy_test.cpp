@@ -1,0 +1,150 @@
+#include "src/energy/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace summagen::energy {
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+
+device::Platform two_device_platform() {
+  auto p = device::Platform::synthetic({1.0, 1.0});
+  p.static_power_w = 100.0;
+  p.devices[0].dynamic_power_w = 50.0;
+  p.devices[0].comm_power_w = 10.0;
+  p.devices[1].dynamic_power_w = 80.0;
+  p.devices[1].comm_power_w = 20.0;
+  return p;
+}
+
+TEST(ExactEnergy, IntegratesComputeIntervals) {
+  const auto p = two_device_platform();
+  const std::vector<Event> events = {
+      {0, EventKind::kCompute, 0.0, 2.0, 0, 100, ""},
+      {1, EventKind::kCompute, 0.0, 1.0, 0, 100, ""},
+  };
+  const auto e = dynamic_energy_exact(events, p, 2.0);
+  EXPECT_DOUBLE_EQ(e.per_rank_dynamic_j[0], 50.0 * 2.0);
+  EXPECT_DOUBLE_EQ(e.per_rank_dynamic_j[1], 80.0 * 1.0);
+  EXPECT_DOUBLE_EQ(e.dynamic_j, 180.0);
+  EXPECT_DOUBLE_EQ(e.static_j, 100.0 * 2.0);
+  EXPECT_DOUBLE_EQ(e.total_j, 380.0);
+}
+
+TEST(ExactEnergy, CommEventsDrawCommPower) {
+  const auto p = two_device_platform();
+  const std::vector<Event> events = {
+      {0, EventKind::kBcast, 0.0, 1.0, 64, 0, ""},
+      {0, EventKind::kTransfer, 1.0, 2.0, 64, 0, ""},
+      {0, EventKind::kBarrier, 2.0, 2.5, 0, 0, ""},
+  };
+  const auto e = dynamic_energy_exact(events, p, 3.0);
+  EXPECT_DOUBLE_EQ(e.dynamic_j, 10.0 * 2.5);
+}
+
+TEST(ExactEnergy, WaitEventsAndForeignRanksDrawNothing) {
+  const auto p = two_device_platform();
+  const std::vector<Event> events = {
+      {0, EventKind::kWait, 0.0, 5.0, 0, 0, ""},
+      {7, EventKind::kCompute, 0.0, 5.0, 0, 0, ""},  // no such device
+  };
+  const auto e = dynamic_energy_exact(events, p, 5.0);
+  EXPECT_DOUBLE_EQ(e.dynamic_j, 0.0);
+}
+
+TEST(ExactEnergy, RejectsNegativeElapsed) {
+  EXPECT_THROW(dynamic_energy_exact({}, two_device_platform(), -1.0),
+               std::invalid_argument);
+}
+
+TEST(InstantaneousPower, StaticPlusActiveDraws) {
+  const auto p = two_device_platform();
+  const std::vector<Event> events = {
+      {0, EventKind::kCompute, 1.0, 3.0, 0, 0, ""},
+      {1, EventKind::kCompute, 2.0, 4.0, 0, 0, ""},
+  };
+  EXPECT_DOUBLE_EQ(instantaneous_power(events, p, 0.5), 100.0);
+  EXPECT_DOUBLE_EQ(instantaneous_power(events, p, 1.5), 150.0);
+  EXPECT_DOUBLE_EQ(instantaneous_power(events, p, 2.5), 230.0);
+  EXPECT_DOUBLE_EQ(instantaneous_power(events, p, 3.5), 180.0);
+  // Interval is [start, end).
+  EXPECT_DOUBLE_EQ(instantaneous_power(events, p, 4.0), 100.0);
+}
+
+TEST(Meter, NoiselessMeterMatchesExactOnConstantLoad) {
+  auto p = two_device_platform();
+  // One device computing for the whole window: power is constant, so
+  // midpoint sampling is exact when noise is disabled.
+  const std::vector<Event> events = {
+      {0, EventKind::kCompute, 0.0, 10.0, 0, 0, ""},
+  };
+  MeterOptions opts;
+  opts.accuracy = 0.0;
+  opts.floor_accuracy_w = 0.0;
+  const auto reading = simulate_wattsup(events, p, 10.0, opts);
+  EXPECT_EQ(reading.samples_w.size(), 10u);
+  EXPECT_DOUBLE_EQ(reading.total_j, (100.0 + 50.0) * 10.0);
+  EXPECT_DOUBLE_EQ(dynamic_from_meter(reading, p.static_power_w),
+                   50.0 * 10.0);
+}
+
+TEST(Meter, NoiseStaysWithinDatasheetBand) {
+  const auto p = two_device_platform();
+  const std::vector<Event> events = {
+      {0, EventKind::kCompute, 0.0, 100.0, 0, 0, ""},
+  };
+  const auto reading = simulate_wattsup(events, p, 100.0);
+  const double truth = 150.0;
+  for (double w : reading.samples_w) {
+    EXPECT_GE(w, truth * 0.97 - 0.5);
+    EXPECT_LE(w, truth * 1.03 + 0.5);
+  }
+  // Integrated energy within ~1% of the exact value for 100 samples.
+  EXPECT_NEAR(reading.total_j, truth * 100.0, truth * 100.0 * 0.01);
+}
+
+TEST(Meter, DeterministicPerSeed) {
+  const auto p = two_device_platform();
+  const std::vector<Event> events = {
+      {0, EventKind::kCompute, 0.0, 5.0, 0, 0, ""},
+  };
+  const auto r1 = simulate_wattsup(events, p, 5.0);
+  const auto r2 = simulate_wattsup(events, p, 5.0);
+  EXPECT_EQ(r1.samples_w, r2.samples_w);
+  MeterOptions other;
+  other.seed = 999;
+  const auto r3 = simulate_wattsup(events, p, 5.0, other);
+  EXPECT_NE(r1.samples_w, r3.samples_w);
+}
+
+TEST(Meter, SubSecondTailSampleWeighted) {
+  auto p = two_device_platform();
+  p.static_power_w = 100.0;
+  MeterOptions opts;
+  opts.accuracy = 0.0;
+  opts.floor_accuracy_w = 0.0;
+  const auto reading = simulate_wattsup({}, p, 2.5, opts);
+  EXPECT_EQ(reading.samples_w.size(), 3u);
+  EXPECT_DOUBLE_EQ(reading.total_j, 100.0 * 2.5);
+}
+
+TEST(Meter, MinimumWattsClipsToZero) {
+  auto p = two_device_platform();
+  p.static_power_w = 0.2;  // below the 0.5 W floor
+  MeterOptions opts;
+  opts.accuracy = 0.0;
+  opts.floor_accuracy_w = 0.0;
+  const auto reading = simulate_wattsup({}, p, 3.0, opts);
+  for (double w : reading.samples_w) EXPECT_EQ(w, 0.0);
+}
+
+TEST(Meter, RejectsBadSamplePeriod) {
+  MeterOptions opts;
+  opts.sample_period_s = 0.0;
+  EXPECT_THROW(simulate_wattsup({}, two_device_platform(), 1.0, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace summagen::energy

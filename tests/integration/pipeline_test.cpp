@@ -1,0 +1,182 @@
+// Cross-module integration: the full paper pipeline (profiles -> workload
+// partitioning -> shape construction -> SummaGen -> metrics/energy) glued
+// together the way the bench binaries use it, checked for the paper's
+// qualitative findings at reduced scale.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/reference.hpp"
+#include "src/core/runner.hpp"
+#include "src/energy/energy.hpp"
+#include "src/partition/column_based.hpp"
+#include "src/trace/stats.hpp"
+#include "src/util/rng.hpp"
+
+namespace summagen {
+namespace {
+
+using core::ExperimentConfig;
+using core::Regime;
+using partition::Shape;
+
+TEST(Pipeline, Fig6PropertyShapesEqualInConstantRange) {
+  std::vector<double> times;
+  for (Shape s : partition::all_shapes()) {
+    ExperimentConfig config;
+    config.n = 28160;
+    config.shape = s;
+    config.cpm_speeds = {1.0, 2.0, 0.9};
+    times.push_back(core::run_pmm(config).exec_time_s);
+  }
+  EXPECT_LT(trace::percentage_spread(times), 25.0);
+}
+
+TEST(Pipeline, Fig6PropertyComputationDominates) {
+  // Paper: "The parallel execution times are dominated by computation."
+  ExperimentConfig config;
+  config.n = 30720;
+  config.shape = Shape::kSquareRectangle;
+  config.cpm_speeds = {1.0, 2.0, 0.9};
+  const auto res = core::run_pmm(config);
+  EXPECT_GT(res.comp_time_s, 5.0 * res.comm_time_s);
+}
+
+TEST(Pipeline, Fig7PropertySquareCornerTrailsUnderFpm) {
+  // Paper VI-B: square rectangle and block rectangle beat the others; at
+  // minimum the square corner must not win.
+  const auto platform = device::Platform::hclserver1();
+  double corner = 0.0, best_rect = 1e300;
+  for (Shape s : partition::all_shapes()) {
+    ExperimentConfig config;
+    config.platform = platform;
+    config.n = 16384;
+    config.shape = s;
+    config.regime = Regime::kFunctional;
+    const double t = core::run_pmm(config).exec_time_s;
+    if (s == Shape::kSquareCorner) {
+      corner = t;
+    } else if (s == Shape::kSquareRectangle || s == Shape::kBlockRectangle) {
+      best_rect = std::min(best_rect, t);
+    }
+  }
+  EXPECT_GT(corner, best_rect);
+}
+
+TEST(Pipeline, Fig8PropertyDynamicEnergiesEqual) {
+  std::vector<double> joules;
+  for (Shape s : partition::all_shapes()) {
+    ExperimentConfig config;
+    config.n = 25600;
+    config.shape = s;
+    config.cpm_speeds = {1.0, 2.0, 0.9};
+    config.record_events = true;
+    joules.push_back(core::run_pmm(config).energy.dynamic_j);
+  }
+  EXPECT_LT(trace::percentage_spread(joules), 10.0);
+}
+
+TEST(Pipeline, PeakPerformanceInPaperBallpark) {
+  // Paper: peak 84%, average 70% of the 2.5 TFLOPs theoretical peak. Allow
+  // a generous band — the claim is "most of the machine is usable".
+  const auto platform = device::Platform::hclserver1();
+  double peak = 0.0;
+  for (std::int64_t n : {30720, 35840, 38416}) {
+    for (Shape s : partition::all_shapes()) {
+      ExperimentConfig config;
+      config.platform = platform;
+      config.n = n;
+      config.shape = s;
+      config.cpm_speeds = {1.0, 2.0, 0.9};
+      peak = std::max(peak, core::run_pmm(config).tflops);
+    }
+  }
+  const double frac = peak * 1e12 / platform.theoretical_peak_flops();
+  EXPECT_GT(frac, 0.65);
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST(Pipeline, MeterAgreesWithExactEnergyWithinNoise) {
+  ExperimentConfig config;
+  config.n = 25600;
+  config.shape = Shape::kBlockRectangle;
+  config.cpm_speeds = {1.0, 2.0, 0.9};
+  config.record_events = true;
+  const auto res = core::run_pmm(config);
+  const auto reading = energy::simulate_wattsup(res.events, config.platform,
+                                                res.exec_time_s);
+  const double metered =
+      energy::dynamic_from_meter(reading, config.platform.static_power_w);
+  // 3% meter accuracy + sampling discretisation.
+  EXPECT_NEAR(metered, res.energy.dynamic_j, res.energy.total_j * 0.05);
+}
+
+TEST(Pipeline, ColumnBasedBaselineVerifiesNumerically) {
+  // The rectangular baseline partitioner drives SummaGen too (it emits an
+  // ordinary PartitionSpec): numeric check via preset areas + custom spec.
+  const std::int64_t n = 192;
+  const auto areas = partition::partition_areas_cpm(n * n, {1.0, 2.0, 0.9});
+  const auto spec = partition::column_based_partition(n, areas);
+
+  // Drive SummaGen directly over the custom spec.
+  const auto platform = device::Platform::hclserver1();
+  const auto processors = platform.processors();
+  util::Matrix a(n, n), b(n, n);
+  util::fill_random(a, 5);
+  util::fill_random(b, 6);
+  std::vector<std::unique_ptr<core::LocalData>> locals;
+  for (int r = 0; r < 3; ++r) {
+    locals.push_back(std::make_unique<core::LocalData>(spec, r, a, b));
+  }
+  sgmpi::Config mpi_config;
+  mpi_config.nranks = 3;
+  sgmpi::Runtime runtime(mpi_config);
+  runtime.run([&](sgmpi::Comm& world) {
+    core::summagen_rank(world, spec,
+                        processors[static_cast<std::size_t>(world.rank())],
+                        locals[static_cast<std::size_t>(world.rank())].get());
+  });
+  util::Matrix c(n, n);
+  for (int r = 0; r < 3; ++r) locals[static_cast<std::size_t>(r)]->gather_c(spec, c);
+  const auto want = core::reference_multiply(a, b);
+  EXPECT_LE(util::Matrix::max_abs_diff(c, want), core::gemm_tolerance(n));
+}
+
+TEST(Pipeline, CommVolumeTracksHalfPerimeterOrdering) {
+  // The modeled MPI bytes of SummaGen should rank shapes consistently with
+  // the sum-of-half-perimeters theory metric at equal areas.
+  const std::int64_t n = 4096;
+  const auto areas = partition::partition_areas_cpm(n * n, {1.0, 2.0, 0.9});
+  std::vector<std::pair<std::int64_t, std::int64_t>> metric;  // (hp, bytes)
+  for (Shape s : partition::all_shapes()) {
+    ExperimentConfig config;
+    config.n = n;
+    config.shape = s;
+    config.preset_areas = areas;
+    const auto res = core::run_pmm(config);
+    std::int64_t bytes = 0;
+    for (const auto& rep : res.reports) bytes += rep.bcast_bytes;
+    metric.push_back({res.total_half_perimeter, bytes});
+  }
+  // 1D has the largest half-perimeter sum and the largest traffic.
+  const auto& one_d = metric[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(metric[i].first, one_d.first);
+  }
+}
+
+TEST(Pipeline, FpmDistributionBeatsProportionalUnderFpmModels) {
+  // The load-imbalancing partitioner's raison d'etre (paper Section VI-B).
+  const auto platform = device::Platform::hclserver1();
+  const std::int64_t n = 12288;
+  const auto models = core::default_fpm_models(platform, n);
+  std::vector<const device::SpeedFunction*> ptrs;
+  for (const auto& m : models) ptrs.push_back(&m);
+  const auto fpm = partition::partition_areas_fpm(n, ptrs);
+  const auto cpm = partition::partition_areas_cpm(
+      n * n, core::default_cpm_speeds(platform));
+  EXPECT_LE(fpm.tcomp, partition::distribution_time(n, ptrs, cpm) + 1e-12);
+}
+
+}  // namespace
+}  // namespace summagen

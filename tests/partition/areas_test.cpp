@@ -1,0 +1,187 @@
+#include "src/partition/areas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/device/speed_function.hpp"
+
+namespace summagen::partition {
+namespace {
+
+using device::SpeedFunction;
+using device::SpeedPoint;
+
+TEST(CpmAreas, ProportionalToSpeeds) {
+  const auto areas = partition_areas_cpm(100, {1.0, 3.0});
+  EXPECT_EQ(areas[0] + areas[1], 100);
+  EXPECT_EQ(areas[0], 25);
+  EXPECT_EQ(areas[1], 75);
+}
+
+TEST(CpmAreas, PaperSpeedsSumExactly) {
+  // The paper's {1.0, 2.0, 0.9} at a paper-size total.
+  const std::int64_t total = 30720LL * 30720LL;
+  const auto areas = partition_areas_cpm(total, {1.0, 2.0, 0.9});
+  EXPECT_EQ(std::accumulate(areas.begin(), areas.end(), std::int64_t{0}),
+            total);
+  // Shares within one element of total * s/S.
+  EXPECT_NEAR(static_cast<double>(areas[0]), total / 3.9, 1.5);
+  EXPECT_NEAR(static_cast<double>(areas[1]), total * 2.0 / 3.9, 1.5);
+  EXPECT_NEAR(static_cast<double>(areas[2]), total * 0.9 / 3.9, 1.5);
+}
+
+TEST(CpmAreas, LargestRemainderDistributesLeftover) {
+  // total=10 over equal speeds {1,1,1}: 3+3+4 in some order, sum exact.
+  const auto areas = partition_areas_cpm(10, {1.0, 1.0, 1.0});
+  EXPECT_EQ(std::accumulate(areas.begin(), areas.end(), std::int64_t{0}), 10);
+  for (auto a : areas) EXPECT_GE(a, 3);
+}
+
+TEST(CpmAreas, RejectsBadInput) {
+  EXPECT_THROW(partition_areas_cpm(0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(partition_areas_cpm(10, {}), std::invalid_argument);
+  EXPECT_THROW(partition_areas_cpm(10, {1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(CpmAreas, ExtremeRatiosStayNonNegative) {
+  const auto areas = partition_areas_cpm(1000, {1e-9, 1.0});
+  EXPECT_EQ(areas[0] + areas[1], 1000);
+  EXPECT_GE(areas[0], 0);
+}
+
+TEST(DistributionTime, MaxOfZoneTimes) {
+  const auto f1 = SpeedFunction::constant(1.0e9);
+  const auto f2 = SpeedFunction::constant(2.0e9);
+  const std::vector<const SpeedFunction*> fs = {&f1, &f2};
+  // n=100: times are 2*a*n/speed.
+  const double t = distribution_time(100, fs, {5000, 5000});
+  EXPECT_DOUBLE_EQ(t, 2.0 * 5000 * 100 / 1.0e9);
+}
+
+TEST(FpmAreas, ConstantSpeedsReduceToProportional) {
+  const auto f1 = SpeedFunction::constant(1.0e9);
+  const auto f2 = SpeedFunction::constant(3.0e9);
+  const std::vector<const SpeedFunction*> fs = {&f1, &f2};
+  const auto res = partition_areas_fpm(256, fs);
+  EXPECT_EQ(res.areas[0] + res.areas[1], 256 * 256);
+  // Optimal split is a1/a2 = 1/3 (within refinement granularity).
+  EXPECT_NEAR(static_cast<double>(res.areas[1]) /
+                  static_cast<double>(res.areas[0]),
+              3.0, 0.15);
+}
+
+TEST(FpmAreas, SingleProcessorGetsEverything) {
+  const auto f = SpeedFunction::constant(1.0e9);
+  const auto res = partition_areas_fpm(64, {&f});
+  EXPECT_EQ(res.areas, (std::vector<std::int64_t>{64 * 64}));
+  EXPECT_GT(res.tcomp, 0.0);
+}
+
+TEST(FpmAreas, AvoidsPerformanceTrough) {
+  // Processor 0 collapses for zones with edge in [100, 160] (area 1e4 to
+  // 2.5e4); the optimizer must keep its allocation outside the trough even
+  // though proportional splitting would land inside it.
+  const auto trough = SpeedFunction::from_points({{50, 1.0e9},
+                                                  {90, 1.0e9},
+                                                  {110, 0.05e9},
+                                                  {150, 0.05e9},
+                                                  {170, 1.0e9},
+                                                  {400, 1.0e9}});
+  const auto steady = SpeedFunction::constant(1.0e9);
+  const std::vector<const SpeedFunction*> fs = {&trough, &steady};
+  const std::int64_t n = 200;  // proportional split: 2e4 each — in trough
+  const auto res = partition_areas_fpm(n, fs);
+  const double edge0 = std::sqrt(static_cast<double>(res.areas[0]));
+  EXPECT_TRUE(edge0 < 105.0 || edge0 > 155.0)
+      << "allocation landed in the trough: edge=" << edge0;
+  // And the solution is much better than proportional.
+  const double proportional =
+      distribution_time(n, fs, {n * n / 2, n * n - n * n / 2});
+  EXPECT_LT(res.tcomp, proportional * 0.5);
+}
+
+TEST(FpmAreas, MatchesBruteForceOnCoarseGrid) {
+  // Exhaustive check on a deliberately coarse grid: DP must be optimal
+  // among grid-quantised distributions (before refinement can only improve).
+  const auto f1 = SpeedFunction::from_points(
+      {{10, 1.0e8}, {40, 2.0e8}, {80, 0.5e8}, {160, 3.0e8}});
+  const auto f2 = SpeedFunction::from_points(
+      {{10, 2.0e8}, {40, 0.7e8}, {80, 2.5e8}, {160, 1.0e8}});
+  const auto f3 = SpeedFunction::constant(1.5e8);
+  const std::vector<const SpeedFunction*> fs = {&f1, &f2, &f3};
+  const std::int64_t n = 96;
+  const std::int64_t total = n * n;
+  const std::int64_t step = total / 64;
+
+  // Brute force over the same grid (+ remainder folded into rank 0, as the
+  // DP does).
+  double best = 1e300;
+  const std::int64_t slots = total / step;
+  for (std::int64_t k1 = 0; k1 <= slots; ++k1) {
+    for (std::int64_t k2 = 0; k1 + k2 <= slots; ++k2) {
+      const std::int64_t k0 = slots - k1 - k2;
+      const std::vector<std::int64_t> areas = {
+          k0 * step + (total - slots * step), k1 * step, k2 * step};
+      best = std::min(best, distribution_time(n, fs, areas));
+    }
+  }
+
+  FpmOptions opts;
+  opts.grid_step = step;
+  opts.refine_iters = 0;  // isolate the DP
+  const auto res = partition_areas_fpm(n, fs, opts);
+  EXPECT_LE(res.tcomp, best * (1.0 + 1e-9));
+}
+
+TEST(FpmAreas, RefinementNeverHurts) {
+  const auto f1 = SpeedFunction::from_points(
+      {{10, 1.0e8}, {100, 3.0e8}, {200, 0.8e8}, {300, 2.0e8}});
+  const auto f2 = SpeedFunction::constant(1.0e8);
+  const std::vector<const SpeedFunction*> fs = {&f1, &f2};
+  FpmOptions coarse;
+  coarse.grid_step = 256 * 256 / 16;
+  coarse.refine_iters = 0;
+  const auto rough = partition_areas_fpm(256, fs, coarse);
+  coarse.refine_iters = 500;
+  const auto refined = partition_areas_fpm(256, fs, coarse);
+  EXPECT_LE(refined.tcomp, rough.tcomp * (1.0 + 1e-12));
+}
+
+TEST(FpmAreas, AreasAlwaysSumToTotalAndNonNegative) {
+  const auto f1 = SpeedFunction::from_points({{10, 1e8}, {500, 4e8}});
+  const auto f2 = SpeedFunction::from_points({{10, 3e8}, {500, 1e8}});
+  const auto f3 = SpeedFunction::constant(2e8);
+  const std::vector<const SpeedFunction*> fs = {&f1, &f2, &f3};
+  for (std::int64_t n : {17, 64, 129, 300}) {
+    const auto res = partition_areas_fpm(n, fs);
+    EXPECT_EQ(std::accumulate(res.areas.begin(), res.areas.end(),
+                              std::int64_t{0}),
+              n * n);
+    for (auto a : res.areas) EXPECT_GE(a, 0);
+  }
+}
+
+TEST(FpmAreas, RejectsBadInput) {
+  const auto f = SpeedFunction::constant(1e9);
+  EXPECT_THROW(partition_areas_fpm(0, {&f}), std::invalid_argument);
+  EXPECT_THROW(partition_areas_fpm(64, std::vector<const SpeedFunction*>{}),
+               std::invalid_argument);
+  FpmOptions opts;
+  opts.grid_step = 1 << 30;  // coarser than the whole workload
+  const std::vector<const SpeedFunction*> fs = {&f, &f, &f};
+  EXPECT_THROW(partition_areas_fpm(16, fs, opts), std::invalid_argument);
+}
+
+TEST(FpmAreas, OwningVectorOverload) {
+  std::vector<SpeedFunction> fs = {SpeedFunction::constant(1e9),
+                                   SpeedFunction::constant(1e9)};
+  const auto res = partition_areas_fpm(64, fs);
+  EXPECT_EQ(res.areas.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(res.areas[0]),
+              static_cast<double>(res.areas[1]), 64.0 * 8);
+}
+
+}  // namespace
+}  // namespace summagen::partition

@@ -1,0 +1,113 @@
+#include "src/partition/column_based.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace summagen::partition {
+namespace {
+
+TEST(ColumnLayout, SingleProcessorIsOneColumn) {
+  const auto layout = optimal_column_layout({1.0});
+  ASSERT_EQ(layout.columns.size(), 1u);
+  EXPECT_EQ(layout.columns[0], (std::vector<int>{0}));
+  // One rectangle filling the unit square: half-perimeter 2.
+  EXPECT_NEAR(layout.continuous_half_perimeter, 2.0, 1e-12);
+}
+
+TEST(ColumnLayout, EqualPairSplitsIntoTwoColumns) {
+  // Two equal processors: {1 column of 2} costs 2*0.5*2... compare:
+  //   one column  : 2*1 + 1 = 3
+  //   two columns : (1*0.5 + 1) * 2 = 3 — tie; either is optimal.
+  const auto layout = optimal_column_layout({1.0, 1.0});
+  EXPECT_NEAR(layout.continuous_half_perimeter, 3.0, 1e-12);
+}
+
+TEST(ColumnLayout, FourEqualProcessorsPreferTwoByTwo) {
+  // 2x2 grid: per column 2 rects of w=0.5 => cost 2*(2*0.5 + 1) = 4;
+  // 1x4 slices: 4*0.25*1 + ... = 1*4... compute: one column of 4:
+  // 4*1 + 1 = 5; four columns: 4*(1*0.25 + 1) = 5; two columns of 2:
+  // 2*(2*0.5 + 1) = 4 — optimal.
+  const auto layout = optimal_column_layout({1.0, 1.0, 1.0, 1.0});
+  ASSERT_EQ(layout.columns.size(), 2u);
+  EXPECT_EQ(layout.columns[0].size(), 2u);
+  EXPECT_NEAR(layout.continuous_half_perimeter, 4.0, 1e-12);
+}
+
+TEST(ColumnLayout, MatchesBruteForceForConsecutivePartitions) {
+  // DP must find the optimal consecutive grouping of the sorted areas.
+  const std::vector<double> areas = {0.4, 0.25, 0.2, 0.1, 0.05};
+  const auto layout = optimal_column_layout(areas);
+
+  // Brute force all 2^(p-1) consecutive splits of the sorted sequence.
+  std::vector<double> sorted = areas;  // already descending
+  const std::size_t p = sorted.size();
+  double best = 1e300;
+  for (unsigned mask = 0; mask < (1u << (p - 1)); ++mask) {
+    double cost = 0.0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+      const bool cut = i + 1 == p || (mask >> i) & 1u;
+      if (!cut) continue;
+      double w = 0.0;
+      for (std::size_t j = start; j <= i; ++j) w += sorted[j];
+      cost += static_cast<double>(i - start + 1) * w + 1.0;
+      start = i + 1;
+    }
+    best = std::min(best, cost);
+  }
+  EXPECT_NEAR(layout.continuous_half_perimeter, best, 1e-9);
+}
+
+TEST(ColumnLayout, RejectsBadInput) {
+  EXPECT_THROW(optimal_column_layout({}), std::invalid_argument);
+  EXPECT_THROW(optimal_column_layout({1.0, -0.5}), std::invalid_argument);
+  EXPECT_THROW(optimal_column_layout({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(ColumnPartition, CoversExactlyWithRequestedAreas) {
+  const std::int64_t n = 240;
+  const std::vector<std::int64_t> areas = {n * n / 2, n * n / 3,
+                                           n * n - n * n / 2 - n * n / 3};
+  const auto spec = column_based_partition(n, areas);
+  spec.validate(3);
+  std::int64_t sum = 0;
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(spec.is_rectangular(r)) << "rank " << r;
+    sum += spec.area_of(r);
+    EXPECT_NEAR(static_cast<double>(spec.area_of(r)),
+                static_cast<double>(areas[static_cast<std::size_t>(r)]),
+                static_cast<double>(2 * n));
+  }
+  EXPECT_EQ(sum, n * n);
+}
+
+TEST(ColumnPartition, ManyProcessors) {
+  const std::int64_t n = 360;
+  std::vector<std::int64_t> areas(6, n * n / 6);
+  areas[0] += n * n - 6 * (n * n / 6);
+  const auto spec = column_based_partition(n, areas);
+  spec.validate(6);
+  std::int64_t sum = 0;
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_TRUE(spec.is_rectangular(r));
+    sum += spec.area_of(r);
+  }
+  EXPECT_EQ(sum, n * n);
+}
+
+TEST(ColumnPartition, SingleProcessorOwnsEverything) {
+  const auto spec = column_based_partition(64, {64 * 64});
+  EXPECT_EQ(spec.area_of(0), 64 * 64);
+  EXPECT_TRUE(spec.is_rectangular(0));
+}
+
+TEST(ColumnPartition, RejectsWrongTotals) {
+  EXPECT_THROW(column_based_partition(16, {100, 100}),
+               std::invalid_argument);
+  EXPECT_THROW(column_based_partition(0, {0}), std::invalid_argument);
+  EXPECT_THROW(column_based_partition(16, {-4, 260}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace summagen::partition

@@ -1,0 +1,101 @@
+// The worked 16 x 16 examples of the paper's Section IV (Figure 1): the
+// shape builders must regenerate the exact {subplda, subpldb, subp, subph,
+// subpw} arrays the paper lists for each of the four partition shapes.
+#include <gtest/gtest.h>
+
+#include "src/partition/shapes.hpp"
+
+namespace summagen::partition {
+namespace {
+
+TEST(PaperExamples, SquareCornerArrays) {
+  // Figure 1a: P0 and P2 own the corner squares (areas 81 and 16), P1 the
+  // non-rectangular remainder (159).
+  const auto spec =
+      build_shape(Shape::kSquareCorner, 16, {81, 159, 16});
+  EXPECT_EQ(spec.subplda, 3);
+  EXPECT_EQ(spec.subpldb, 3);
+  EXPECT_EQ(spec.subp, (std::vector<int>{0, 1, 1, 1, 1, 1, 1, 1, 2}));
+  EXPECT_EQ(spec.subph, (std::vector<std::int64_t>{9, 3, 4}));
+  EXPECT_EQ(spec.subpw, (std::vector<std::int64_t>{9, 3, 4}));
+  // "The sub-partitions in row-major order is given by the Cartesian
+  // product subph x subpw": P0 owns {9x9}, P1 owns seven cells, P2 {4x4}.
+  EXPECT_EQ(spec.area_of(0), 81);
+  EXPECT_EQ(spec.area_of(1), 159);
+  EXPECT_EQ(spec.area_of(2), 16);
+  EXPECT_TRUE(spec.is_rectangular(0));
+  EXPECT_FALSE(spec.is_rectangular(1));
+  EXPECT_TRUE(spec.is_rectangular(2));
+}
+
+TEST(PaperExamples, SquareRectangleArrays) {
+  // Figure 1b: P1 owns the full-height rectangle, P2 the square, P0 the
+  // non-rectangular rest.
+  const auto spec =
+      build_shape(Shape::kSquareRectangle, 16, {192, 48, 16});
+  EXPECT_EQ(spec.subplda, 2);
+  EXPECT_EQ(spec.subpldb, 3);
+  EXPECT_EQ(spec.subp, (std::vector<int>{0, 0, 1, 0, 2, 1}));
+  EXPECT_EQ(spec.subph, (std::vector<std::int64_t>{12, 4}));
+  EXPECT_EQ(spec.subpw, (std::vector<std::int64_t>{9, 4, 3}));
+  // Paper: P0 owns {12x9, 12x4, 4x9}, P1 owns {12x3, 4x3}, P2 owns {4x4}.
+  EXPECT_EQ(spec.area_of(0), 12 * 9 + 12 * 4 + 4 * 9);
+  EXPECT_EQ(spec.area_of(1), 12 * 3 + 4 * 3);
+  EXPECT_EQ(spec.area_of(2), 4 * 4);
+  EXPECT_TRUE(spec.is_rectangular(1));  // full right column
+  EXPECT_TRUE(spec.is_rectangular(2));
+  EXPECT_FALSE(spec.is_rectangular(0));
+}
+
+TEST(PaperExamples, BlockRectangleArrays) {
+  // Figure 1c: P0 the full-width top rectangle; P1 and P2 split the bottom
+  // strip. All partitions rectangular.
+  const auto spec =
+      build_shape(Shape::kBlockRectangle, 16, {192, 24, 40});
+  EXPECT_EQ(spec.subplda, 2);
+  EXPECT_EQ(spec.subpldb, 2);
+  EXPECT_EQ(spec.subp, (std::vector<int>{0, 0, 1, 2}));
+  EXPECT_EQ(spec.subph, (std::vector<std::int64_t>{12, 4}));
+  EXPECT_EQ(spec.subpw, (std::vector<std::int64_t>{6, 10}));
+  for (int r = 0; r < 3; ++r) EXPECT_TRUE(spec.is_rectangular(r));
+}
+
+TEST(PaperExamples, OneDimensionalArrays) {
+  // Figure 1d: vertical slices of widths {8, 5, 3}.
+  const auto spec =
+      build_shape(Shape::kOneDimensional, 16, {128, 80, 48});
+  EXPECT_EQ(spec.subplda, 1);
+  EXPECT_EQ(spec.subpldb, 3);
+  EXPECT_EQ(spec.subp, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(spec.subph, (std::vector<std::int64_t>{16}));
+  EXPECT_EQ(spec.subpw, (std::vector<std::int64_t>{8, 5, 3}));
+  for (int r = 0; r < 3; ++r) EXPECT_TRUE(spec.is_rectangular(r));
+}
+
+TEST(PaperExamples, SquareCornerHalfPerimeters) {
+  // Communication-volume geometry of Figure 1a: the covering rectangle of
+  // the non-rectangular zone is the whole matrix.
+  const auto spec =
+      build_shape(Shape::kSquareCorner, 16, {81, 159, 16});
+  EXPECT_EQ(spec.half_perimeter(0), 18);  // 9 + 9
+  EXPECT_EQ(spec.half_perimeter(1), 32);  // 16 + 16
+  EXPECT_EQ(spec.half_perimeter(2), 8);   // 4 + 4
+  EXPECT_EQ(spec.total_half_perimeter(), 58);
+}
+
+TEST(PaperExamples, RenderMatchesFigure1a) {
+  const auto spec =
+      build_shape(Shape::kSquareCorner, 16, {81, 159, 16});
+  // 4x4 cells -> sample elements (0,4,8,12)^2: the 9x9 P0 square covers
+  // the first three samples of the first three rows; P2's 4x4 square owns
+  // only the last sample of the last row.
+  const std::string art = spec.render(4);
+  EXPECT_EQ(art,
+            "0001\n"
+            "0001\n"
+            "0001\n"
+            "1112\n");
+}
+
+}  // namespace
+}  // namespace summagen::partition

@@ -1,0 +1,104 @@
+#include "src/partition/push.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/partition/areas.hpp"
+#include "src/partition/shapes.hpp"
+
+namespace summagen::partition {
+namespace {
+
+TEST(Push, PreservesAreasExactly) {
+  const std::int64_t n = 128;
+  const auto areas = partition_areas_cpm(n * n, {3.0, 1.0});
+  PushOptions opts;
+  opts.grid = 16;
+  const auto res = push_optimize(n, areas, opts);
+  res.spec.validate(2);
+  // Cell quantisation: each zone within one cell row/column of its request.
+  const double cell = static_cast<double>(n) / opts.grid;
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(static_cast<double>(res.spec.area_of(r)),
+                static_cast<double>(areas[static_cast<std::size_t>(r)]),
+                cell * n + cell * cell);
+  }
+}
+
+TEST(Push, NeverWorsensTheStartingLayout) {
+  const std::int64_t n = 96;
+  for (auto speeds : {std::vector<double>{1.0, 1.0},
+                      std::vector<double>{4.0, 1.0},
+                      std::vector<double>{1.0, 2.0, 0.9}}) {
+    const auto areas = partition_areas_cpm(n * n, speeds);
+    PushOptions opts;
+    opts.grid = 12;
+    const auto res = push_optimize(n, areas, opts);
+    EXPECT_LE(res.final_half_perimeter, res.initial_half_perimeter);
+    EXPECT_GE(res.passes, 1);
+  }
+}
+
+TEST(Push, BalancedTwoProcessorsKeepStraightLine) {
+  // Ratio 1:1 is below the square-corner crossover: the straight line is
+  // optimal (HP = 3n) and the descent must not do worse.
+  const std::int64_t n = 128;
+  const auto areas = partition_areas_cpm(n * n, {1.0, 1.0});
+  PushOptions opts;
+  opts.grid = 16;
+  const auto res = push_optimize(n, areas, opts);
+  EXPECT_EQ(res.final_half_perimeter, 3 * n);
+}
+
+TEST(Push, SkewedTwoProcessorsDiscoverTheCorner) {
+  // Ratio 8:1 is far beyond 3:1: the descent must find a layout at least
+  // as good as the analytic square corner and strictly better than 1D.
+  const std::int64_t n = 128;
+  const auto areas = partition_areas_cpm(n * n, {8.0, 1.0});
+  PushOptions opts;
+  opts.grid = 16;
+  const auto res = push_optimize(n, areas, opts);
+  EXPECT_LT(res.final_half_perimeter, 3 * n);  // beat the straight line
+  const auto corner = build_shape(Shape::kSquareCorner, n, areas);
+  // Within one cell-granularity step of the analytic optimum.
+  const std::int64_t cell = n / opts.grid;
+  EXPECT_LE(res.final_half_perimeter,
+            corner.total_half_perimeter() + 2 * cell);
+  EXPECT_GT(res.swaps, 0);
+}
+
+TEST(Push, ThreeProcessorsBeatOneDimensional) {
+  const std::int64_t n = 120;
+  const auto areas = partition_areas_cpm(n * n, {1.0, 2.0, 0.9});
+  PushOptions opts;
+  opts.grid = 12;
+  const auto res = push_optimize(n, areas, opts);
+  const auto one_d = build_shape(Shape::kOneDimensional, n, areas);
+  EXPECT_LT(res.final_half_perimeter, one_d.total_half_perimeter());
+}
+
+TEST(Push, DeterministicPerSeed) {
+  const std::int64_t n = 64;
+  const auto areas = partition_areas_cpm(n * n, {5.0, 1.0});
+  PushOptions opts;
+  opts.grid = 8;
+  const auto r1 = push_optimize(n, areas, opts);
+  const auto r2 = push_optimize(n, areas, opts);
+  EXPECT_EQ(r1.final_half_perimeter, r2.final_half_perimeter);
+  EXPECT_EQ(r1.spec.subp, r2.spec.subp);
+}
+
+TEST(Push, RejectsBadInput) {
+  EXPECT_THROW(push_optimize(0, {0}), std::invalid_argument);
+  EXPECT_THROW(push_optimize(64, {}), std::invalid_argument);
+  EXPECT_THROW(push_optimize(64, {100, 100}), std::invalid_argument);
+  PushOptions opts;
+  opts.grid = 1;
+  EXPECT_THROW(push_optimize(64, {64 * 64}, opts), std::invalid_argument);
+  opts.grid = 2;
+  std::vector<std::int64_t> many(5, 64 * 64 / 5);
+  many[0] += 64 * 64 - 5 * (64 * 64 / 5);
+  EXPECT_THROW(push_optimize(64, many, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace summagen::partition

@@ -1,0 +1,297 @@
+// Property tests of the shape builders: for every shape, a spread of sizes
+// and speed mixes, the generated PartitionSpec must cover the matrix
+// exactly, assign every rank roughly its requested area, and respect the
+// shape's geometric signature.
+#include "src/partition/shapes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/partition/areas.hpp"
+
+namespace summagen::partition {
+namespace {
+
+std::vector<std::int64_t> areas_for(std::int64_t n,
+                                    const std::vector<double>& speeds) {
+  return partition_areas_cpm(n * n, speeds);
+}
+
+class ShapeProperties
+    : public ::testing::TestWithParam<
+          std::tuple<Shape, std::int64_t, std::vector<double>>> {};
+
+TEST_P(ShapeProperties, CoversExactlyAndApproximatesAreas) {
+  const auto [shape, n, speeds] = GetParam();
+  const auto areas = areas_for(n, speeds);
+  const auto spec = build_shape(shape, n, areas);
+  ASSERT_NO_THROW(spec.validate(3));
+
+  // Exact cover: per-rank areas sum to n^2 (validate already checks the
+  // grid sums; this checks ownership accounting).
+  std::int64_t sum = 0;
+  for (int r = 0; r < 3; ++r) sum += spec.area_of(r);
+  EXPECT_EQ(sum, n * n);
+
+  // Achieved areas approximate requests. Corner squares round area to a
+  // squared integer, so allow ~3*sqrt(a)+granularity slack per rank.
+  // Exception: the square corner is geometrically infeasible when the two
+  // corner squares would overlap (near-homogeneous areas); the builder then
+  // degrades to the most balanced layout the shape admits and the area
+  // approximation guarantee is void.
+  const auto order = ranks_by_area(areas);
+  const bool corner_infeasible =
+      shape == Shape::kSquareCorner &&
+      std::sqrt(static_cast<double>(
+          areas[static_cast<std::size_t>(order[1])])) +
+              std::sqrt(static_cast<double>(
+                  areas[static_cast<std::size_t>(order[2])])) >
+          static_cast<double>(n);
+  if (!corner_infeasible) {
+    for (int r = 0; r < 3; ++r) {
+      const double slack =
+          3.0 * std::sqrt(static_cast<double>(areas[static_cast<std::size_t>(
+              r)])) + 16.0;
+      EXPECT_NEAR(static_cast<double>(spec.area_of(r)),
+                  static_cast<double>(areas[static_cast<std::size_t>(r)]),
+                  slack)
+          << shape_name(shape) << " rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShapeProperties,
+    ::testing::Combine(
+        ::testing::ValuesIn(all_shapes()),
+        ::testing::Values<std::int64_t>(16, 64, 100, 257, 1024),
+        ::testing::Values(std::vector<double>{1.0, 2.0, 0.9},
+                          std::vector<double>{1.0, 1.0, 1.0},
+                          std::vector<double>{5.0, 1.0, 1.0},
+                          std::vector<double>{1.0, 8.0, 2.0})),
+    [](const auto& param_info) {
+      std::string s =
+          std::string(shape_name(std::get<0>(param_info.param))) + "_n" +
+          std::to_string(std::get<1>(param_info.param)) + "_s";
+      for (double v : std::get<2>(param_info.param)) {
+        s += std::to_string(static_cast<int>(v * 10));
+      }
+      return s;
+    });
+
+TEST(ShapeGeometry, SquareCornerSignature) {
+  const auto spec = build_shape(Shape::kSquareCorner, 256,
+                                areas_for(256, {1.0, 2.0, 0.9}));
+  // Exactly one non-rectangular zone (the largest area), two squares.
+  int non_rect = 0;
+  for (int r = 0; r < 3; ++r) non_rect += spec.is_rectangular(r) ? 0 : 1;
+  EXPECT_EQ(non_rect, 1);
+  const auto order = ranks_by_area({spec.area_of(0), spec.area_of(1),
+                                    spec.area_of(2)});
+  EXPECT_FALSE(spec.is_rectangular(order[0]));
+  // The two rectangular zones are squares in opposite corners.
+  const Rect r2 = spec.covering(order[1]);
+  const Rect r3 = spec.covering(order[2]);
+  EXPECT_EQ(r2.rows, r2.cols);
+  EXPECT_EQ(r3.rows, r3.cols);
+  EXPECT_EQ(r2.row0, 0);
+  EXPECT_EQ(r2.col0, 0);
+  EXPECT_EQ(r3.row0 + r3.rows, 256);
+  EXPECT_EQ(r3.col0 + r3.cols, 256);
+}
+
+TEST(ShapeGeometry, SquareRectangleSignature) {
+  const auto spec = build_shape(Shape::kSquareRectangle, 256,
+                                areas_for(256, {1.0, 2.0, 0.9}));
+  const auto order = ranks_by_area({spec.area_of(0), spec.area_of(1),
+                                    spec.area_of(2)});
+  // Second-largest owns a full-height rectangle at the right edge.
+  const Rect rect = spec.covering(order[1]);
+  EXPECT_TRUE(spec.is_rectangular(order[1]));
+  EXPECT_EQ(rect.rows, 256);
+  EXPECT_EQ(rect.col0 + rect.cols, 256);
+  // Smallest owns a square.
+  const Rect sq = spec.covering(order[2]);
+  EXPECT_TRUE(spec.is_rectangular(order[2]));
+  EXPECT_EQ(sq.rows, sq.cols);
+}
+
+TEST(ShapeGeometry, BlockRectangleAllRectangular) {
+  const auto spec = build_shape(Shape::kBlockRectangle, 256,
+                                areas_for(256, {1.0, 2.0, 0.9}));
+  for (int r = 0; r < 3; ++r) EXPECT_TRUE(spec.is_rectangular(r));
+  // Largest owns the full-width top band.
+  const auto order = ranks_by_area({spec.area_of(0), spec.area_of(1),
+                                    spec.area_of(2)});
+  const Rect top = spec.covering(order[0]);
+  EXPECT_EQ(top.cols, 256);
+  EXPECT_EQ(top.row0, 0);
+}
+
+TEST(ShapeGeometry, OneDimensionalVerticalSlices) {
+  const auto spec = build_shape(Shape::kOneDimensional, 256,
+                                areas_for(256, {1.0, 2.0, 0.9}));
+  EXPECT_EQ(spec.subplda, 1);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(spec.is_rectangular(r));
+    EXPECT_EQ(spec.covering(r).rows, 256);
+  }
+  // Fastest (largest area) leftmost.
+  const auto order = ranks_by_area({spec.area_of(0), spec.area_of(1),
+                                    spec.area_of(2)});
+  EXPECT_EQ(spec.owner(0, 0), order[0]);
+}
+
+TEST(ShapeGeometry, HalfPerimeterOrderingMatchesTheory) {
+  // For mild heterogeneity the 1D layout has the largest total
+  // half-perimeter (3n); 2D layouts are strictly better.
+  const std::int64_t n = 1024;
+  const auto areas = areas_for(n, {1.0, 2.0, 0.9});
+  const auto hp = [&](Shape s) {
+    return build_shape(s, n, areas).total_half_perimeter();
+  };
+  EXPECT_EQ(hp(Shape::kOneDimensional), 3 * n + n);  // 3 slices: 3n + n
+  EXPECT_LT(hp(Shape::kBlockRectangle), hp(Shape::kOneDimensional));
+  EXPECT_LT(hp(Shape::kSquareRectangle), hp(Shape::kOneDimensional));
+}
+
+TEST(ShapeBuilders, TwoProcessorSquareCorner) {
+  const auto spec = build_shape(Shape::kSquareCorner, 128, {12384, 4000});
+  spec.validate(2);
+  EXPECT_EQ(spec.area_of(0) + spec.area_of(1), 128 * 128);
+  // Smaller area is a corner square.
+  const Rect sq = spec.covering(1);
+  EXPECT_EQ(sq.rows, sq.cols);
+  EXPECT_TRUE(spec.is_rectangular(1));
+  EXPECT_FALSE(spec.is_rectangular(0));
+}
+
+TEST(ShapeBuilders, OneDimensionalArbitraryProcessorCount) {
+  for (int p : {1, 2, 4, 7}) {
+    std::vector<double> speeds(static_cast<std::size_t>(p), 1.0);
+    speeds[0] = 3.0;
+    const std::int64_t n = 210;
+    const auto areas = partition_areas_cpm(n * n, speeds);
+    const auto spec = build_shape(Shape::kOneDimensional, n, areas);
+    spec.validate(p);
+    std::int64_t sum = 0;
+    for (int r = 0; r < p; ++r) sum += spec.area_of(r);
+    EXPECT_EQ(sum, n * n);
+  }
+}
+
+TEST(ShapeBuilders, GranularitySnapsDimensions) {
+  const std::int64_t n = 256, g = 32;
+  const auto areas = areas_for(n, {1.0, 2.0, 0.9});
+  for (Shape s : all_shapes()) {
+    const auto spec = build_shape(s, n, areas, g);
+    for (auto h : spec.subph) EXPECT_EQ(h % g, 0) << shape_name(s);
+    for (auto w : spec.subpw) EXPECT_EQ(w % g, 0) << shape_name(s);
+  }
+}
+
+TEST(ShapeBuilders, GranularityMustDivideN) {
+  EXPECT_THROW(build_shape(Shape::kOneDimensional, 100, {5000, 5000}, 3),
+               std::invalid_argument);
+  EXPECT_THROW(build_shape(Shape::kOneDimensional, 100, {5000, 5000}, 0),
+               std::invalid_argument);
+}
+
+TEST(ShapeBuilders, WrongProcessorCounts) {
+  EXPECT_THROW(build_shape(Shape::kSquareCorner, 16, {256}),
+               std::invalid_argument);
+  EXPECT_THROW(build_shape(Shape::kSquareCorner, 16, {64, 64, 64, 64}),
+               std::invalid_argument);
+  EXPECT_THROW(build_shape(Shape::kSquareRectangle, 16, {128, 128}),
+               std::invalid_argument);
+  EXPECT_THROW(build_shape(Shape::kBlockRectangle, 16, {128, 128}),
+               std::invalid_argument);
+}
+
+TEST(ShapeBuilders, AreasMustSumToNSquared) {
+  EXPECT_THROW(build_shape(Shape::kOneDimensional, 16, {100, 100, 100}),
+               std::invalid_argument);
+  EXPECT_THROW(build_shape(Shape::kOneDimensional, 16, {-1, 200, 57}),
+               std::invalid_argument);
+}
+
+TEST(ShapeBuilders, ExtremeSkewStillValid) {
+  // One processor ~100x the others.
+  const std::int64_t n = 512;
+  const auto areas = areas_for(n, {100.0, 1.0, 1.0});
+  for (Shape s : all_shapes()) {
+    const auto spec = build_shape(s, n, areas);
+    EXPECT_NO_THROW(spec.validate(3)) << shape_name(s);
+    std::int64_t sum = 0;
+    for (int r = 0; r < 3; ++r) sum += spec.area_of(r);
+    EXPECT_EQ(sum, n * n) << shape_name(s);
+  }
+}
+
+TEST(ShapeBuilders, TinyMatrixDoesNotUnderflow) {
+  for (Shape s : all_shapes()) {
+    const auto areas = areas_for(8, {1.0, 2.0, 0.9});
+    EXPECT_NO_THROW(build_shape(s, 8, areas)) << shape_name(s);
+  }
+}
+
+TEST(ShapeBuilders, LRectangleExtensionShape) {
+  // The extension shape: two stacked rectangles at the right edge, the
+  // largest zone an L around them.
+  const std::int64_t n = 256;
+  const auto areas = areas_for(n, {1.0, 2.0, 0.9});
+  const auto spec = build_shape(Shape::kLRectangle, n, areas);
+  spec.validate(3);
+  std::int64_t sum = 0;
+  for (int r = 0; r < 3; ++r) sum += spec.area_of(r);
+  EXPECT_EQ(sum, n * n);
+  const auto order = ranks_by_area({spec.area_of(0), spec.area_of(1),
+                                    spec.area_of(2)});
+  EXPECT_FALSE(spec.is_rectangular(order[0]));  // the L
+  EXPECT_TRUE(spec.is_rectangular(order[1]));
+  EXPECT_TRUE(spec.is_rectangular(order[2]));
+  // The two smaller zones stack: same column range, right edge.
+  const Rect r2 = spec.covering(order[1]);
+  const Rect r3 = spec.covering(order[2]);
+  EXPECT_EQ(r2.col0, r3.col0);
+  EXPECT_EQ(r2.cols, r3.cols);
+  EXPECT_EQ(r2.col0 + r2.cols, n);
+  // Areas approximate requests.
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_NEAR(static_cast<double>(spec.area_of(r)),
+                static_cast<double>(areas[static_cast<std::size_t>(r)]),
+                3.0 * std::sqrt(static_cast<double>(
+                    areas[static_cast<std::size_t>(r)])) + 16.0);
+  }
+}
+
+TEST(ShapeBuilders, LRectangleNeedsThreeProcessors) {
+  EXPECT_THROW(build_shape(Shape::kLRectangle, 16, {128, 128}),
+               std::invalid_argument);
+}
+
+TEST(ShapeBuilders, ExtendedShapesSupersetOfPaperShapes) {
+  EXPECT_EQ(extended_shapes().size(), all_shapes().size() + 1);
+  for (std::size_t i = 0; i < all_shapes().size(); ++i) {
+    EXPECT_EQ(extended_shapes()[i], all_shapes()[i]);
+  }
+  EXPECT_STREQ(shape_name(Shape::kLRectangle), "l_rectangle");
+}
+
+TEST(RanksByArea, SortsDescendingStable) {
+  EXPECT_EQ(ranks_by_area({10, 30, 20}), (std::vector<int>{1, 2, 0}));
+  EXPECT_EQ(ranks_by_area({5, 5, 5}), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ShapeNames, AllDistinctAndStable) {
+  EXPECT_STREQ(shape_name(Shape::kSquareCorner), "square_corner");
+  EXPECT_STREQ(shape_name(Shape::kSquareRectangle), "square_rectangle");
+  EXPECT_STREQ(shape_name(Shape::kBlockRectangle), "block_rectangle");
+  EXPECT_STREQ(shape_name(Shape::kOneDimensional), "one_dimensional");
+  EXPECT_EQ(all_shapes().size(), 4u);
+}
+
+}  // namespace
+}  // namespace summagen::partition

@@ -1,0 +1,148 @@
+#include "src/partition/spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/partition/shapes.hpp"
+#include "src/util/rng.hpp"
+
+namespace summagen::partition {
+namespace {
+
+PartitionSpec corner16() {
+  return build_shape(Shape::kSquareCorner, 16, {81, 159, 16});
+}
+
+// Areas for the paper's speeds {1.0, 2.0, 0.9} at n=256.
+std::vector<std::int64_t> areas256() {
+  return {16804, 33608, 15124};
+}
+
+TEST(SpecIo, RoundTripExactForEveryShape) {
+  for (Shape s : extended_shapes()) {
+    const auto spec = build_shape(s, 256, areas256());
+    const auto parsed = parse_spec(to_text(spec));
+    EXPECT_EQ(parsed.n, spec.n) << shape_name(s);
+    EXPECT_EQ(parsed.subplda, spec.subplda);
+    EXPECT_EQ(parsed.subpldb, spec.subpldb);
+    EXPECT_EQ(parsed.subp, spec.subp);
+    EXPECT_EQ(parsed.subph, spec.subph);
+    EXPECT_EQ(parsed.subpw, spec.subpw);
+  }
+}
+
+TEST(SpecIo, ParsesThePaperNotationVerbatim) {
+  // Section IV's square-corner arrays, including the paper's use of ';'
+  // to put two assignments on one line.
+  const std::string text = R"(
+# Figure 1a
+n = 16
+subplda = 3; subpldb = 3
+subp = {0, 1, 1, 1, 1, 1, 1, 1, 2}
+subph = {9, 3, 4}
+subpw = {9, 3, 4}
+)";
+  const auto spec = parse_spec(text);
+  const auto expected = corner16();
+  EXPECT_EQ(spec.subp, expected.subp);
+  EXPECT_EQ(spec.subph, expected.subph);
+  EXPECT_EQ(spec.area_of(1), 159);
+}
+
+TEST(SpecIo, CommentsAndWhitespaceTolerated) {
+  const std::string text =
+      "  n=4   # tiny\n"
+      "subplda=1\n"
+      "subpldb = 2\n"
+      "subp={0,1}\n"
+      "subph = { 4 }\n"
+      "subpw={1,3}\n";
+  const auto spec = parse_spec(text);
+  EXPECT_EQ(spec.n, 4);
+  EXPECT_EQ(spec.owner(0, 1), 1);
+}
+
+TEST(SpecIo, MissingKeyRejected) {
+  EXPECT_THROW(parse_spec("n = 4\nsubplda = 1\n"), std::invalid_argument);
+}
+
+TEST(SpecIo, DuplicateKeyRejected) {
+  const std::string text =
+      "n=4\nn=5\nsubplda=1\nsubpldb=1\nsubp={0}\nsubph={4}\nsubpw={4}\n";
+  EXPECT_THROW(parse_spec(text), std::invalid_argument);
+}
+
+TEST(SpecIo, SyntaxErrorsNameTheLine) {
+  try {
+    parse_spec("n = 4\nsubplda == 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_spec("n = {1, 2}\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("n = x\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("n = 4\nsubp = {0, }\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("n = 4\nsubp = {0, 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("bogus = 3\n"), std::invalid_argument);
+}
+
+TEST(SpecIo, InvalidSpecRejectedAfterParsing) {
+  // Heights sum to 5, n is 4.
+  const std::string text =
+      "n=4\nsubplda=1\nsubpldb=1\nsubp={0}\nsubph={5}\nsubpw={4}\n";
+  EXPECT_THROW(parse_spec(text), std::invalid_argument);
+}
+
+TEST(SpecIo, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const auto path = fs::temp_directory_path() / "summagen_spec_io_test.spec";
+  const auto spec = corner16();
+  save_spec(path.string(), spec);
+  const auto loaded = load_spec(path.string());
+  EXPECT_EQ(loaded.subp, spec.subp);
+  EXPECT_EQ(loaded.subph, spec.subph);
+  std::remove(path.string().c_str());
+}
+
+TEST(SpecIo, FuzzRoundTripRandomSpecs) {
+  util::Rng rng(12321);
+  for (int trial = 0; trial < 30; ++trial) {
+    PartitionSpec spec;
+    spec.n = rng.uniform_int(4, 200);
+    spec.subplda = static_cast<int>(rng.uniform_int(1, 5));
+    spec.subpldb = static_cast<int>(rng.uniform_int(1, 5));
+    auto cuts = [&](int parts) {
+      std::vector<std::int64_t> sizes(static_cast<std::size_t>(parts), 0);
+      std::int64_t left = spec.n;
+      for (int i = 0; i < parts - 1; ++i) {
+        sizes[static_cast<std::size_t>(i)] = rng.uniform_int(0, left);
+        left -= sizes[static_cast<std::size_t>(i)];
+      }
+      sizes[static_cast<std::size_t>(parts - 1)] = left;
+      return sizes;
+    };
+    spec.subph = cuts(spec.subplda);
+    spec.subpw = cuts(spec.subpldb);
+    spec.subp.resize(static_cast<std::size_t>(spec.subplda) *
+                     static_cast<std::size_t>(spec.subpldb));
+    for (auto& owner : spec.subp) {
+      owner = static_cast<int>(rng.uniform_int(0, 7));
+    }
+    const auto round = parse_spec(to_text(spec));
+    EXPECT_EQ(round.n, spec.n) << "trial " << trial;
+    EXPECT_EQ(round.subp, spec.subp);
+    EXPECT_EQ(round.subph, spec.subph);
+    EXPECT_EQ(round.subpw, spec.subpw);
+  }
+}
+
+TEST(SpecIo, FileErrorsThrowRuntimeError) {
+  EXPECT_THROW(load_spec("/nonexistent/dir/x.spec"), std::runtime_error);
+  EXPECT_THROW(save_spec("/nonexistent/dir/x.spec", corner16()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace summagen::partition

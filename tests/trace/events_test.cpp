@@ -1,0 +1,89 @@
+#include "src/trace/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace summagen::trace {
+namespace {
+
+TEST(EventLog, DisabledLogRecordsNothing) {
+  EventLog log(false);
+  log.record({0, EventKind::kCompute, 0.0, 1.0, 0, 100, ""});
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_FALSE(log.enabled());
+}
+
+TEST(EventLog, RecordsAndSortsByRankThenTime) {
+  EventLog log;
+  log.record({1, EventKind::kCompute, 2.0, 3.0, 0, 0, "b"});
+  log.record({0, EventKind::kBcast, 1.0, 1.5, 64, 0, "a"});
+  log.record({1, EventKind::kBcast, 0.0, 0.5, 32, 0, "c"});
+  const auto sorted = log.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].rank, 0);
+  EXPECT_EQ(sorted[1].rank, 1);
+  EXPECT_EQ(sorted[1].detail, "c");
+  EXPECT_EQ(sorted[2].detail, "b");
+}
+
+TEST(EventLog, TotalSecondsFiltersByRankAndKind) {
+  EventLog log;
+  log.record({0, EventKind::kCompute, 0.0, 2.0, 0, 0, ""});
+  log.record({0, EventKind::kCompute, 3.0, 4.0, 0, 0, ""});
+  log.record({0, EventKind::kBcast, 2.0, 2.5, 0, 0, ""});
+  log.record({1, EventKind::kCompute, 0.0, 10.0, 0, 0, ""});
+  EXPECT_DOUBLE_EQ(log.total_seconds(0, EventKind::kCompute), 3.0);
+  EXPECT_DOUBLE_EQ(log.total_seconds(0, EventKind::kBcast), 0.5);
+  EXPECT_DOUBLE_EQ(log.total_seconds(1, EventKind::kCompute), 10.0);
+  EXPECT_DOUBLE_EQ(log.total_seconds(2, EventKind::kCompute), 0.0);
+}
+
+TEST(EventLog, ConcurrentRecordingIsSafe) {
+  EventLog log;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.record({t, EventKind::kCompute, static_cast<double>(i),
+                    static_cast<double>(i) + 0.5, 0, 0, ""});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(EventLog, RenderTimelineMentionsRanksAndKinds) {
+  EventLog log;
+  log.record({0, EventKind::kCompute, 0.0, 1.0, 0, 2048, ""});
+  log.record({1, EventKind::kBcast, 0.0, 0.1, 512, 0, "root=w0"});
+  const std::string s = log.render_timeline();
+  EXPECT_NE(s.find("rank 0:"), std::string::npos);
+  EXPECT_NE(s.find("rank 1:"), std::string::npos);
+  EXPECT_NE(s.find("compute"), std::string::npos);
+  EXPECT_NE(s.find("bcast"), std::string::npos);
+  EXPECT_NE(s.find("512B"), std::string::npos);
+}
+
+TEST(EventLog, ClearEmptiesTheLog) {
+  EventLog log;
+  log.record({0, EventKind::kCompute, 0.0, 1.0, 0, 0, ""});
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(EventKind::kCompute), "compute");
+  EXPECT_STREQ(to_string(EventKind::kBcast), "bcast");
+  EXPECT_STREQ(to_string(EventKind::kBarrier), "barrier");
+  EXPECT_STREQ(to_string(EventKind::kCopy), "copy");
+  EXPECT_STREQ(to_string(EventKind::kWait), "wait");
+  EXPECT_STREQ(to_string(EventKind::kTransfer), "transfer");
+}
+
+}  // namespace
+}  // namespace summagen::trace

@@ -1,0 +1,122 @@
+#include "src/trace/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace summagen::trace {
+namespace {
+
+TEST(Gantt, EmptyEventsRenderNothing) {
+  EXPECT_EQ(render_gantt({}), "");
+}
+
+TEST(Gantt, OneLanePerRank) {
+  const std::vector<Event> events = {
+      {0, EventKind::kCompute, 0.0, 1.0, 0, 0, ""},
+      {2, EventKind::kCompute, 0.0, 1.0, 0, 0, ""},
+  };
+  const std::string s = render_gantt(events);
+  EXPECT_NE(s.find("P0 |"), std::string::npos);
+  EXPECT_NE(s.find("P2 |"), std::string::npos);
+  EXPECT_EQ(s.find("P1 |"), std::string::npos);
+}
+
+TEST(Gantt, FullyBusyLaneIsAllCompute) {
+  GanttOptions opts;
+  opts.width = 10;
+  opts.show_scale = false;
+  opts.show_utilisation = false;
+  const std::vector<Event> events = {
+      {0, EventKind::kCompute, 0.0, 2.0, 0, 0, ""},
+  };
+  EXPECT_EQ(render_gantt(events, 0.0, opts), "P0 |CCCCCCCCCC|\n");
+}
+
+TEST(Gantt, HalfIdleLane) {
+  GanttOptions opts;
+  opts.width = 10;
+  opts.show_scale = false;
+  opts.show_utilisation = false;
+  const std::vector<Event> events = {
+      {0, EventKind::kCompute, 0.0, 1.0, 0, 0, ""},
+  };
+  // Makespan 2: first half compute, second half idle.
+  EXPECT_EQ(render_gantt(events, 2.0, opts), "P0 |CCCCC.....|\n");
+}
+
+TEST(Gantt, DominantActivityWinsEachBucket) {
+  GanttOptions opts;
+  opts.width = 4;
+  opts.show_scale = false;
+  opts.show_utilisation = false;
+  // Bucket width 1s: bcast dominates bucket 0 (0.7s vs 0.3s compute).
+  const std::vector<Event> events = {
+      {0, EventKind::kBcast, 0.0, 0.7, 64, 0, ""},
+      {0, EventKind::kCompute, 0.7, 4.0, 0, 0, ""},
+  };
+  EXPECT_EQ(render_gantt(events, 4.0, opts), "P0 |BCCC|\n");
+}
+
+TEST(Gantt, UtilisationAndScaleShown) {
+  const std::vector<Event> events = {
+      {0, EventKind::kCompute, 0.0, 1.0, 0, 0, ""},
+  };
+  const std::string s = render_gantt(events, 2.0);
+  EXPECT_NE(s.find("50%"), std::string::npos);
+  EXPECT_NE(s.find("C=compute"), std::string::npos);
+}
+
+TEST(Gantt, TransferAndBarrierGlyphs) {
+  GanttOptions opts;
+  opts.width = 8;
+  opts.show_scale = false;
+  opts.show_utilisation = false;
+  const std::vector<Event> events = {
+      {1, EventKind::kTransfer, 0.0, 4.0, 64, 0, ""},
+      {1, EventKind::kBarrier, 4.0, 8.0, 0, 0, ""},
+  };
+  EXPECT_EQ(render_gantt(events, 8.0, opts), "P1 |TTTTRRRR|\n");
+}
+
+TEST(Gantt, TinyWidthRejected) {
+  GanttOptions opts;
+  opts.width = 4;
+  const std::vector<Event> events = {
+      {0, EventKind::kCompute, 0.0, 1.0, 0, 0, ""},
+  };
+  opts.width = 2;
+  EXPECT_EQ(render_gantt(events, 0.0, opts), "");
+}
+
+TEST(ChromeTrace, EmptyEventsYieldEmptyArray) {
+  EXPECT_EQ(export_chrome_trace({}), "[\n]\n");
+}
+
+TEST(ChromeTrace, EmitsCompleteEventsWithMicroseconds) {
+  const std::vector<Event> events = {
+      {0, EventKind::kCompute, 0.001, 0.003, 0, 4096, "subp(0,1)"},
+      {1, EventKind::kBcast, 0.0, 0.0005, 512, 0, "root=w0"},
+  };
+  const std::string json = export_chrome_trace(events);
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"bcast\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000.000"), std::string::npos);   // 1 ms
+  EXPECT_NE(json.find("\"dur\":2000.000"), std::string::npos);  // 2 ms
+  EXPECT_NE(json.find("\"bytes\":512"), std::string::npos);
+  EXPECT_NE(json.find("\"flops\":4096"), std::string::npos);
+  EXPECT_NE(json.find("subp(0,1)"), std::string::npos);
+  // Valid JSON array bracketing.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(ChromeTrace, EscapesQuotesAndBackslashesInDetail) {
+  const std::vector<Event> events = {
+      {0, EventKind::kCopy, 0.0, 1.0, 0, 0, "say \"hi\" \\ bye"},
+  };
+  const std::string json = export_chrome_trace(events);
+  EXPECT_NE(json.find("say \\\"hi\\\" \\\\ bye"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace summagen::trace

@@ -1,0 +1,50 @@
+#include "src/trace/hockney.hpp"
+
+#include <gtest/gtest.h>
+
+namespace summagen::trace {
+namespace {
+
+TEST(Hockney, P2pIsAffine) {
+  HockneyParams link{1.0e-6, 1.0e-9};
+  EXPECT_DOUBLE_EQ(link.p2p(0), 1.0e-6);
+  EXPECT_DOUBLE_EQ(link.p2p(1000), 1.0e-6 + 1.0e-6);
+  // Doubling bytes doubles the bandwidth term only.
+  const double t1 = link.p2p(1 << 20);
+  const double t2 = link.p2p(2 << 20);
+  EXPECT_NEAR(t2 - t1, static_cast<double>(1 << 20) * 1.0e-9, 1e-15);
+}
+
+TEST(Hockney, BcastRounds) {
+  EXPECT_EQ(bcast_rounds(0), 0);
+  EXPECT_EQ(bcast_rounds(1), 0);
+  EXPECT_EQ(bcast_rounds(2), 1);
+  EXPECT_EQ(bcast_rounds(3), 2);
+  EXPECT_EQ(bcast_rounds(4), 2);
+  EXPECT_EQ(bcast_rounds(5), 3);
+  EXPECT_EQ(bcast_rounds(8), 3);
+  EXPECT_EQ(bcast_rounds(9), 4);
+}
+
+TEST(Hockney, BcastCostScalesWithRoundsAndBytes) {
+  HockneyParams link{2.0e-6, 1.0e-9};
+  EXPECT_DOUBLE_EQ(bcast_cost(link, 100, 1), 0.0);
+  EXPECT_DOUBLE_EQ(bcast_cost(link, 100, 2), link.p2p(100));
+  EXPECT_DOUBLE_EQ(bcast_cost(link, 100, 4), 2 * link.p2p(100));
+  EXPECT_GT(bcast_cost(link, 1000, 3), bcast_cost(link, 100, 3));
+}
+
+TEST(Hockney, BarrierCostIsTwoEmptyTraversals) {
+  HockneyParams link{3.0e-6, 1.0e-9};
+  EXPECT_DOUBLE_EQ(barrier_cost(link, 2), 2 * link.p2p(0));
+  EXPECT_DOUBLE_EQ(barrier_cost(link, 4), 4 * link.p2p(0));
+  EXPECT_DOUBLE_EQ(barrier_cost(link, 1), 0.0);
+}
+
+TEST(Hockney, AllreduceCostIsReducePlusBcast) {
+  HockneyParams link{3.0e-6, 1.0e-9};
+  EXPECT_DOUBLE_EQ(allreduce_cost(link, 8, 3), 2 * 2 * link.p2p(8));
+}
+
+}  // namespace
+}  // namespace summagen::trace

@@ -1,0 +1,129 @@
+#include "src/trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.hpp"
+
+namespace summagen::trace {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(sample_stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Stats, MeanOfEmptyThrows) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Stats, StddevOfSingletonIsZero) {
+  EXPECT_EQ(sample_stddev({3.0}), 0.0);
+}
+
+TEST(StudentT, MatchesTabulatedValues) {
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(4, 0.95), 2.776, 1e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_critical(30, 0.95), 2.042, 1e-3);
+}
+
+TEST(StudentT, LargeDfApproachesNormal) {
+  EXPECT_NEAR(student_t_critical(1000, 0.95), 1.962, 5e-3);
+}
+
+TEST(StudentT, OtherConfidenceLevels) {
+  // t_{0.995, 60} = 2.660 (99% two-sided).
+  EXPECT_NEAR(student_t_critical(60, 0.99), 2.660, 2e-2);
+}
+
+TEST(StudentT, RejectsBadDf) {
+  EXPECT_THROW(student_t_critical(0), std::invalid_argument);
+}
+
+TEST(ConfidenceHalfwidth, ShrinksWithSampleSize) {
+  util::Rng rng(5);
+  std::vector<double> small, large;
+  for (int i = 0; i < 5; ++i) small.push_back(rng.normal(10, 1));
+  large = small;
+  for (int i = 0; i < 95; ++i) large.push_back(rng.normal(10, 1));
+  EXPECT_GT(confidence_halfwidth(small), confidence_halfwidth(large));
+}
+
+TEST(MeasureUntilPrecise, ConvergesOnLowNoiseExperiment) {
+  util::Rng rng(7);
+  const auto point = measure_until_precise(
+      [&] { return 10.0 + rng.normal(0.0, 0.05); });
+  EXPECT_TRUE(point.converged);
+  EXPECT_NEAR(point.mean, 10.0, 0.2);
+  EXPECT_LE(point.ci_halfwidth, 0.025 * point.mean + 1e-12);
+  EXPECT_GE(point.repetitions, 3);
+}
+
+TEST(MeasureUntilPrecise, StopsAtMaxRepsOnNoisyExperiment) {
+  util::Rng rng(11);
+  MeasureOptions opts;
+  opts.max_reps = 10;
+  const auto point = measure_until_precise(
+      [&] { return std::abs(rng.normal(1.0, 5.0)) + 0.01; }, opts);
+  EXPECT_FALSE(point.converged);
+  EXPECT_EQ(point.repetitions, 10);
+}
+
+TEST(MeasureUntilPrecise, DeterministicExperimentConvergesImmediately) {
+  const auto point = measure_until_precise([] { return 4.2; });
+  EXPECT_TRUE(point.converged);
+  EXPECT_EQ(point.repetitions, 3);  // min_reps
+  EXPECT_DOUBLE_EQ(point.mean, 4.2);
+}
+
+TEST(MeasureUntilPrecise, RejectsTooFewMinReps) {
+  MeasureOptions opts;
+  opts.min_reps = 1;
+  EXPECT_THROW(measure_until_precise([] { return 1.0; }, opts),
+               std::invalid_argument);
+}
+
+TEST(ChiSquared, CriticalValuesReasonable) {
+  // chi2_{0.95, 5} = 11.07, chi2_{0.95, 10} = 18.31.
+  EXPECT_NEAR(chi_squared_critical(5, 0.95), 11.07, 0.15);
+  EXPECT_NEAR(chi_squared_critical(10, 0.95), 18.31, 0.2);
+}
+
+TEST(ChiSquared, NormalSamplePassesNormalityCheck) {
+  util::Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(5.0, 2.0));
+  const auto res = chi_squared_normality(xs);
+  EXPECT_TRUE(res.normality_plausible)
+      << "stat=" << res.statistic << " crit=" << res.critical_value;
+}
+
+TEST(ChiSquared, BimodalSampleFailsNormalityCheck) {
+  util::Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back((i % 2 == 0 ? -10.0 : 10.0) + rng.normal(0.0, 0.1));
+  }
+  const auto res = chi_squared_normality(xs);
+  EXPECT_FALSE(res.normality_plausible);
+}
+
+TEST(ChiSquared, TinySampleTriviallyPlausible) {
+  EXPECT_TRUE(chi_squared_normality({1.0, 2.0, 3.0}).normality_plausible);
+}
+
+TEST(PercentageSpread, MatchesHandComputation) {
+  EXPECT_DOUBLE_EQ(percentage_spread({10.0, 12.0, 11.0}), 20.0);
+  EXPECT_DOUBLE_EQ(percentage_spread({5.0}), 0.0);
+}
+
+TEST(PercentageSpread, RejectsNonPositive) {
+  EXPECT_THROW(percentage_spread({0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(percentage_spread({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace summagen::trace

@@ -1,0 +1,67 @@
+#include "src/trace/vclock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace summagen::trace {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock c;
+  EXPECT_EQ(c.now(), 0.0);
+  EXPECT_EQ(c.compute_seconds(), 0.0);
+  EXPECT_EQ(c.comm_seconds(), 0.0);
+  EXPECT_EQ(c.idle_seconds(), 0.0);
+}
+
+TEST(VirtualClock, AdvanceComputeAccumulates) {
+  VirtualClock c;
+  c.advance_compute(1.5);
+  c.advance_compute(0.5);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  EXPECT_DOUBLE_EQ(c.compute_seconds(), 2.0);
+  EXPECT_EQ(c.comm_seconds(), 0.0);
+}
+
+TEST(VirtualClock, BucketsAreIndependent) {
+  VirtualClock c;
+  c.advance_compute(1.0);
+  c.advance_comm(0.25);
+  c.wait_until(2.0);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  EXPECT_DOUBLE_EQ(c.compute_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(c.comm_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(c.idle_seconds(), 0.75);
+}
+
+TEST(VirtualClock, WaitUntilPastIsNoop) {
+  VirtualClock c;
+  c.advance_compute(3.0);
+  c.wait_until(1.0);
+  EXPECT_DOUBLE_EQ(c.now(), 3.0);
+  EXPECT_EQ(c.idle_seconds(), 0.0);
+}
+
+TEST(VirtualClock, BucketsSumToNow) {
+  VirtualClock c;
+  c.advance_comm(0.5);
+  c.wait_until(1.0);
+  c.advance_compute(2.0);
+  c.wait_until(5.0);
+  EXPECT_DOUBLE_EQ(
+      c.compute_seconds() + c.comm_seconds() + c.idle_seconds(), c.now());
+}
+
+TEST(VirtualClock, ResetClearsEverything) {
+  VirtualClock c;
+  c.advance_compute(1.0);
+  c.advance_comm(1.0);
+  c.wait_until(5.0);
+  c.reset();
+  EXPECT_EQ(c.now(), 0.0);
+  EXPECT_EQ(c.compute_seconds(), 0.0);
+  EXPECT_EQ(c.comm_seconds(), 0.0);
+  EXPECT_EQ(c.idle_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace summagen::trace

@@ -1,0 +1,79 @@
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace summagen::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.uniform(0, 1) != b.uniform(0, 1)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalRoughlyCentred) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 1.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(FillRandom, DeterministicAndInRange) {
+  Matrix a(8, 8), b(8, 8);
+  fill_random(a, 42);
+  fill_random(b, 42);
+  EXPECT_EQ(a, b);
+  for (double v : a.span()) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+  Matrix c(8, 8);
+  fill_random(c, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(DeriveSeed, SaltsProduceDistinctStreams) {
+  const auto s0 = derive_seed(100, 0);
+  const auto s1 = derive_seed(100, 1);
+  const auto s2 = derive_seed(101, 0);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, s2);
+  EXPECT_EQ(derive_seed(100, 0), s0);  // deterministic
+}
+
+}  // namespace
+}  // namespace summagen::util

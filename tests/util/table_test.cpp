@@ -1,0 +1,55 @@
+#include "src/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace summagen::util {
+namespace {
+
+TEST(Table, AlignedAsciiOutput) {
+  Table t("demo");
+  t.set_header({"N", "time"});
+  t.add_row({"1024", "0.5"});
+  t.add_row({"20480", "12.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("N"), std::string::npos);
+  EXPECT_NE(s.find("20480"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsRowWidthMismatch) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RowsWithoutHeaderAllowed) {
+  Table t("demo");
+  t.add_row({"x", "y", "z"});
+  EXPECT_EQ(t.row_count(), 1u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("x"), std::string::npos);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 3), "1.000");
+  EXPECT_EQ(Table::num(std::int64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace summagen::util
