@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_25d"
+  "../bench/ablation_25d.pdb"
+  "CMakeFiles/ablation_25d.dir/ablation_25d.cpp.o"
+  "CMakeFiles/ablation_25d.dir/ablation_25d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_25d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

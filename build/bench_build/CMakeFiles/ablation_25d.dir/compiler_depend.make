@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_25d.
+# This may be replaced when dependencies are built.

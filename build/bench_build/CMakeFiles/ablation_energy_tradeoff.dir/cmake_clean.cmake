@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_energy_tradeoff"
+  "../bench/ablation_energy_tradeoff.pdb"
+  "CMakeFiles/ablation_energy_tradeoff.dir/ablation_energy_tradeoff.cpp.o"
+  "CMakeFiles/ablation_energy_tradeoff.dir/ablation_energy_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

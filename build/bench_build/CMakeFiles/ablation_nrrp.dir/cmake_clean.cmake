@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_nrrp"
+  "../bench/ablation_nrrp.pdb"
+  "CMakeFiles/ablation_nrrp.dir/ablation_nrrp.cpp.o"
+  "CMakeFiles/ablation_nrrp.dir/ablation_nrrp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nrrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_push"
+  "../bench/ablation_push.pdb"
+  "CMakeFiles/ablation_push.dir/ablation_push.cpp.o"
+  "CMakeFiles/ablation_push.dir/ablation_push.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_speed_ratio"
+  "../bench/ablation_speed_ratio.pdb"
+  "CMakeFiles/ablation_speed_ratio.dir/ablation_speed_ratio.cpp.o"
+  "CMakeFiles/ablation_speed_ratio.dir/ablation_speed_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_speed_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

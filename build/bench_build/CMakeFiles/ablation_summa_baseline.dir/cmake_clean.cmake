@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_summa_baseline"
+  "../bench/ablation_summa_baseline.pdb"
+  "CMakeFiles/ablation_summa_baseline.dir/ablation_summa_baseline.cpp.o"
+  "CMakeFiles/ablation_summa_baseline.dir/ablation_summa_baseline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_summa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

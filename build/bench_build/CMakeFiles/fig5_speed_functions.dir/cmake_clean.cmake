@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_speed_functions"
+  "../bench/fig5_speed_functions.pdb"
+  "CMakeFiles/fig5_speed_functions.dir/fig5_speed_functions.cpp.o"
+  "CMakeFiles/fig5_speed_functions.dir/fig5_speed_functions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_speed_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cpm"
+  "../bench/fig6_cpm.pdb"
+  "CMakeFiles/fig6_cpm.dir/fig6_cpm.cpp.o"
+  "CMakeFiles/fig6_cpm.dir/fig6_cpm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_fpm"
+  "../bench/fig7_fpm.pdb"
+  "CMakeFiles/fig7_fpm.dir/fig7_fpm.cpp.o"
+  "CMakeFiles/fig7_fpm.dir/fig7_fpm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_dgemm"
+  "../bench/micro_dgemm.pdb"
+  "CMakeFiles/micro_dgemm.dir/micro_dgemm.cpp.o"
+  "CMakeFiles/micro_dgemm.dir/micro_dgemm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

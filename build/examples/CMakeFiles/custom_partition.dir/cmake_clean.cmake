@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_partition.dir/custom_partition.cpp.o"
+  "CMakeFiles/custom_partition.dir/custom_partition.cpp.o.d"
+  "custom_partition"
+  "custom_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

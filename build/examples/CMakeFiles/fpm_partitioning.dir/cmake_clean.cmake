@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpm_partitioning.dir/fpm_partitioning.cpp.o"
+  "CMakeFiles/fpm_partitioning.dir/fpm_partitioning.cpp.o.d"
+  "fpm_partitioning"
+  "fpm_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpm_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

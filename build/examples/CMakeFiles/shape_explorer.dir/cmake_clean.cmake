@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_explorer.dir/shape_explorer.cpp.o"
+  "CMakeFiles/shape_explorer.dir/shape_explorer.cpp.o.d"
+  "shape_explorer"
+  "shape_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summagen_cli.dir/summagen_cli.cpp.o"
+  "CMakeFiles/summagen_cli.dir/summagen_cli.cpp.o.d"
+  "summagen_cli"
+  "summagen_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summagen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summagen_blas.dir/gemm.cpp.o"
+  "CMakeFiles/summagen_blas.dir/gemm.cpp.o.d"
+  "libsummagen_blas.a"
+  "libsummagen_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summagen_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

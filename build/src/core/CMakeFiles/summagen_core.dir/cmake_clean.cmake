@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summagen_core.dir/dataplane.cpp.o"
+  "CMakeFiles/summagen_core.dir/dataplane.cpp.o.d"
+  "CMakeFiles/summagen_core.dir/reference.cpp.o"
+  "CMakeFiles/summagen_core.dir/reference.cpp.o.d"
+  "CMakeFiles/summagen_core.dir/runner.cpp.o"
+  "CMakeFiles/summagen_core.dir/runner.cpp.o.d"
+  "CMakeFiles/summagen_core.dir/summa.cpp.o"
+  "CMakeFiles/summagen_core.dir/summa.cpp.o.d"
+  "CMakeFiles/summagen_core.dir/summa25d.cpp.o"
+  "CMakeFiles/summagen_core.dir/summa25d.cpp.o.d"
+  "CMakeFiles/summagen_core.dir/summagen.cpp.o"
+  "CMakeFiles/summagen_core.dir/summagen.cpp.o.d"
+  "libsummagen_core.a"
+  "libsummagen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summagen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device.cpp" "src/device/CMakeFiles/summagen_device.dir/device.cpp.o" "gcc" "src/device/CMakeFiles/summagen_device.dir/device.cpp.o.d"
+  "/root/repo/src/device/ooc.cpp" "src/device/CMakeFiles/summagen_device.dir/ooc.cpp.o" "gcc" "src/device/CMakeFiles/summagen_device.dir/ooc.cpp.o.d"
+  "/root/repo/src/device/platform.cpp" "src/device/CMakeFiles/summagen_device.dir/platform.cpp.o" "gcc" "src/device/CMakeFiles/summagen_device.dir/platform.cpp.o.d"
+  "/root/repo/src/device/speed_function.cpp" "src/device/CMakeFiles/summagen_device.dir/speed_function.cpp.o" "gcc" "src/device/CMakeFiles/summagen_device.dir/speed_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/summagen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/summagen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/summagen_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summagen_device.dir/device.cpp.o"
+  "CMakeFiles/summagen_device.dir/device.cpp.o.d"
+  "CMakeFiles/summagen_device.dir/ooc.cpp.o"
+  "CMakeFiles/summagen_device.dir/ooc.cpp.o.d"
+  "CMakeFiles/summagen_device.dir/platform.cpp.o"
+  "CMakeFiles/summagen_device.dir/platform.cpp.o.d"
+  "CMakeFiles/summagen_device.dir/speed_function.cpp.o"
+  "CMakeFiles/summagen_device.dir/speed_function.cpp.o.d"
+  "libsummagen_device.a"
+  "libsummagen_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summagen_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

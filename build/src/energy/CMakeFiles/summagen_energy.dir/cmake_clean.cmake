@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summagen_energy.dir/energy.cpp.o"
+  "CMakeFiles/summagen_energy.dir/energy.cpp.o.d"
+  "libsummagen_energy.a"
+  "libsummagen_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summagen_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summagen_mpi.dir/comm.cpp.o"
+  "CMakeFiles/summagen_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/summagen_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/summagen_mpi.dir/runtime.cpp.o.d"
+  "libsummagen_mpi.a"
+  "libsummagen_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summagen_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/areas.cpp" "src/partition/CMakeFiles/summagen_partition.dir/areas.cpp.o" "gcc" "src/partition/CMakeFiles/summagen_partition.dir/areas.cpp.o.d"
+  "/root/repo/src/partition/column_based.cpp" "src/partition/CMakeFiles/summagen_partition.dir/column_based.cpp.o" "gcc" "src/partition/CMakeFiles/summagen_partition.dir/column_based.cpp.o.d"
+  "/root/repo/src/partition/nrrp.cpp" "src/partition/CMakeFiles/summagen_partition.dir/nrrp.cpp.o" "gcc" "src/partition/CMakeFiles/summagen_partition.dir/nrrp.cpp.o.d"
+  "/root/repo/src/partition/push.cpp" "src/partition/CMakeFiles/summagen_partition.dir/push.cpp.o" "gcc" "src/partition/CMakeFiles/summagen_partition.dir/push.cpp.o.d"
+  "/root/repo/src/partition/shapes.cpp" "src/partition/CMakeFiles/summagen_partition.dir/shapes.cpp.o" "gcc" "src/partition/CMakeFiles/summagen_partition.dir/shapes.cpp.o.d"
+  "/root/repo/src/partition/spec.cpp" "src/partition/CMakeFiles/summagen_partition.dir/spec.cpp.o" "gcc" "src/partition/CMakeFiles/summagen_partition.dir/spec.cpp.o.d"
+  "/root/repo/src/partition/spec_io.cpp" "src/partition/CMakeFiles/summagen_partition.dir/spec_io.cpp.o" "gcc" "src/partition/CMakeFiles/summagen_partition.dir/spec_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/summagen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/summagen_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/summagen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/summagen_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

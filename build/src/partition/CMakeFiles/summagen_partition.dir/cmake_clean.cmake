@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summagen_partition.dir/areas.cpp.o"
+  "CMakeFiles/summagen_partition.dir/areas.cpp.o.d"
+  "CMakeFiles/summagen_partition.dir/column_based.cpp.o"
+  "CMakeFiles/summagen_partition.dir/column_based.cpp.o.d"
+  "CMakeFiles/summagen_partition.dir/nrrp.cpp.o"
+  "CMakeFiles/summagen_partition.dir/nrrp.cpp.o.d"
+  "CMakeFiles/summagen_partition.dir/push.cpp.o"
+  "CMakeFiles/summagen_partition.dir/push.cpp.o.d"
+  "CMakeFiles/summagen_partition.dir/shapes.cpp.o"
+  "CMakeFiles/summagen_partition.dir/shapes.cpp.o.d"
+  "CMakeFiles/summagen_partition.dir/spec.cpp.o"
+  "CMakeFiles/summagen_partition.dir/spec.cpp.o.d"
+  "CMakeFiles/summagen_partition.dir/spec_io.cpp.o"
+  "CMakeFiles/summagen_partition.dir/spec_io.cpp.o.d"
+  "libsummagen_partition.a"
+  "libsummagen_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summagen_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsummagen_partition.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summagen_trace.dir/events.cpp.o"
+  "CMakeFiles/summagen_trace.dir/events.cpp.o.d"
+  "CMakeFiles/summagen_trace.dir/gantt.cpp.o"
+  "CMakeFiles/summagen_trace.dir/gantt.cpp.o.d"
+  "CMakeFiles/summagen_trace.dir/hockney.cpp.o"
+  "CMakeFiles/summagen_trace.dir/hockney.cpp.o.d"
+  "CMakeFiles/summagen_trace.dir/stats.cpp.o"
+  "CMakeFiles/summagen_trace.dir/stats.cpp.o.d"
+  "libsummagen_trace.a"
+  "libsummagen_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summagen_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

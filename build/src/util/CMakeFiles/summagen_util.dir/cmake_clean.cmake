@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summagen_util.dir/cli.cpp.o"
+  "CMakeFiles/summagen_util.dir/cli.cpp.o.d"
+  "CMakeFiles/summagen_util.dir/log.cpp.o"
+  "CMakeFiles/summagen_util.dir/log.cpp.o.d"
+  "CMakeFiles/summagen_util.dir/matrix.cpp.o"
+  "CMakeFiles/summagen_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/summagen_util.dir/table.cpp.o"
+  "CMakeFiles/summagen_util.dir/table.cpp.o.d"
+  "libsummagen_util.a"
+  "libsummagen_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summagen_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

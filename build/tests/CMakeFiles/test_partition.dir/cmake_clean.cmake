@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition.dir/partition/areas_test.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/areas_test.cpp.o.d"
+  "CMakeFiles/test_partition.dir/partition/column_based_test.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/column_based_test.cpp.o.d"
+  "CMakeFiles/test_partition.dir/partition/nrrp_test.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/nrrp_test.cpp.o.d"
+  "CMakeFiles/test_partition.dir/partition/paper_examples_test.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/paper_examples_test.cpp.o.d"
+  "CMakeFiles/test_partition.dir/partition/push_test.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/push_test.cpp.o.d"
+  "CMakeFiles/test_partition.dir/partition/shapes_test.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/shapes_test.cpp.o.d"
+  "CMakeFiles/test_partition.dir/partition/spec_io_test.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/spec_io_test.cpp.o.d"
+  "CMakeFiles/test_partition.dir/partition/spec_test.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/spec_test.cpp.o.d"
+  "test_partition"
+  "test_partition.pdb"
+  "test_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/events_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/events_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/gantt_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/gantt_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/hockney_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/hockney_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/stats_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/stats_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/vclock_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/vclock_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/test_util.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/cli_test.cpp.o.d"
+  "/root/repo/tests/util/log_test.cpp" "tests/CMakeFiles/test_util.dir/util/log_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/log_test.cpp.o.d"
+  "/root/repo/tests/util/matrix_test.cpp" "tests/CMakeFiles/test_util.dir/util/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/matrix_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/summagen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/summagen_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/summagen_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/summagen_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/summagen_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/summagen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/summagen_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/summagen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
