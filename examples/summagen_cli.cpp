@@ -30,6 +30,9 @@ void usage() {
       "  --regime cpm|fpm   workload partitioning regime (default cpm)\n"
       "  --speeds a,b,c     CPM speeds (default 1.0,2.0,0.9)\n"
       "  --numeric          really multiply and verify (n <= 8192)\n"
+      "  --scheduler NAME   eager | pipelined (default eager)\n"
+      "  --overlap-depth D  pipelined prefetch window, 0 = unbounded\n"
+      "  --panel-rows R     broadcast panel rows, 0 = whole sub-partitions\n"
       "  --energy           record events and report dynamic energy\n"
       "  --gantt            print the schedule as a Gantt chart\n"
       "  --chrome-trace F   write the schedule as Chrome trace JSON\n"
@@ -55,6 +58,18 @@ int main(int argc, char** argv) {
                          cli.has("chrome-trace");
 
   try {
+    const std::string scheduler = cli.get("scheduler", "eager");
+    if (scheduler == "pipelined") {
+      config.summagen_options.scheduler = core::Scheduler::kPipelined;
+    } else if (scheduler != "eager") {
+      std::cerr << "unknown scheduler '" << scheduler << "'\n";
+      usage();
+      return 2;
+    }
+    config.summagen_options.overlap_depth =
+        static_cast<int>(cli.get_int("overlap-depth", 2));
+    config.summagen_options.bcast_panel_rows = cli.get_int("panel-rows", 0);
+
     if (cli.has("spec")) {
       config.preset_spec = partition::load_spec(cli.get("spec", ""));
       config.n = config.preset_spec.n;
@@ -93,6 +108,10 @@ int main(int argc, char** argv) {
     t.add_row({"execution time (s)", util::Table::num(res.exec_time_s, 4)});
     t.add_row({"computation time (s)", util::Table::num(res.comp_time_s, 4)});
     t.add_row({"MPI time (s)", util::Table::num(res.comm_time_s, 4)});
+    if (config.summagen_options.scheduler == core::Scheduler::kPipelined) {
+      t.add_row({"hidden comm (s)",
+                 util::Table::num(res.hidden_comm_time_s, 4)});
+    }
     t.add_row({"TFLOPs", util::Table::num(res.tflops, 3)});
     t.add_row({"sum of half-perimeters",
                util::Table::num(res.total_half_perimeter)});

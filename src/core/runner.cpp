@@ -133,9 +133,12 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
     result.rank_comp_s.push_back(clk.compute_seconds());
     result.rank_comm_s.push_back(clk.comm_seconds());
     result.rank_idle_s.push_back(clk.idle_seconds());
+    result.rank_hidden_s.push_back(clk.hidden_comm_seconds());
     result.exec_time_s = std::max(result.exec_time_s, clk.now());
     result.comp_time_s = std::max(result.comp_time_s, clk.compute_seconds());
     result.comm_time_s = std::max(result.comm_time_s, clk.comm_seconds());
+    result.hidden_comm_time_s =
+        std::max(result.hidden_comm_time_s, clk.hidden_comm_seconds());
   }
   const double n3 = static_cast<double>(config.n) *
                     static_cast<double>(config.n) *

@@ -1,239 +1,382 @@
 #include "src/core/summagen.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "src/core/plan.hpp"
 #include "src/util/matrix.hpp"
 
 namespace summagen::core {
+
+const char* to_string(Scheduler scheduler) {
+  switch (scheduler) {
+    case Scheduler::kEager:
+      return "eager";
+    case Scheduler::kPipelined:
+      return "pipelined";
+  }
+  return "?";
+}
+
 namespace {
 
-int root_index(const std::vector<int>& members, int world_rank) {
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    if (members[i] == world_rank) return static_cast<int>(i);
+/// Rank-invariant geometry shared by every plan step executor.
+struct Frame {
+  const partition::PartitionSpec& spec;
+  LocalData* data;          ///< nullptr on the modeled plane
+  util::Matrix* wa;
+  util::Matrix* wb;
+  std::vector<std::int64_t> roff;
+  std::vector<std::int64_t> coff;
+  std::int64_t wa_base = 0;  ///< first matrix row covered by WA
+  std::int64_t wb_base = 0;  ///< first matrix column covered by WB
+
+  Frame(const partition::PartitionSpec& spec_in, int rank, LocalData* data_in,
+        util::Matrix* wa_in, util::Matrix* wb_in)
+      : spec(spec_in),
+        data(data_in),
+        wa(wa_in),
+        wb(wb_in),
+        roff(spec_in.row_offsets()),
+        coff(spec_in.col_offsets()) {
+    const auto [myi, block_lda] = spec.row_span(rank);
+    const auto [myj, block_ldb] = spec.col_span(rank);
+    (void)block_lda;
+    (void)block_ldb;
+    wa_base = roff[static_cast<std::size_t>(myi)];
+    wb_base = coff[static_cast<std::size_t>(myj)];
   }
-  throw std::logic_error("summagen: sub-partition owner not in its row/col");
+
+  /// Destination of panel rows [op.p0, op.p0 + op.rows) of `op`'s payload
+  /// inside WA (A ops) or WB (B ops), with the destination stride.
+  std::pair<double*, std::int64_t> dest(const CommOp& op) const {
+    if (op.is_a) {
+      const std::int64_t row0 =
+          roff[static_cast<std::size_t>(op.bi)] - wa_base + op.p0;
+      return {wa->data() + row0 * wa->cols() +
+                  coff[static_cast<std::size_t>(op.bj)],
+              wa->cols()};
+    }
+    const std::int64_t col0 =
+        coff[static_cast<std::size_t>(op.bj)] - wb_base;
+    return {wb->data() +
+                (roff[static_cast<std::size_t>(op.bi)] + op.p0) * wb->cols() +
+                col0,
+            wb->cols()};
+  }
+
+  /// The owner's stored payload for `op` (contiguous, stride op.width).
+  const double* owned_src(const CommOp& op) const {
+    const util::Matrix& part =
+        op.is_a ? data->a_part(op.bi, op.bj) : data->b_part(op.bi, op.bj);
+    return part.data() + op.p0 * op.width;
+  }
+};
+
+/// Copies `rows x width` from a contiguous payload into WA/WB.
+void store_panel(const Frame& frame, const CommOp& op, const double* src) {
+  const auto [dst, stride] = frame.dest(op);
+  util::copy_matrix(dst, stride, src, op.width, op.rows, op.width);
 }
 
-/// Horizontal communications of A (paper Figure 2).
-void stage_a(sgmpi::Comm& world, const partition::PartitionSpec& spec,
-             LocalData* data, util::Matrix* wa,
-             const SummaGenOptions& options, RankReport& report) {
+/// Executes a single-owner local copy (zero virtual cost).
+void exec_copy(const Frame& frame, const CopyOp& op) {
+  if (frame.data == nullptr) return;
+  const std::int64_t h = frame.spec.subph[static_cast<std::size_t>(op.bi)];
+  const std::int64_t w = frame.spec.subpw[static_cast<std::size_t>(op.bj)];
+  if (op.is_a) {
+    const util::Matrix& part = frame.data->a_part(op.bi, op.bj);
+    const std::int64_t row0 =
+        frame.roff[static_cast<std::size_t>(op.bi)] - frame.wa_base;
+    util::copy_matrix(frame.wa->data() + row0 * frame.wa->cols() +
+                          frame.coff[static_cast<std::size_t>(op.bj)],
+                      frame.wa->cols(), part.data(), part.cols(), h, w);
+  } else {
+    const util::Matrix& part = frame.data->b_part(op.bi, op.bj);
+    const std::int64_t col0 =
+        frame.coff[static_cast<std::size_t>(op.bj)] - frame.wb_base;
+    util::copy_matrix(frame.wb->data() +
+                          frame.roff[static_cast<std::size_t>(op.bi)] *
+                              frame.wb->cols() +
+                          col0,
+                      frame.wb->cols(), part.data(), part.cols(), h, w);
+  }
+}
+
+/// Executes one local DGEMM of the plan.
+void exec_gemm(sgmpi::Comm& world, const Frame& frame,
+               const device::AbstractProcessor& ap, const GemmOp& g,
+               bool contended, RankReport& report) {
+  const partition::PartitionSpec& spec = frame.spec;
+  const std::int64_t h = spec.subph[static_cast<std::size_t>(g.bi)];
+  const std::int64_t w = spec.subpw[static_cast<std::size_t>(g.bj)];
+
+  device::KernelCost cost;
+  if (frame.data == nullptr) {
+    cost = ap.kernel_cost(h, w, spec.n, contended);
+  } else {
+    const partition::Rect& cr = frame.data->c_rect();
+    const std::int64_t wa_row0 =
+        frame.roff[static_cast<std::size_t>(g.bi)] - frame.wa_base;
+    const std::int64_t wb_col0 =
+        frame.coff[static_cast<std::size_t>(g.bj)] - frame.wb_base;
+    double* cptr = frame.data->c().data() +
+                   (frame.roff[static_cast<std::size_t>(g.bi)] - cr.row0) *
+                       frame.data->c().cols() +
+                   (frame.coff[static_cast<std::size_t>(g.bj)] - cr.col0);
+    cost = ap.run_gemm(h, w, spec.n,
+                       frame.wa->data() + wa_row0 * frame.wa->cols(),
+                       frame.wa->cols(), frame.wb->data() + wb_col0,
+                       frame.wb->cols(), cptr, frame.data->c().cols(),
+                       contended);
+  }
+
+  auto& clk = world.clock();
+  const double t0 = clk.now();
+  clk.advance_compute(cost.compute_s);
+  if (world.events().enabled()) {
+    world.events().record({world.world_rank(), trace::EventKind::kCompute,
+                           t0, clk.now(), 0, blas::gemm_flops(h, w, spec.n),
+                           "subp(" + std::to_string(g.bi) + "," +
+                               std::to_string(g.bj) + ")"});
+  }
+  if (cost.transfer_s > 0.0) {
+    // Host<->device staging: part of the kernel (and of Fig. 6b's
+    // computation time), but drawing communication power.
+    const double t1 = clk.now();
+    clk.advance_compute(cost.transfer_s);
+    if (world.events().enabled()) {
+      world.events().record({world.world_rank(), trace::EventKind::kTransfer,
+                             t1, clk.now(), cost.transferred_bytes, 0,
+                             "staging"});
+    }
+  }
+
+  ++report.gemm_calls;
+  report.flops += blas::gemm_flops(h, w, spec.n);
+  report.kernel_compute_s += cost.compute_s;
+  report.kernel_transfer_s += cost.transfer_s;
+}
+
+/// The paper's strict phase order (Figs. 2-4) over the plan: every
+/// communication blocking, all of A, then all of B, then the DGEMMs.
+void run_eager(sgmpi::Comm& world, const Frame& frame,
+               const device::AbstractProcessor& ap,
+               const ExecutionPlan& plan, bool contended,
+               RankReport& report) {
   const int rank = world.rank();
-  const auto roff = spec.row_offsets();
-  const auto coff = spec.col_offsets();
-  const auto [myi, block_lda] = spec.row_span(rank);
-  const std::int64_t wa_base = roff[static_cast<std::size_t>(myi)];
   std::vector<double> tmp;
 
-  for (int blocki = myi; blocki < myi + block_lda; ++blocki) {
-    if (!spec.row_contains(rank, blocki)) continue;
-    const std::int64_t h = spec.subph[static_cast<std::size_t>(blocki)];
-    if (h == 0) continue;
-    const std::int64_t wa_row0 = roff[static_cast<std::size_t>(blocki)] -
-                                 wa_base;
-    const std::vector<int> owners = spec.ranks_in_row(blocki);
+  for (const CopyOp& op : plan.copy_ops) {
+    const int owner = frame.spec.owner(op.bi, op.bj);
+    if (owner == rank) exec_copy(frame, op);
+  }
 
-    if (owners.size() == 1) {
-      // Special case: the whole sub-partition row is mine — no
-      // communication, just local copies of A into WA.
-      if (data != nullptr) {
-        for (int bj = 0; bj < spec.subpldb; ++bj) {
-          const std::int64_t w = spec.subpw[static_cast<std::size_t>(bj)];
-          if (w == 0) continue;
-          const util::Matrix& part = data->a_part(blocki, bj);
-          util::copy_matrix(
-              wa->data() + wa_row0 * wa->cols() +
-                  coff[static_cast<std::size_t>(bj)],
-              wa->cols(), part.data(), part.cols(), h, w);
-        }
-      }
+  for (const CommOp& op : plan.comm_ops) {
+    if (std::find(op.owners.begin(), op.owners.end(), rank) ==
+        op.owners.end()) {
       continue;
     }
-
-    sgmpi::Comm row = world.subgroup(owners);
-    for (int bj = 0; bj < spec.subpldb; ++bj) {
-      const std::int64_t w = spec.subpw[static_cast<std::size_t>(bj)];
-      if (w == 0) continue;
-      const int owner = spec.owner(blocki, bj);
-      const int root = root_index(owners, owner);
-      // Optionally split the sub-partition into row panels (the paper's
-      // block size r): smaller receive buffers, more broadcasts.
-      const std::int64_t panel =
-          options.bcast_panel_rows > 0 ? options.bcast_panel_rows : h;
-      for (std::int64_t p0 = 0; p0 < h; p0 += panel) {
-        const std::int64_t hh = std::min(panel, h - p0);
-        const std::int64_t bytes =
-            hh * w * static_cast<std::int64_t>(sizeof(double));
-        if (data == nullptr) {
-          report.mpi_time_s += row.bcast_bytes(nullptr, bytes, root);
-        } else {
-          const double* src;
-          if (owner == rank) {
-            // Owned sub-partitions are stored contiguously, so the local A
-            // block doubles as the broadcast source buffer.
-            const util::Matrix& part = data->a_part(blocki, bj);
-            report.mpi_time_s += row.bcast_bytes(
-                const_cast<double*>(part.data() + p0 * w), bytes, root);
-            src = part.data() + p0 * w;
-          } else {
-            tmp.resize(static_cast<std::size_t>(hh * w));
-            report.mpi_time_s += row.bcast_bytes(tmp.data(), bytes, root);
-            src = tmp.data();
-          }
-          util::copy_matrix(wa->data() + (wa_row0 + p0) * wa->cols() +
-                                coff[static_cast<std::size_t>(bj)],
-                            wa->cols(), src, w, hh, w);
-        }
-        ++report.bcasts;
-        report.bcast_bytes += bytes;
-      }
+    sgmpi::Comm group = world.subgroup(op.owners);
+    if (frame.data == nullptr) {
+      report.mpi_time_s += group.bcast_bytes(nullptr, op.bytes, op.root);
+    } else if (op.owner == rank) {
+      // Owned sub-partitions are stored contiguously, so the local block
+      // doubles as the (read-only) broadcast source buffer.
+      const double* src = frame.owned_src(op);
+      report.mpi_time_s += group.bcast_send_bytes(src, op.bytes, op.root);
+      store_panel(frame, op, src);
+    } else {
+      tmp.resize(static_cast<std::size_t>(op.rows * op.width));
+      report.mpi_time_s += group.bcast_bytes(tmp.data(), op.bytes, op.root);
+      store_panel(frame, op, tmp.data());
     }
+    ++report.bcasts;
+    report.bcast_bytes += op.bytes;
+  }
+
+  for (const GemmOp& g : plan.gemm_ops) {
+    if (g.owner == rank) exec_gemm(world, frame, ap, g, contended, report);
   }
 }
 
-/// Vertical communications of B (paper Figure 3).
-void stage_b(sgmpi::Comm& world, const partition::PartitionSpec& spec,
-             LocalData* data, util::Matrix* wb,
-             const SummaGenOptions& options, RankReport& report) {
-  const int rank = world.rank();
-  const auto roff = spec.row_offsets();
-  const auto coff = spec.col_offsets();
-  const auto [myj, block_ldb] = spec.col_span(rank);
-  const std::int64_t wb_base = coff[static_cast<std::size_t>(myj)];
-  std::vector<double> tmp;
+/// Executes one k-chunk of a plan DGEMM (pipelined scheduler only):
+/// numerically C += A[:, k0:k1) * B[k0:k1, :]. The chunk is charged its
+/// pro-rata share of the *whole* kernel invocation's modeled cost `full` —
+/// the chunks are slices of one kernel call, so their total matches the
+/// eager scheduler's charge exactly and the split changes what the
+/// broadcasts can hide, never the computation time itself.
+void exec_gemm_chunk(sgmpi::Comm& world, const Frame& frame,
+                     const device::AbstractProcessor& ap, const GemmOp& g,
+                     const GemmChunk& ch, const device::KernelCost& full,
+                     bool contended, RankReport& report) {
+  const partition::PartitionSpec& spec = frame.spec;
+  const std::int64_t h = spec.subph[static_cast<std::size_t>(g.bi)];
+  const std::int64_t w = spec.subpw[static_cast<std::size_t>(g.bj)];
+  const std::int64_t kc = ch.k1 - ch.k0;
 
-  for (int blockj = myj; blockj < myj + block_ldb; ++blockj) {
-    if (!spec.col_contains(rank, blockj)) continue;
-    const std::int64_t w = spec.subpw[static_cast<std::size_t>(blockj)];
-    if (w == 0) continue;
-    const std::int64_t wb_col0 = coff[static_cast<std::size_t>(blockj)] -
-                                 wb_base;
-    const std::vector<int> owners = spec.ranks_in_col(blockj);
+  if (frame.data != nullptr) {
+    const partition::Rect& cr = frame.data->c_rect();
+    const std::int64_t wa_row0 =
+        frame.roff[static_cast<std::size_t>(g.bi)] - frame.wa_base;
+    const std::int64_t wb_col0 =
+        frame.coff[static_cast<std::size_t>(g.bj)] - frame.wb_base;
+    double* cptr = frame.data->c().data() +
+                   (frame.roff[static_cast<std::size_t>(g.bi)] - cr.row0) *
+                       frame.data->c().cols() +
+                   (frame.coff[static_cast<std::size_t>(g.bj)] - cr.col0);
+    // run_gemm accumulates (beta = 1); its returned cost describes a
+    // standalone (h, w, kc) kernel and is discarded in favour of `full`'s
+    // pro-rata share.
+    ap.run_gemm(h, w, kc,
+                frame.wa->data() + wa_row0 * frame.wa->cols() + ch.k0,
+                frame.wa->cols(),
+                frame.wb->data() + ch.k0 * frame.wb->cols() + wb_col0,
+                frame.wb->cols(), cptr, frame.data->c().cols(), contended);
+  }
 
-    if (owners.size() == 1) {
-      if (data != nullptr) {
-        for (int bi = 0; bi < spec.subplda; ++bi) {
-          const std::int64_t h = spec.subph[static_cast<std::size_t>(bi)];
-          if (h == 0) continue;
-          const util::Matrix& part = data->b_part(bi, blockj);
-          util::copy_matrix(
-              wb->data() + roff[static_cast<std::size_t>(bi)] * wb->cols() +
-                  wb_col0,
-              wb->cols(), part.data(), part.cols(), h, w);
-        }
-      }
-      continue;
-    }
+  const double share =
+      static_cast<double>(kc) / static_cast<double>(spec.n);
+  const double compute_s = full.compute_s * share;
+  const double transfer_s = full.transfer_s * share;
 
-    sgmpi::Comm col = world.subgroup(owners);
-    for (int bi = 0; bi < spec.subplda; ++bi) {
-      const std::int64_t h = spec.subph[static_cast<std::size_t>(bi)];
-      if (h == 0) continue;
-      const int owner = spec.owner(bi, blockj);
-      const int root = root_index(owners, owner);
-      const std::int64_t panel =
-          options.bcast_panel_rows > 0 ? options.bcast_panel_rows : h;
-      for (std::int64_t p0 = 0; p0 < h; p0 += panel) {
-        const std::int64_t hh = std::min(panel, h - p0);
-        const std::int64_t bytes =
-            hh * w * static_cast<std::int64_t>(sizeof(double));
-        if (data == nullptr) {
-          report.mpi_time_s += col.bcast_bytes(nullptr, bytes, root);
-        } else {
-          const double* src;
-          if (owner == rank) {
-            const util::Matrix& part = data->b_part(bi, blockj);
-            report.mpi_time_s += col.bcast_bytes(
-                const_cast<double*>(part.data() + p0 * w), bytes, root);
-            src = part.data() + p0 * w;
-          } else {
-            tmp.resize(static_cast<std::size_t>(hh * w));
-            report.mpi_time_s += col.bcast_bytes(tmp.data(), bytes, root);
-            src = tmp.data();
-          }
-          util::copy_matrix(
-              wb->data() +
-                  (roff[static_cast<std::size_t>(bi)] + p0) * wb->cols() +
-                  wb_col0,
-              wb->cols(), src, w, hh, w);
-        }
-        ++report.bcasts;
-        report.bcast_bytes += bytes;
-      }
+  auto& clk = world.clock();
+  const double t0 = clk.now();
+  clk.advance_compute(compute_s);
+  if (world.events().enabled()) {
+    world.events().record(
+        {world.world_rank(), trace::EventKind::kCompute, t0, clk.now(), 0,
+         blas::gemm_flops(h, w, kc),
+         "subp(" + std::to_string(g.bi) + "," + std::to_string(g.bj) +
+             ")[" + std::to_string(ch.k0) + ":" + std::to_string(ch.k1) +
+             ")"});
+  }
+  if (transfer_s > 0.0) {
+    const double t1 = clk.now();
+    clk.advance_compute(transfer_s);
+    if (world.events().enabled()) {
+      world.events().record({world.world_rank(), trace::EventKind::kTransfer,
+                             t1, clk.now(),
+                             full.transferred_bytes * kc / spec.n, 0,
+                             "staging"});
     }
   }
+
+  ++report.gemm_calls;
+  report.flops += blas::gemm_flops(h, w, kc);
+  report.kernel_compute_s += compute_s;
+  report.kernel_transfer_s += transfer_s;
 }
 
-/// Local computations (paper Figure 4): one DGEMM per owned sub-partition.
-void stage_compute(sgmpi::Comm& world, const partition::PartitionSpec& spec,
-                   const device::AbstractProcessor& ap, LocalData* data,
-                   const util::Matrix* wa, const util::Matrix* wb,
-                   bool contended, RankReport& report) {
+/// Overlapped schedule: broadcasts are posted non-blocking (in the same
+/// eager global order, so subgroup members agree) and completed lazily,
+/// just before the first DGEMM chunk that reads their payload. Everything
+/// posted but not yet completed rides the virtual communication lane under
+/// the running chunks — the overlap win.
+///
+/// Deadlock freedom: every rank posts its operations in the same global
+/// order and completes them in that same order. Consider the smallest
+/// plan index any rank blocks on: every other member of that operation has
+/// either already completed it (so it posted it) or is blocked at an index
+/// >= it (so it posted everything through it) or is still computing and
+/// will reach it — so the wait always terminates.
+void run_pipelined(sgmpi::Comm& world, const Frame& frame,
+                   const device::AbstractProcessor& ap,
+                   const ExecutionPlan& plan, bool contended,
+                   const SummaGenOptions& options, RankReport& report) {
   const int rank = world.rank();
-  const auto roff = spec.row_offsets();
-  const auto coff = spec.col_offsets();
-  const auto [myi, block_lda] = spec.row_span(rank);
-  const auto [myj, block_ldb] = spec.col_span(rank);
-  const std::int64_t wa_base = roff[static_cast<std::size_t>(myi)];
-  const std::int64_t wb_base = coff[static_cast<std::size_t>(myj)];
 
-  for (int blocki = myi; blocki < myi + block_lda; ++blocki) {
-    const std::int64_t h = spec.subph[static_cast<std::size_t>(blocki)];
-    if (h == 0) continue;
-    for (int blockj = myj; blockj < myj + block_ldb; ++blockj) {
-      const std::int64_t w = spec.subpw[static_cast<std::size_t>(blockj)];
-      if (w == 0) continue;
-      if (spec.owner(blocki, blockj) != rank) continue;
+  for (const CopyOp& op : plan.copy_ops) {
+    const int owner = frame.spec.owner(op.bi, op.bj);
+    if (owner == rank) exec_copy(frame, op);
+  }
 
-      device::KernelCost cost;
-      if (data == nullptr) {
-        cost = ap.kernel_cost(h, w, spec.n, contended);
-      } else {
-        const partition::Rect& cr = data->c_rect();
-        const std::int64_t wa_row0 =
-            roff[static_cast<std::size_t>(blocki)] - wa_base;
-        const std::int64_t wb_col0 =
-            coff[static_cast<std::size_t>(blockj)] - wb_base;
-        double* cptr =
-            data->c().data() +
-            (roff[static_cast<std::size_t>(blocki)] - cr.row0) *
-                data->c().cols() +
-            (coff[static_cast<std::size_t>(blockj)] - cr.col0);
-        cost = ap.run_gemm(h, w, spec.n, wa->data() + wa_row0 * wa->cols(),
-                           wa->cols(), wb->data() + wb_col0, wb->cols(), cptr,
-                           data->c().cols(), contended);
-      }
-
-      auto& clk = world.clock();
-      const double t0 = clk.now();
-      clk.advance_compute(cost.compute_s);
-      if (world.events().enabled()) {
-        world.events().record({world.world_rank(),
-                               trace::EventKind::kCompute, t0, clk.now(),
-                               0, blas::gemm_flops(h, w, spec.n),
-                               "subp(" + std::to_string(blocki) + "," +
-                                   std::to_string(blockj) + ")"});
-      }
-      if (cost.transfer_s > 0.0) {
-        // Host<->device staging: part of the kernel (and of Fig. 6b's
-        // computation time), but drawing communication power.
-        const double t1 = clk.now();
-        clk.advance_compute(cost.transfer_s);
-        if (world.events().enabled()) {
-          world.events().record({world.world_rank(),
-                                 trace::EventKind::kTransfer, t1, clk.now(),
-                                 cost.transferred_bytes, 0, "staging"});
-        }
-      }
-
-      ++report.gemm_calls;
-      report.flops += blas::gemm_flops(h, w, spec.n);
-      report.kernel_compute_s += cost.compute_s;
-      report.kernel_transfer_s += cost.transfer_s;
+  // My operations, tagged with their global plan index (what GemmChunk::dep
+  // refers to). Posting keeps the eager global order.
+  struct MyOp {
+    const CommOp* op;
+    int seq;
+  };
+  std::vector<MyOp> ops;
+  for (std::size_t i = 0; i < plan.comm_ops.size(); ++i) {
+    const CommOp& op = plan.comm_ops[i];
+    if (std::find(op.owners.begin(), op.owners.end(), rank) !=
+        op.owners.end()) {
+      ops.push_back({&op, static_cast<int>(i)});
     }
   }
+
+  // One outstanding entry per posted broadcast; `buffer` holds the panel
+  // until completion copies it into WA/WB (the double-buffering the
+  // overlap window pays for on the numeric plane).
+  struct Pending {
+    sgmpi::Request request;
+    sgmpi::Comm group;
+    const CommOp* op;
+    std::vector<double> buffer;
+  };
+  std::deque<Pending> pending;
+  const std::size_t depth =
+      options.overlap_depth <= 0
+          ? std::numeric_limits<std::size_t>::max()
+          : static_cast<std::size_t>(options.overlap_depth);
+  std::size_t next_post = 0;
+
+  auto post_one = [&] {
+    const CommOp& op = *ops[next_post++].op;
+    sgmpi::Comm group = world.subgroup(op.owners);
+    Pending p{sgmpi::Request{}, group, &op, {}};
+    if (frame.data == nullptr) {
+      p.request = group.ibcast_bytes(nullptr, op.bytes, op.root);
+    } else if (op.owner == rank) {
+      p.request = group.ibcast_send_bytes(frame.owned_src(op), op.bytes,
+                                          op.root);
+    } else {
+      p.buffer.resize(static_cast<std::size_t>(op.rows * op.width));
+      p.request = group.ibcast_bytes(p.buffer.data(), op.bytes, op.root);
+    }
+    ++report.bcasts;
+    report.bcast_bytes += op.bytes;
+    pending.push_back(std::move(p));
+  };
+
+  auto complete_one = [&] {
+    Pending p = std::move(pending.front());
+    pending.pop_front();
+    report.mpi_time_s += p.group.wait(p.request);
+    if (frame.data != nullptr) {
+      store_panel(frame, *p.op,
+                  p.op->owner == rank ? frame.owned_src(*p.op)
+                                      : p.buffer.data());
+    }
+  };
+
+  std::size_t next_complete = 0;
+  auto complete_through = [&](int dep) {
+    while (next_complete < ops.size() && ops[next_complete].seq <= dep) {
+      while (next_post <= next_complete) post_one();
+      complete_one();
+      ++next_complete;
+    }
+    while (next_post < ops.size() && pending.size() < depth) post_one();
+  };
+
+  for (const GemmOp& g : plan.gemm_ops) {
+    if (g.owner != rank) continue;
+    const std::int64_t h = frame.spec.subph[static_cast<std::size_t>(g.bi)];
+    const std::int64_t w = frame.spec.subpw[static_cast<std::size_t>(g.bj)];
+    const device::KernelCost full =
+        ap.kernel_cost(h, w, frame.spec.n, contended);
+    for (const GemmChunk& ch : g.chunks) {
+      complete_through(ch.dep);
+      exec_gemm_chunk(world, frame, ap, g, ch, full, contended, report);
+    }
+  }
+  complete_through(std::numeric_limits<int>::max());  // drain stragglers
 }
 
 }  // namespace
@@ -267,9 +410,20 @@ RankReport summagen_rank(sgmpi::Comm& world,
     wb = util::Matrix(spec.n, wb_cols);
   }
 
-  stage_a(world, spec, data, &wa, options, report);
-  stage_b(world, spec, data, &wb, options, report);
-  stage_compute(world, spec, ap, data, &wa, &wb, contended, report);
+  const ExecutionPlan plan = build_plan(spec, options);
+  const Frame frame(spec, rank, data, &wa, &wb);
+  const double hidden0 = world.clock().hidden_comm_seconds();
+
+  switch (options.scheduler) {
+    case Scheduler::kEager:
+      run_eager(world, frame, ap, plan, contended, report);
+      break;
+    case Scheduler::kPipelined:
+      run_pipelined(world, frame, ap, plan, contended, options, report);
+      break;
+  }
+
+  report.hidden_comm_s = world.clock().hidden_comm_seconds() - hidden0;
   return report;
 }
 

@@ -31,6 +31,28 @@
 
 namespace summagen::core {
 
+/// Which scheduler executes the derived plan (src/core/plan.hpp).
+enum class Scheduler {
+  /// The paper's strict phase order: all A broadcasts, all B broadcasts,
+  /// then all local DGEMMs, every communication blocking. The oracle: its
+  /// numeric results and virtual timing match the original implementation
+  /// bit for bit.
+  kEager,
+  /// Communication/computation overlap: broadcasts are posted
+  /// non-blocking and every DGEMM is split into k-chunks along the shared
+  /// dimension, each chunk tagged with the last broadcast it reads
+  /// (GemmChunk::dep in src/core/plan.hpp). A chunk completes only the
+  /// broadcasts it depends on, so earlier chunks compute while later
+  /// panels are still in flight on the virtual communication lane.
+  /// Numeric results are bit-identical to kEager for the in-place
+  /// accumulating kernels (kBlocked, kThreaded): chunked C += A*B updates
+  /// touch every element in the same ascending-k order; only the modeled
+  /// timeline changes.
+  kPipelined,
+};
+
+const char* to_string(Scheduler scheduler);
+
 /// Execution options shared by all ranks of a run.
 struct SummaGenOptions {
   /// Split every sub-partition broadcast into row panels of at most this
@@ -39,6 +61,13 @@ struct SummaGenOptions {
   /// more broadcast latencies. 0 = broadcast whole sub-partitions (the
   /// paper's Figures 2-3 behaviour).
   std::int64_t bcast_panel_rows = 0;
+
+  Scheduler scheduler = Scheduler::kEager;
+
+  /// kPipelined only: maximum number of posted-but-uncompleted broadcasts
+  /// per rank (the prefetch window; each outstanding receive holds one
+  /// panel-sized buffer on the numeric plane). <= 0 means unbounded.
+  int overlap_depth = 2;
 };
 
 /// Per-rank accounting returned by one SummaGen execution.
@@ -50,6 +79,9 @@ struct RankReport {
   std::int64_t flops = 0;          ///< local floating-point operations
   double kernel_compute_s = 0.0;   ///< modeled in-core kernel time
   double kernel_transfer_s = 0.0;  ///< modeled host<->device staging time
+  /// Broadcast cost hidden behind local compute by the pipelined
+  /// scheduler (always 0 under kEager) — this rank's overlap win.
+  double hidden_comm_s = 0.0;
 };
 
 /// Executes SummaGen on the calling rank.

@@ -76,129 +76,6 @@ void Comm::barrier() {
   }
 }
 
-double Comm::bcast_bytes(void* data, std::int64_t bytes, int root) {
-  const int q = size();
-  validate_root(root, q);
-  if (bytes < 0) throw std::invalid_argument("sgmpi: negative bcast size");
-  if (q == 1) return 0.0;
-
-  auto& st = ctx_->state(state_index_);
-  const double entry = clock().now();
-  const double cost = trace::bcast_cost(link(), bytes, q);
-
-  // Phase 1: gather entry times, publish the root's source buffer.
-  st.meeting.rendezvous(
-      ctx_->aborted, ctx_->config.poll_interval_s, q,
-      [&] {
-        st.entry_max = std::max(st.entry_max, entry);
-        if (rank_ == root) st.bcast_src = data;
-      },
-      [&] { st.op_complete = st.entry_max + cost; });
-
-  // Data movement happens outside the lock; the trailing rendezvous keeps
-  // the root's buffer alive until every receiver has copied.
-  if (data != nullptr && rank_ != root && st.bcast_src != nullptr) {
-    std::memcpy(data, st.bcast_src, static_cast<std::size_t>(bytes));
-  }
-
-  double entry_max = 0.0;
-  st.meeting.rendezvous(
-      ctx_->aborted, ctx_->config.poll_interval_s, q,
-      [&] { entry_max = st.entry_max; },
-      [&] {
-        st.bcast_src = nullptr;
-        st.entry_max = 0.0;
-      });
-
-  clock().wait_until(entry_max);
-  clock().advance_comm(cost);
-  if (events().enabled()) {
-    events().record({world_rank(), trace::EventKind::kBcast, entry,
-                     clock().now(), bytes, 0,
-                     "root=w" + std::to_string(world_ranks()[static_cast<
-                                    std::size_t>(root)])});
-  }
-  return cost;
-}
-
-void Comm::send_bytes(const void* data, std::int64_t bytes, int dest,
-                      int tag) {
-  const int q = size();
-  if (dest < 0 || dest >= q) {
-    throw std::invalid_argument("sgmpi: send to invalid rank");
-  }
-  if (dest == rank_) {
-    throw std::invalid_argument("sgmpi: send to self is not supported");
-  }
-  if (bytes < 0) throw std::invalid_argument("sgmpi: negative send size");
-
-  detail::Message msg;
-  msg.comm_state = state_index_;
-  msg.src_comm_rank = rank_;
-  msg.tag = tag;
-  msg.bytes = bytes;
-  msg.sender_entry_vtime = clock().now();
-  if (data != nullptr && bytes > 0) {
-    const auto* p = static_cast<const std::byte*>(data);
-    msg.payload.assign(p, p + bytes);
-  }
-
-  const int dest_world = world_ranks()[static_cast<std::size_t>(dest)];
-  auto& box = ctx_->mailboxes[static_cast<std::size_t>(dest_world)];
-  {
-    std::lock_guard<std::mutex> lock(box.mutex);
-    box.queue.push_back(std::move(msg));
-  }
-  box.cv.notify_all();
-  clock().advance_comm(link_to(dest).p2p(bytes));
-}
-
-void Comm::recv_bytes(void* data, std::int64_t bytes, int source, int tag) {
-  const int q = size();
-  if (source < 0 || source >= q) {
-    throw std::invalid_argument("sgmpi: recv from invalid rank");
-  }
-  if (bytes < 0) throw std::invalid_argument("sgmpi: negative recv size");
-
-  auto& box = ctx_->mailboxes[static_cast<std::size_t>(world_rank())];
-  const double entry = clock().now();
-  detail::Message msg;
-  {
-    std::unique_lock<std::mutex> lock(box.mutex);
-    const auto poll = std::chrono::duration<double>(
-        ctx_->config.poll_interval_s);
-    for (;;) {
-      const auto it = std::find_if(
-          box.queue.begin(), box.queue.end(), [&](const detail::Message& m) {
-            return m.comm_state == state_index_ && m.src_comm_rank == source &&
-                   m.tag == tag;
-          });
-      if (it != box.queue.end()) {
-        msg = std::move(*it);
-        box.queue.erase(it);
-        break;
-      }
-      if (ctx_->aborted.load(std::memory_order_relaxed)) throw AbortedError();
-      box.cv.wait_for(lock, poll);
-    }
-  }
-  if (msg.bytes != bytes) {
-    throw std::invalid_argument(
-        "sgmpi: recv size mismatch (got " + std::to_string(msg.bytes) +
-        " bytes, expected " + std::to_string(bytes) + ")");
-  }
-  if (data != nullptr && !msg.payload.empty()) {
-    std::memcpy(data, msg.payload.data(), msg.payload.size());
-  }
-  clock().wait_until(msg.sender_entry_vtime);
-  clock().advance_comm(link_to(source).p2p(bytes));
-  if (events().enabled()) {
-    events().record({world_rank(), trace::EventKind::kTransfer, entry,
-                     clock().now(), bytes, 0,
-                     "recv from c" + std::to_string(source)});
-  }
-}
-
 double Comm::allreduce_max(double value) {
   const int q = size();
   if (q == 1) return value;

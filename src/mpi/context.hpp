@@ -52,10 +52,26 @@ class Meeting {
   std::uint64_t generation_ = 0;
 };
 
+/// One in-flight non-blocking collective on a communicator. Collectives on
+/// a communicator are matched by a per-member posting sequence number (the
+/// standard MPI rule that all members issue collectives in the same order);
+/// a slot is created by the first poster and retired by the last completer.
+struct AsyncSlot {
+  int posted = 0;     ///< members that have posted so far
+  int copied = 0;     ///< non-root members that have copied the payload
+  int finished = 0;   ///< members whose wait/test has completed
+  double entry_max = 0.0;      ///< max comm-lane start over posters
+  const void* src = nullptr;   ///< root's payload (valid until root leaves)
+  std::int64_t bytes = -1;     ///< payload size (validated across members)
+  int root = -1;               ///< communicator rank of the root
+  bool root_posted = false;
+};
+
 /// State shared by all members of one communicator.
 struct CommState {
   explicit CommState(std::vector<int> members_in)
-      : members(std::move(members_in)) {}
+      : members(std::move(members_in)),
+        next_post_seq(members.size(), 0) {}
 
   std::vector<int> members;  ///< world ranks; communicator rank = index
   trace::HockneyParams link;  ///< fabric used by this communicator's
@@ -63,9 +79,16 @@ struct CommState {
 
   Meeting meeting;
 
+  // Non-blocking collectives (ibcast and the blocking wrappers built on
+  // it). Guarded by `async_mutex`; waiters poll `async_cv` plus the abort
+  // flag, mirroring Meeting.
+  std::mutex async_mutex;
+  std::condition_variable async_cv;
+  std::vector<std::uint64_t> next_post_seq;    ///< per-member post counter
+  std::map<std::uint64_t, AsyncSlot> async_slots;  ///< keyed by sequence
+
   // Scratch for the collective in flight (written in `contribute`/`finalize`
   // under the meeting lock, reset by the trailing rendezvous).
-  const void* bcast_src = nullptr;
   double entry_max = 0.0;
   double op_complete = 0.0;
   double reduce_acc = 0.0;
@@ -116,7 +139,14 @@ class Context {
     subgroup_cache.emplace(std::move(world), 0);
   }
 
-  detail::CommState& state(std::size_t index) { return states[index]; }
+  /// Deque elements have stable addresses, but indexing walks the deque's
+  /// internal node map, which reallocates when `subgroup_state` appends —
+  /// so the walk itself must hold the lock. The returned reference stays
+  /// valid after release.
+  detail::CommState& state(std::size_t index) {
+    std::lock_guard<std::mutex> lock(states_mutex);
+    return states[index];
+  }
 
   int node_of(int rank) const {
     if (config.node_of.empty()) return 0;

@@ -58,6 +58,48 @@ class AbortedError : public std::runtime_error {
   AbortedError() : std::runtime_error("sgmpi: run aborted by another rank") {}
 };
 
+/// Handle to one in-flight non-blocking operation (MPI_Request analogue).
+///
+/// Obtained from `Comm::ibcast_bytes` / `isend_bytes` / `irecv_bytes` and
+/// completed with `Comm::wait` / `waitall` / `test` on the same Comm. A
+/// default-constructed Request is null: waiting on it is a no-op. Requests
+/// are move-only; destroying a pending request without completing it is a
+/// programming error — the peers of a collective would block forever
+/// waiting for this rank's completion.
+class Request {
+ public:
+  Request() = default;
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&&) noexcept = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// True while the operation has been posted but not yet completed.
+  bool pending() const noexcept { return op_ != nullptr; }
+
+ private:
+  friend class Comm;
+
+  enum class Kind { kBcastRecv, kBcastSendRoot, kSend, kRecv };
+
+  struct Op {
+    Kind kind = Kind::kBcastRecv;
+    std::size_t state_index = 0;  ///< communicator the op was posted on
+    std::uint64_t seq = 0;        ///< per-communicator matching sequence
+    void* recv_buf = nullptr;     ///< receiver payload (bcast/recv)
+    std::int64_t bytes = 0;
+    int root = -1;        ///< communicator rank of the bcast root
+    int peer = -1;        ///< dest/source for point-to-point
+    int tag = 0;
+    double cost = 0.0;        ///< modeled Hockney cost of the operation
+    double lane_start = 0.0;  ///< comm-lane slot reserved at post time
+    bool blocking = false;    ///< posted by a blocking wrapper (event kind)
+  };
+
+  explicit Request(std::unique_ptr<Op> op) : op_(std::move(op)) {}
+  std::unique_ptr<Op> op_;
+};
+
 /// Communicator handle bound to one rank.
 ///
 /// `rank()`/`size()` follow MPI conventions. For subgroup communicators,
@@ -77,7 +119,14 @@ class Comm {
   /// call with the same `bytes` and `root`; `data` is the send buffer on
   /// the root and the receive buffer elsewhere (may be null everywhere for
   /// modeled-only traffic). Returns the modeled cost charged to this rank.
+  /// Implemented as ibcast_bytes + wait.
   double bcast_bytes(void* data, std::int64_t bytes, int root);
+
+  /// Root-side blocking broadcast over a read-only buffer: semantically
+  /// identical to `bcast_bytes` called on the root, but const-correct — the
+  /// runtime only ever reads the root's payload. The calling rank must be
+  /// `root`.
+  double bcast_send_bytes(const void* data, std::int64_t bytes, int root);
 
   /// Typed convenience over bcast_bytes.
   double bcast(double* data, std::int64_t count, int root) {
@@ -85,8 +134,43 @@ class Comm {
                        root);
   }
 
+  /// Non-blocking broadcast. Posts the operation on this rank — posting
+  /// never blocks on the peers — and reserves this rank's communication
+  /// lane; completion (payload delivery and virtual-time settlement)
+  /// happens in `wait`/`waitall`/`test`. All members must post collectives
+  /// on a communicator in the same order and eventually complete every
+  /// posted request. The root's buffer must stay valid until its own wait
+  /// returns (which also guarantees every receiver has copied).
+  Request ibcast_bytes(void* data, std::int64_t bytes, int root);
+
+  /// Root-side non-blocking broadcast over a read-only buffer (the
+  /// const-correct path for broadcasting owned, in-place data). The calling
+  /// rank must be `root`.
+  Request ibcast_send_bytes(const void* data, std::int64_t bytes, int root);
+
+  /// Non-blocking point-to-point. isend is buffered-eager like send_bytes
+  /// (the payload is snapshotted at post time); irecv records the post time
+  /// and matches at completion.
+  Request isend_bytes(const void* data, std::int64_t bytes, int dest, int tag);
+  Request irecv_bytes(void* data, std::int64_t bytes, int source, int tag);
+
+  /// Blocks until `request` completes; null requests return immediately.
+  /// Returns the modeled cost charged to this rank (0 for null/trivial
+  /// operations). The request becomes null.
+  double wait(Request& request);
+
+  /// Waits on every request in order; returns the summed modeled cost.
+  double waitall(std::vector<Request>& requests);
+
+  /// Attempts to complete `request` without blocking: returns true (and
+  /// settles the request exactly like `wait`) if the operation can finish
+  /// now, false if it would have to block on a peer. Null requests test
+  /// true.
+  bool test(Request& request);
+
   /// Blocking point-to-point (eager buffered send, matching by source+tag;
   /// messages between a (src,dst,tag) triple are delivered in order).
+  /// Implemented as i* + wait.
   void send_bytes(const void* data, std::int64_t bytes, int dest, int tag);
   void recv_bytes(void* data, std::int64_t bytes, int source, int tag);
   void send(const double* data, std::int64_t count, int dest, int tag) {
@@ -135,6 +219,10 @@ class Comm {
   friend class Context;
   Comm(std::shared_ptr<Context> ctx, std::size_t state_index, int rank)
       : ctx_(std::move(ctx)), state_index_(state_index), rank_(rank) {}
+
+  /// Appends the event-log entry for a completed request.
+  void record_completion(const Request::Op& op, double wait_entry,
+                         double completion);
 
   std::shared_ptr<Context> ctx_;
   std::size_t state_index_;  ///< index of the CommState in the context

@@ -1,0 +1,381 @@
+// Non-blocking sgmpi operations: post/complete split of broadcast and
+// point-to-point, plus the blocking wrappers built on top of them.
+//
+// Posting never blocks on peers. A collective post registers this rank in a
+// per-communicator AsyncSlot matched by posting order (the MPI rule that all
+// members issue collectives on a communicator in the same sequence) and
+// reserves the rank's virtual communication lane. Payload movement and
+// virtual-time settlement happen at completion (`wait`/`waitall`/`test`):
+// receivers copy straight out of the root's buffer, and the root's own
+// completion blocks until every receiver has copied, which is what makes the
+// root's buffer lifetime end at its wait — the guarantee the const-correct
+// `ibcast_send_bytes` path relies on.
+//
+// Virtual time: an operation's effective interval is
+// [entry_max, entry_max + cost], where entry_max is the latest comm-lane
+// start over all posters. Completion settles the caller's clock via
+// VirtualClock::complete_async_comm, so cost overlapping local compute is
+// hidden (the overlap win) and only the remainder stalls the main line.
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "src/mpi/context.hpp"
+#include "src/mpi/mpi.hpp"
+
+namespace summagen::sgmpi {
+
+namespace {
+
+void validate_root(int root, int size) {
+  if (root < 0 || root >= size) {
+    throw std::invalid_argument("sgmpi: root " + std::to_string(root) +
+                                " outside communicator of size " +
+                                std::to_string(size));
+  }
+}
+
+/// Retires this rank's participation in a slot; the last member out erases
+/// the slot (sequence numbers never repeat, so erasure is final).
+void finish_slot(detail::CommState& st,
+                 std::map<std::uint64_t, detail::AsyncSlot>::iterator it,
+                 int q) {
+  if (++it->second.finished == q) st.async_slots.erase(it);
+}
+
+}  // namespace
+
+Request Comm::ibcast_bytes(void* data, std::int64_t bytes, int root) {
+  const int q = size();
+  validate_root(root, q);
+  if (bytes < 0) throw std::invalid_argument("sgmpi: negative bcast size");
+  if (q == 1) return Request{};
+
+  auto op = std::make_unique<Request::Op>();
+  op->kind = rank_ == root ? Request::Kind::kBcastSendRoot
+                           : Request::Kind::kBcastRecv;
+  op->state_index = state_index_;
+  op->recv_buf = rank_ == root ? nullptr : data;
+  op->bytes = bytes;
+  op->root = root;
+  op->cost = trace::bcast_cost(link(), bytes, q);
+  op->lane_start = clock().post_async_comm(op->cost);
+
+  auto& st = ctx_->state(state_index_);
+  {
+    std::lock_guard<std::mutex> lock(st.async_mutex);
+    op->seq = st.next_post_seq[static_cast<std::size_t>(rank_)]++;
+    auto& slot = st.async_slots[op->seq];
+    ++slot.posted;
+    slot.entry_max = std::max(slot.entry_max, op->lane_start);
+    if (slot.bytes < 0) {
+      slot.bytes = bytes;
+    } else if (slot.bytes != bytes) {
+      throw std::invalid_argument(
+          "sgmpi: bcast size mismatch across members (got " +
+          std::to_string(bytes) + " vs " + std::to_string(slot.bytes) + ")");
+    }
+    if (slot.root < 0) {
+      slot.root = root;
+    } else if (slot.root != root) {
+      throw std::invalid_argument("sgmpi: bcast root mismatch across members");
+    }
+    if (rank_ == root) {
+      slot.src = data;
+      slot.root_posted = true;
+    }
+  }
+  st.async_cv.notify_all();
+  return Request{std::move(op)};
+}
+
+Request Comm::ibcast_send_bytes(const void* data, std::int64_t bytes,
+                                int root) {
+  if (rank_ != root) {
+    throw std::invalid_argument(
+        "sgmpi: ibcast_send_bytes must be called by the root (receivers "
+        "need a writable buffer)");
+  }
+  // The runtime never writes through the root's pointer; the const_cast is
+  // confined here and covered by that invariant.
+  return ibcast_bytes(const_cast<void*>(data), bytes, root);
+}
+
+Request Comm::isend_bytes(const void* data, std::int64_t bytes, int dest,
+                          int tag) {
+  const int q = size();
+  if (dest < 0 || dest >= q) {
+    throw std::invalid_argument("sgmpi: send to invalid rank");
+  }
+  if (dest == rank_) {
+    throw std::invalid_argument("sgmpi: send to self is not supported");
+  }
+  if (bytes < 0) throw std::invalid_argument("sgmpi: negative send size");
+
+  auto op = std::make_unique<Request::Op>();
+  op->kind = Request::Kind::kSend;
+  op->state_index = state_index_;
+  op->bytes = bytes;
+  op->peer = dest;
+  op->tag = tag;
+  op->cost = link_to(dest).p2p(bytes);
+  op->lane_start = clock().post_async_comm(op->cost);
+
+  // Buffered-eager: the payload is snapshotted at post time, so the
+  // sender's buffer is reusable immediately and completion is local.
+  detail::Message msg;
+  msg.comm_state = state_index_;
+  msg.src_comm_rank = rank_;
+  msg.tag = tag;
+  msg.bytes = bytes;
+  msg.sender_entry_vtime = op->lane_start;
+  if (data != nullptr && bytes > 0) {
+    const auto* p = static_cast<const std::byte*>(data);
+    msg.payload.assign(p, p + bytes);
+  }
+
+  const int dest_world = world_ranks()[static_cast<std::size_t>(dest)];
+  auto& box = ctx_->mailboxes[static_cast<std::size_t>(dest_world)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+  return Request{std::move(op)};
+}
+
+Request Comm::irecv_bytes(void* data, std::int64_t bytes, int source,
+                          int tag) {
+  const int q = size();
+  if (source < 0 || source >= q) {
+    throw std::invalid_argument("sgmpi: recv from invalid rank");
+  }
+  if (bytes < 0) throw std::invalid_argument("sgmpi: negative recv size");
+
+  auto op = std::make_unique<Request::Op>();
+  op->kind = Request::Kind::kRecv;
+  op->state_index = state_index_;
+  op->recv_buf = data;
+  op->bytes = bytes;
+  op->peer = source;
+  op->tag = tag;
+  op->cost = link_to(source).p2p(bytes);
+  op->lane_start = clock().post_async_comm(op->cost);
+  return Request{std::move(op)};
+}
+
+double Comm::wait(Request& request) {
+  if (!request.pending()) return 0.0;
+  const Request::Op& op = *request.op_;
+  if (op.state_index != state_index_) {
+    throw std::invalid_argument(
+        "sgmpi: request waited on a different communicator than it was "
+        "posted on");
+  }
+  const double entry = clock().now();
+  double completion = 0.0;
+
+  switch (op.kind) {
+    case Request::Kind::kSend:
+      completion = op.lane_start + op.cost;
+      break;
+
+    case Request::Kind::kRecv: {
+      auto& box = ctx_->mailboxes[static_cast<std::size_t>(world_rank())];
+      detail::Message msg;
+      {
+        std::unique_lock<std::mutex> lock(box.mutex);
+        const auto poll =
+            std::chrono::duration<double>(ctx_->config.poll_interval_s);
+        for (;;) {
+          const auto it = std::find_if(
+              box.queue.begin(), box.queue.end(),
+              [&](const detail::Message& m) {
+                return m.comm_state == state_index_ &&
+                       m.src_comm_rank == op.peer && m.tag == op.tag;
+              });
+          if (it != box.queue.end()) {
+            msg = std::move(*it);
+            box.queue.erase(it);
+            break;
+          }
+          if (ctx_->aborted.load(std::memory_order_relaxed)) {
+            throw AbortedError();
+          }
+          box.cv.wait_for(lock, poll);
+        }
+      }
+      if (msg.bytes != op.bytes) {
+        throw std::invalid_argument(
+            "sgmpi: recv size mismatch (got " + std::to_string(msg.bytes) +
+            " bytes, expected " + std::to_string(op.bytes) + ")");
+      }
+      if (op.recv_buf != nullptr && !msg.payload.empty()) {
+        std::memcpy(op.recv_buf, msg.payload.data(), msg.payload.size());
+      }
+      completion = std::max(op.lane_start, msg.sender_entry_vtime) + op.cost;
+      break;
+    }
+
+    case Request::Kind::kBcastRecv:
+    case Request::Kind::kBcastSendRoot: {
+      auto& st = ctx_->state(state_index_);
+      const int q = size();
+      double entry_max = 0.0;
+      {
+        std::unique_lock<std::mutex> lock(st.async_mutex);
+        const auto it = st.async_slots.find(op.seq);
+        if (it == st.async_slots.end()) {
+          throw std::logic_error("sgmpi: request completed twice");
+        }
+        detail::AsyncSlot& slot = it->second;
+        const auto poll =
+            std::chrono::duration<double>(ctx_->config.poll_interval_s);
+        const bool is_root = op.kind == Request::Kind::kBcastSendRoot;
+        while (slot.posted < q || (is_root && slot.copied < q - 1)) {
+          if (ctx_->aborted.load(std::memory_order_relaxed)) {
+            throw AbortedError();
+          }
+          st.async_cv.wait_for(lock, poll);
+        }
+        if (!is_root) {
+          if (op.recv_buf != nullptr && slot.src != nullptr) {
+            std::memcpy(op.recv_buf, slot.src,
+                        static_cast<std::size_t>(op.bytes));
+          }
+          ++slot.copied;
+        }
+        entry_max = slot.entry_max;
+        finish_slot(st, it, q);
+      }
+      st.async_cv.notify_all();
+      completion = entry_max + op.cost;
+      break;
+    }
+  }
+
+  const double cost = op.cost;
+  clock().complete_async_comm(completion, cost);
+  record_completion(op, entry, completion);
+  request.op_.reset();
+  return cost;
+}
+
+double Comm::waitall(std::vector<Request>& requests) {
+  double total = 0.0;
+  for (Request& r : requests) total += wait(r);
+  return total;
+}
+
+bool Comm::test(Request& request) {
+  if (!request.pending()) return true;
+  const Request::Op& op = *request.op_;
+
+  switch (op.kind) {
+    case Request::Kind::kSend:
+      break;  // buffered send: completion is local, wait() never blocks
+
+    case Request::Kind::kRecv: {
+      auto& box = ctx_->mailboxes[static_cast<std::size_t>(world_rank())];
+      std::lock_guard<std::mutex> lock(box.mutex);
+      const auto it = std::find_if(
+          box.queue.begin(), box.queue.end(), [&](const detail::Message& m) {
+            return m.comm_state == state_index_ &&
+                   m.src_comm_rank == op.peer && m.tag == op.tag;
+          });
+      if (it == box.queue.end()) return false;
+      break;  // a matching message is queued: wait() below cannot block
+    }
+
+    case Request::Kind::kBcastRecv:
+    case Request::Kind::kBcastSendRoot: {
+      auto& st = ctx_->state(state_index_);
+      const int q = size();
+      {
+        std::lock_guard<std::mutex> lock(st.async_mutex);
+        const auto it = st.async_slots.find(op.seq);
+        if (it == st.async_slots.end()) {
+          throw std::logic_error("sgmpi: request completed twice");
+        }
+        const detail::AsyncSlot& slot = it->second;
+        const bool is_root = op.kind == Request::Kind::kBcastSendRoot;
+        if (slot.posted < q || (is_root && slot.copied < q - 1)) return false;
+      }
+      break;  // fully posted (and copied, for the root): wait() is instant
+    }
+  }
+  wait(request);
+  return true;
+}
+
+double Comm::bcast_bytes(void* data, std::int64_t bytes, int root) {
+  Request r = ibcast_bytes(data, bytes, root);
+  if (!r.pending()) return 0.0;  // single-member communicator
+  r.op_->blocking = true;
+  return wait(r);
+}
+
+double Comm::bcast_send_bytes(const void* data, std::int64_t bytes,
+                              int root) {
+  Request r = ibcast_send_bytes(data, bytes, root);
+  if (!r.pending()) return 0.0;
+  r.op_->blocking = true;
+  return wait(r);
+}
+
+void Comm::send_bytes(const void* data, std::int64_t bytes, int dest,
+                      int tag) {
+  Request r = isend_bytes(data, bytes, dest, tag);
+  r.op_->blocking = true;
+  wait(r);
+}
+
+void Comm::recv_bytes(void* data, std::int64_t bytes, int source, int tag) {
+  Request r = irecv_bytes(data, bytes, source, tag);
+  r.op_->blocking = true;
+  wait(r);
+}
+
+void Comm::record_completion(const Request::Op& op, double wait_entry,
+                             double completion) {
+  if (!events().enabled()) return;
+  switch (op.kind) {
+    case Request::Kind::kBcastRecv:
+    case Request::Kind::kBcastSendRoot: {
+      const std::string detail =
+          "root=w" + std::to_string(world_ranks()[static_cast<std::size_t>(
+                         op.root)]);
+      if (op.blocking) {
+        // Identical to the historical blocking event: spans the call.
+        events().record({world_rank(), trace::EventKind::kBcast, wait_entry,
+                         clock().now(), op.bytes, 0, detail});
+      } else {
+        // The operation's effective interval on the comm lane — it may lie
+        // entirely under earlier compute in the Gantt (that is the point).
+        events().record({world_rank(), trace::EventKind::kAsyncBcast,
+                         completion - op.cost, completion, op.bytes, 0,
+                         detail});
+      }
+      break;
+    }
+    case Request::Kind::kRecv: {
+      const std::string detail = "recv from c" + std::to_string(op.peer);
+      if (op.blocking) {
+        events().record({world_rank(), trace::EventKind::kTransfer,
+                         wait_entry, clock().now(), op.bytes, 0, detail});
+      } else {
+        events().record({world_rank(), trace::EventKind::kAsyncTransfer,
+                         completion - op.cost, completion, op.bytes, 0,
+                         detail});
+      }
+      break;
+    }
+    case Request::Kind::kSend:
+      // Sends never recorded an event on the blocking path; keep parity.
+      break;
+  }
+}
+
+}  // namespace summagen::sgmpi

@@ -20,6 +20,10 @@ const char* to_string(EventKind kind) {
       return "wait";
     case EventKind::kTransfer:
       return "transfer";
+    case EventKind::kAsyncBcast:
+      return "ibcast";
+    case EventKind::kAsyncTransfer:
+      return "irecv";
   }
   return "?";
 }

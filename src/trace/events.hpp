@@ -12,7 +12,20 @@
 
 namespace summagen::trace {
 
-enum class EventKind { kCompute, kBcast, kBarrier, kCopy, kWait, kTransfer };
+enum class EventKind {
+  kCompute,
+  kBcast,
+  kBarrier,
+  kCopy,
+  kWait,
+  kTransfer,
+  /// Non-blocking broadcast: the interval is the operation's occupancy of
+  /// the rank's communication lane, which may overlap kCompute events of
+  /// the same rank — that overlap is the win a pipelined schedule shows.
+  kAsyncBcast,
+  /// Non-blocking point-to-point receive, same lane semantics.
+  kAsyncTransfer,
+};
 
 const char* to_string(EventKind kind);
 

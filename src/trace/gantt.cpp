@@ -22,6 +22,10 @@ char glyph(EventKind kind) {
       return 'c';
     case EventKind::kWait:
       return '.';
+    case EventKind::kAsyncBcast:
+      return 'b';
+    case EventKind::kAsyncTransfer:
+      return 't';
   }
   return '?';
 }
@@ -84,7 +88,8 @@ std::string render_gantt(const std::vector<Event>& events, double makespan,
     os << "    0" << std::string(static_cast<std::size_t>(opts.width) - 1,
                                  '-')
        << std::setprecision(3) << end << "s"
-       << "  (C=compute T=transfer B=bcast R=barrier .=idle)\n";
+       << "  (C=compute T=transfer B=bcast b=ibcast t=irecv R=barrier "
+          ".=idle)\n";
   }
   return os.str();
 }

@@ -4,6 +4,9 @@
 // each bucket shows the activity that dominates it:
 //   C compute   T host<->device transfer   B broadcast   R barrier
 //   c copy      . idle
+//   b/t non-blocking broadcast / receive occupying the rank's async
+//       communication lane — these may share buckets with compute, which
+//       is how an overlapped (pipelined) schedule shows up
 // A scale line and per-lane utilisation close the chart. Used by the
 // examples to make the virtual-time schedules of SummaGen runs visible.
 #pragma once

@@ -17,6 +17,14 @@ namespace summagen::trace {
 /// Accounting buckets let experiments split total elapsed time into
 /// computation, communication, and idle (waiting at synchronisation), which
 /// is exactly the decomposition of the paper's Figures 6b/6c and 7b/7c.
+///
+/// The clock models two lanes per rank: the *main line* (`now`), which the
+/// program counter advances through compute and blocking communication, and
+/// a *communication lane* that serialises asynchronous (posted) transfers.
+/// An async operation occupies the comm lane from its post; if the main
+/// line reaches the matching wait after the operation's completion time the
+/// cost is fully hidden behind compute, otherwise the main line stalls for
+/// the remainder. Completion time of the rank is `max(now, comm lane end)`.
 class VirtualClock {
  public:
   double now() const noexcept { return now_; }
@@ -31,6 +39,7 @@ class VirtualClock {
   void advance_comm(double seconds) noexcept {
     now_ += seconds;
     comm_ += seconds;
+    comm_lane_end_ = std::max(comm_lane_end_, now_);
   }
 
   /// Jumps forward to `target` (synchronisation with a peer that finishes
@@ -42,17 +51,59 @@ class VirtualClock {
     }
   }
 
+  /// Reserves the communication lane for an asynchronous operation of
+  /// `seconds` posted now and returns the lane start time: the lane is a
+  /// single resource (one fabric port per rank), so a post queues behind
+  /// earlier in-flight operations but not behind the main line.
+  double post_async_comm(double seconds) noexcept {
+    const double start = std::max(now_, comm_lane_end_);
+    comm_lane_end_ = start + seconds;
+    return start;
+  }
+
+  /// Completes an asynchronous operation of `seconds` that (after
+  /// exchanging entry times with its peers) finishes at absolute
+  /// `completion`. Accounting matches the blocking path when nothing
+  /// overlapped: the main line is idle until the operation's effective
+  /// start, then busy communicating until `completion`. Any part of the
+  /// cost already covered by the main line (compute that ran past the
+  /// operation's start) is counted as hidden communication — the overlap
+  /// win of a pipelined schedule.
+  void complete_async_comm(double completion, double seconds) noexcept {
+    comm_lane_end_ = std::max(comm_lane_end_, completion);
+    const double start = completion - seconds;
+    if (now_ < start) {
+      idle_ += start - now_;
+      now_ = start;
+    }
+    const double charged = completion > now_ ? completion - now_ : 0.0;
+    comm_ += charged;
+    hidden_comm_ += seconds - charged;
+    if (completion > now_) now_ = completion;
+  }
+
+  /// End of the communication lane: completion time of the latest posted
+  /// transfer, never earlier than the main line's last comm activity.
+  double comm_lane_end() const noexcept {
+    return std::max(now_, comm_lane_end_);
+  }
+
   double compute_seconds() const noexcept { return compute_; }
   double comm_seconds() const noexcept { return comm_; }
   double idle_seconds() const noexcept { return idle_; }
+
+  /// Communication cost hidden behind the main line by async overlap.
+  double hidden_comm_seconds() const noexcept { return hidden_comm_; }
 
   void reset() noexcept { *this = VirtualClock{}; }
 
  private:
   double now_ = 0.0;
+  double comm_lane_end_ = 0.0;
   double compute_ = 0.0;
   double comm_ = 0.0;
   double idle_ = 0.0;
+  double hidden_comm_ = 0.0;
 };
 
 }  // namespace summagen::trace
