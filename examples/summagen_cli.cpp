@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "src/core/runner.hpp"
+#include "src/mpi/faults.hpp"
 #include "src/partition/spec_io.hpp"
 #include "src/trace/gantt.hpp"
 #include "src/util/cli.hpp"
@@ -33,6 +34,10 @@ void usage() {
       "  --scheduler NAME   eager | pipelined (default eager)\n"
       "  --overlap-depth D  pipelined prefetch window, 0 = unbounded\n"
       "  --panel-rows R     broadcast panel rows, 0 = whole sub-partitions\n"
+      "  --fault LIST       inject faults: <kind>@<t>:<rank>[x<arg>], e.g.\n"
+      "                     crash@0.5:1 | slow@0.5:1x4 | link@0.2:0x8 |\n"
+      "                     drop@0.1:2x3 (comma-separated list)\n"
+      "  --fault-detect S   failure-detection latency in seconds (0.05)\n"
       "  --energy           record events and report dynamic energy\n"
       "  --gantt            print the schedule as a Gantt chart\n"
       "  --chrome-trace F   write the schedule as Chrome trace JSON\n"
@@ -69,6 +74,10 @@ int main(int argc, char** argv) {
     config.summagen_options.overlap_depth =
         static_cast<int>(cli.get_int("overlap-depth", 2));
     config.summagen_options.bcast_panel_rows = cli.get_int("panel-rows", 0);
+    if (cli.has("fault")) {
+      config.faults = sgmpi::parse_fault_plan(cli.get("fault", ""));
+      config.fault_detect_s = cli.get_double("fault-detect", 0.05);
+    }
 
     if (cli.has("spec")) {
       config.preset_spec = partition::load_spec(cli.get("spec", ""));
@@ -119,10 +128,29 @@ int main(int argc, char** argv) {
       t.add_row({"dynamic energy (kJ)",
                  util::Table::num(res.energy.dynamic_j / 1e3, 3)});
     }
+    if (!config.faults.empty()) {
+      t.add_row({"recoveries", std::to_string(res.recoveries)});
+      t.add_row({"detection latency (s)",
+                 util::Table::num(res.detection_latency_s, 4)});
+      t.add_row({"recovery virtual time (s)",
+                 util::Table::num(res.recovery_vtime_s, 4)});
+      t.add_row({"redistributed C area",
+                 util::Table::num(res.redistributed_area)});
+    }
     if (config.numeric) {
       t.add_row({"verified vs reference", res.verified ? "yes" : "NO"});
     }
     t.print(std::cout);
+
+    for (const auto& rec : res.fault_records) {
+      std::cout << "fault: " << sgmpi::fault_kind_name(rec.event.kind)
+                << " rank " << rec.event.rank << " @"
+                << rec.event.at_vtime << "s — "
+                << (rec.handled
+                        ? "handled"
+                        : rec.triggered ? "triggered" : "never triggered")
+                << "\n";
+    }
 
     if (cli.get_bool("gantt", false)) {
       std::cout << "\n" << trace::render_gantt(res.events, res.exec_time_s);

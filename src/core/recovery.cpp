@@ -1,0 +1,146 @@
+#include "src/core/recovery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace summagen::core {
+
+namespace {
+
+struct Cell {
+  int bi;
+  int bj;
+  std::int64_t area;
+  int old_owner;  // world rank
+};
+
+int survivor_index(const std::vector<int>& survivors, int world_rank) {
+  const auto it =
+      std::find(survivors.begin(), survivors.end(), world_rank);
+  return it == survivors.end() ? -1
+                               : static_cast<int>(it - survivors.begin());
+}
+
+}  // namespace
+
+partition::PartitionSpec repartition_unfinished(
+    const partition::PartitionSpec& old_spec, const CellSet& done,
+    const std::vector<int>& survivors,
+    const std::vector<double>& survivor_weights,
+    std::int64_t* redistributed_area) {
+  if (survivors.empty()) {
+    throw std::invalid_argument("recovery: no survivors to repartition over");
+  }
+  if (survivor_weights.size() != survivors.size()) {
+    throw std::invalid_argument(
+        "recovery: survivor_weights size mismatch (" +
+        std::to_string(survivor_weights.size()) + " weights for " +
+        std::to_string(survivors.size()) + " survivors)");
+  }
+  double weight_sum = 0.0;
+  for (double w : survivor_weights) {
+    if (w <= 0.0) {
+      throw std::invalid_argument("recovery: survivor weight must be > 0");
+    }
+    weight_sum += w;
+  }
+
+  partition::PartitionSpec spec = old_spec;  // grid (subph/subpw) preserved
+  std::vector<Cell> unfinished;
+  std::int64_t total_unfinished = 0;
+  for (int bi = 0; bi < old_spec.subplda; ++bi) {
+    for (int bj = 0; bj < old_spec.subpldb; ++bj) {
+      const int old_owner = old_spec.owner(bi, bj);
+      const std::size_t at = static_cast<std::size_t>(bi) *
+                                 static_cast<std::size_t>(old_spec.subpldb) +
+                             static_cast<std::size_t>(bj);
+      if (done.count({bi, bj}) != 0) {
+        // Finished cell: no work to carry, but the spec must stay valid —
+        // keep the old owner if it survived, else park it on survivor 0.
+        spec.subp[at] = survivor_index(survivors, old_owner) >= 0
+                            ? old_owner
+                            : survivors[0];
+        continue;
+      }
+      const std::int64_t area =
+          old_spec.subph[static_cast<std::size_t>(bi)] *
+          old_spec.subpw[static_cast<std::size_t>(bj)];
+      unfinished.push_back({bi, bj, area, old_owner});
+      total_unfinished += area;
+    }
+  }
+
+  // Weight-proportional targets over the unfinished area; largest cells are
+  // placed first so remainders land on small cells where imbalance is cheap.
+  std::vector<double> target(survivors.size());
+  std::vector<std::int64_t> assigned(survivors.size(), 0);
+  for (std::size_t s = 0; s < survivors.size(); ++s) {
+    target[s] = static_cast<double>(total_unfinished) * survivor_weights[s] /
+                weight_sum;
+  }
+  std::sort(unfinished.begin(), unfinished.end(),
+            [](const Cell& a, const Cell& b) {
+              if (a.area != b.area) return a.area > b.area;
+              if (a.bi != b.bi) return a.bi < b.bi;
+              return a.bj < b.bj;
+            });
+
+  const double slack = 0.25 * static_cast<double>(total_unfinished) /
+                       static_cast<double>(survivors.size());
+  std::int64_t redistributed = 0;
+  for (const Cell& cell : unfinished) {
+    const int pref = survivor_index(survivors, cell.old_owner);
+    int chosen = -1;
+    if (pref >= 0 &&
+        static_cast<double>(assigned[static_cast<std::size_t>(pref)] +
+                            cell.area) <=
+            target[static_cast<std::size_t>(pref)] + slack) {
+      chosen = pref;
+    } else {
+      // Most-underfilled survivor (largest target - assigned), lowest
+      // rank on ties — deterministic across all callers.
+      double best_deficit = 0.0;
+      for (std::size_t s = 0; s < survivors.size(); ++s) {
+        const double deficit =
+            target[s] - static_cast<double>(assigned[s]);
+        if (chosen < 0 || deficit > best_deficit) {
+          chosen = static_cast<int>(s);
+          best_deficit = deficit;
+        }
+      }
+    }
+    assigned[static_cast<std::size_t>(chosen)] += cell.area;
+    if (survivors[static_cast<std::size_t>(chosen)] != cell.old_owner) {
+      redistributed += cell.area;
+    }
+    spec.subp[static_cast<std::size_t>(cell.bi) *
+                  static_cast<std::size_t>(old_spec.subpldb) +
+              static_cast<std::size_t>(cell.bj)] =
+        survivors[static_cast<std::size_t>(chosen)];
+  }
+
+  if (redistributed_area != nullptr) *redistributed_area = redistributed;
+  spec.validate();
+  return spec;
+}
+
+void copy_cell_c(const partition::PartitionSpec& spec,
+                 const LocalData& owner_data, int bi, int bj,
+                 util::Matrix& c_global) {
+  const std::int64_t h = spec.subph[static_cast<std::size_t>(bi)];
+  const std::int64_t w = spec.subpw[static_cast<std::size_t>(bj)];
+  if (h == 0 || w == 0) return;
+  const auto roff = spec.row_offsets();
+  const auto coff = spec.col_offsets();
+  const std::int64_t r0 = roff[static_cast<std::size_t>(bi)];
+  const std::int64_t c0 = coff[static_cast<std::size_t>(bj)];
+  const partition::Rect& rect = owner_data.c_rect();
+  const util::Matrix& local = owner_data.c();
+  const double* src = local.data() +
+                      (r0 - rect.row0) * local.cols() + (c0 - rect.col0);
+  double* dst = c_global.data() + r0 * c_global.cols() + c0;
+  util::copy_matrix(dst, c_global.cols(), src, local.cols(), h, w);
+}
+
+}  // namespace summagen::core

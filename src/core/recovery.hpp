@@ -1,0 +1,57 @@
+// Shrink-and-repartition recovery for SummaGen (DESIGN.md "Fault model").
+//
+// When a rank crashes (or degrades) mid-run, the survivors agree on the
+// failure epoch via sgmpi::Comm::shrink() and must then re-derive a data
+// distribution for the work that was lost. This header holds the pure,
+// deterministic pieces of that recovery: re-owning the *unfinished* cells
+// of the sub-partition grid over the survivors, and gathering C cells from
+// the execution phase that actually computed them.
+//
+// The sub-partition grid (subph/subpw) is preserved across recoveries: only
+// cell ownership changes. That keeps every phase's communication schedule
+// derivable by the existing planner, and makes C assembly a per-cell copy.
+// Owners are world ranks throughout — a recovery phase's spec simply never
+// references the dead ranks, so its broadcasts only ever group survivors.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/core/dataplane.hpp"
+#include "src/partition/spec.hpp"
+#include "src/util/matrix.hpp"
+
+namespace summagen::core {
+
+/// Completed sub-partition cells, as (bi, bj) grid coordinates.
+using CellSet = std::set<std::pair<int, int>>;
+
+/// Re-owns the cells of `old_spec`'s grid over the `survivors`.
+///
+/// Cells in `done` keep (a survivor as) a nominal owner but carry no work;
+/// unfinished cells are distributed so each survivor's assigned area is
+/// proportional to its weight (CPM/FPM target), preferring the previous
+/// owner when it survived and is not overfull — re-execution then reuses
+/// locality and `redistributed_area` (area of unfinished cells that changed
+/// hands) stays small.
+///
+/// `old_spec`'s owners and `survivors` (ascending) are world ranks, and so
+/// are the returned spec's owners. `survivor_weights` are positive relative
+/// speeds (size == survivors.size()). Deterministic: every survivor
+/// computes the identical spec.
+partition::PartitionSpec repartition_unfinished(
+    const partition::PartitionSpec& old_spec, const CellSet& done,
+    const std::vector<int>& survivors,
+    const std::vector<double>& survivor_weights,
+    std::int64_t* redistributed_area);
+
+/// Copies the C sub-partition (bi, bj) out of `owner_data` — the local
+/// store, under `spec`, of the rank that computed the cell — into the
+/// global C matrix.
+void copy_cell_c(const partition::PartitionSpec& spec,
+                 const LocalData& owner_data, int bi, int bj,
+                 util::Matrix& c_global);
+
+}  // namespace summagen::core

@@ -2,12 +2,42 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
+#include "src/core/recovery.hpp"
 #include "src/core/reference.hpp"
 #include "src/util/rng.hpp"
 
 namespace summagen::core {
+
+namespace {
+
+/// Per-rank totals across all recovery phases of one fault-tolerant run.
+void accumulate_report(RankReport& into, const RankReport& r) {
+  into.bcasts += r.bcasts;
+  into.bcast_bytes += r.bcast_bytes;
+  into.mpi_time_s += r.mpi_time_s;
+  into.gemm_calls += r.gemm_calls;
+  into.flops += r.flops;
+  into.kernel_compute_s += r.kernel_compute_s;
+  into.kernel_transfer_s += r.kernel_transfer_s;
+  into.hidden_comm_s += r.hidden_comm_s;
+}
+
+/// One execution phase of a fault-tolerant run: the distribution it ran
+/// under, who participated, each participant's local store (numeric plane,
+/// indexed by world rank) and the completed-cell set it started from.
+struct Phase {
+  partition::PartitionSpec spec;
+  std::vector<int> members;  ///< surviving world ranks, ascending
+  std::vector<std::unique_ptr<LocalData>> locals;
+  CellSet done_at_start;
+  std::int64_t redistributed = 0;
+};
+
+}  // namespace
 
 std::vector<device::SpeedFunction> default_fpm_models(
     const device::Platform& platform, std::int64_t n,
@@ -101,7 +131,10 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
   mpi_config.node_of = config.platform.node_of;
   mpi_config.internode_link = config.platform.internode_link;
   mpi_config.record_events = config.record_events;
+  mpi_config.faults = config.faults;
+  mpi_config.fault_detect_s = config.fault_detect_s;
   sgmpi::Runtime runtime(mpi_config);
+  const bool fault_tolerant = !config.faults.empty();
 
   // Numeric plane: build the global inputs and each rank's local store.
   util::Matrix a, b;
@@ -119,13 +152,160 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
   }
 
   result.reports.resize(static_cast<std::size_t>(p));
-  runtime.run([&](sgmpi::Comm& world) {
-    const int r = world.rank();
-    result.reports[static_cast<std::size_t>(r)] = summagen_rank(
-        world, result.spec, processors[static_cast<std::size_t>(r)],
-        locals[static_cast<std::size_t>(r)].get(), config.contended,
-        config.summagen_options);
-  });
+
+  // Fault-tolerant runs re-execute in phases; rec_mutex guards the shared
+  // recovery state (completed-cell set and phase list) across rank threads.
+  std::mutex rec_mutex;
+  CellSet done;
+  std::vector<std::unique_ptr<Phase>> phases;
+
+  // Survivor weights for re-partitioning: the configured CPM speeds / FPM
+  // models, with every rank a handled slowdown degraded divided down by its
+  // factor — a slowed rank keeps working, just proportionally less.
+  const auto survivor_weights = [&](const std::vector<int>& survivors) {
+    std::vector<double> degrade(static_cast<std::size_t>(p), 1.0);
+    for (const sgmpi::FaultRecord& rec : runtime.fault_records()) {
+      if (rec.event.kind == sgmpi::FaultKind::kSlowdown && rec.triggered) {
+        degrade[static_cast<std::size_t>(rec.event.rank)] *= rec.event.factor;
+      }
+    }
+    std::vector<double> weights;
+    if (config.regime == Regime::kConstant) {
+      std::vector<double> speeds = config.cpm_speeds;
+      if (static_cast<int>(speeds.size()) != p) {
+        speeds = default_cpm_speeds(config.platform);
+      }
+      for (int s : survivors) {
+        weights.push_back(speeds[static_cast<std::size_t>(s)] /
+                          degrade[static_cast<std::size_t>(s)]);
+      }
+    } else {
+      std::vector<device::SpeedFunction> models = config.fpm_models;
+      if (static_cast<int>(models.size()) != p) {
+        models = default_fpm_models(config.platform, config.n);
+      }
+      std::vector<device::SpeedFunction> scaled;
+      for (int s : survivors) {
+        const device::SpeedFunction& m = models[static_cast<std::size_t>(s)];
+        const double f = degrade[static_cast<std::size_t>(s)];
+        if (f == 1.0) {
+          scaled.push_back(m);
+        } else {
+          std::vector<device::SpeedPoint> pts = m.points();
+          for (device::SpeedPoint& pt : pts) pt.flops_per_s /= f;
+          scaled.push_back(
+              device::SpeedFunction::from_points(pts, m.interpolation()));
+        }
+      }
+      // The load-imbalancing partitioner's areas over the degraded models
+      // are exactly the relative capabilities we want as weights.
+      const auto fpm =
+          partition::partition_areas_fpm(config.n, scaled, config.fpm_options);
+      for (std::int64_t area : fpm.areas) {
+        weights.push_back(std::max(1.0, static_cast<double>(area)));
+      }
+    }
+    return weights;
+  };
+
+  if (!fault_tolerant) {
+    runtime.run([&](sgmpi::Comm& world) {
+      const int r = world.rank();
+      result.reports[static_cast<std::size_t>(r)] = summagen_rank(
+          world, result.spec, processors[static_cast<std::size_t>(r)],
+          locals[static_cast<std::size_t>(r)].get(), config.contended,
+          config.summagen_options);
+    });
+  } else {
+    auto ph0 = std::make_unique<Phase>();
+    ph0->spec = result.spec;
+    for (int r = 0; r < p; ++r) ph0->members.push_back(r);
+    ph0->locals = std::move(locals);
+    phases.push_back(std::move(ph0));
+
+    runtime.run([&](sgmpi::Comm& world) {
+      const int wr = world.rank();  // world comm: comm rank == world rank
+      std::size_t round = 0;
+      for (;;) {
+        try {
+          world.fault_check();
+          Phase* ph;
+          {
+            std::lock_guard<std::mutex> lk(rec_mutex);
+            ph = phases[round].get();
+          }
+          FtContext ftctx;
+          ftctx.done = &ph->done_at_start;
+          ftctx.on_gemm_done = [&](int bi, int bj) {
+            std::lock_guard<std::mutex> lk(rec_mutex);
+            done.insert({bi, bj});
+          };
+          LocalData* ld = config.numeric
+                              ? ph->locals[static_cast<std::size_t>(wr)].get()
+                              : nullptr;
+          const RankReport rep = summagen_rank(
+              world, ph->spec, processors[static_cast<std::size_t>(wr)], ld,
+              config.contended, config.summagen_options, &ftctx);
+          {
+            std::lock_guard<std::mutex> lk(rec_mutex);
+            accumulate_report(result.reports[static_cast<std::size_t>(wr)],
+                              rep);
+          }
+          // All-live commit: a fault racing the tail of the phase surfaces
+          // here as PeerFailedError on every survivor, not on a subset.
+          world.ft_commit();
+          return;
+        } catch (const sgmpi::PeerFailedError& e) {
+          // Exhausted send retries are a delivery failure, not a peer loss:
+          // there is no agreed failure epoch to shrink around.
+          if (e.kind == sgmpi::FaultKind::kMessageDrop) throw;
+          const sgmpi::ShrinkResult res = world.shrink();
+          Phase* next = nullptr;
+          {
+            std::lock_guard<std::mutex> lk(rec_mutex);
+            if (phases.size() == round + 1) {
+              // First survivor out of the shrink builds the next phase; the
+              // completed-cell set is stable here because every live rank
+              // has unwound into the shrink gate.
+              auto np = std::make_unique<Phase>();
+              np->members = res.survivors;
+              np->done_at_start = done;
+              np->spec = repartition_unfinished(
+                  phases[round]->spec, done, res.survivors,
+                  survivor_weights(res.survivors), &np->redistributed);
+              np->locals.resize(static_cast<std::size_t>(p));
+              phases.push_back(std::move(np));
+            }
+            next = phases[round + 1].get();
+          }
+          if (config.numeric) {
+            next->locals[static_cast<std::size_t>(wr)] =
+                std::make_unique<LocalData>(next->spec, wr, a, b);
+          }
+          ++round;
+        }
+      }
+    });
+
+    result.fault_records = runtime.fault_records();
+    result.recoveries = static_cast<int>(phases.size()) - 1;
+    double first_trigger = -1.0;
+    for (const sgmpi::FaultRecord& rec : result.fault_records) {
+      const bool interrupting =
+          rec.event.kind == sgmpi::FaultKind::kCrash ||
+          rec.event.kind == sgmpi::FaultKind::kSlowdown;
+      if (!interrupting || !rec.triggered) continue;
+      if (rec.first_detect_vtime >= 0.0 &&
+          (first_trigger < 0.0 || rec.trigger_vtime < first_trigger)) {
+        first_trigger = rec.trigger_vtime;
+        result.detection_latency_s = rec.first_detect_vtime - rec.trigger_vtime;
+      }
+      if (rec.handled && rec.handled_vtime >= 0.0) {
+        result.recovery_vtime_s += rec.handled_vtime - rec.trigger_vtime;
+      }
+    }
+    for (const auto& ph : phases) result.redistributed_area += ph->redistributed;
+  }
 
   for (int r = 0; r < p; ++r) {
     const auto& clk = runtime.clock(r);
@@ -154,8 +334,26 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
 
   if (config.numeric) {
     util::Matrix c(config.n, config.n);
-    for (int r = 0; r < p; ++r) {
-      locals[static_cast<std::size_t>(r)]->gather_c(result.spec, c);
+    if (!fault_tolerant) {
+      for (int r = 0; r < p; ++r) {
+        locals[static_cast<std::size_t>(r)]->gather_c(result.spec, c);
+      }
+    } else {
+      // Assemble each C sub-partition from the phase that completed it:
+      // the cells a phase finished are its successor's done_at_start minus
+      // its own (the final phase completes everything still in `done`).
+      for (std::size_t k = 0; k < phases.size(); ++k) {
+        const CellSet& start = phases[k]->done_at_start;
+        const CellSet& end =
+            k + 1 < phases.size() ? phases[k + 1]->done_at_start : done;
+        for (const auto& cell : end) {
+          if (start.count(cell) != 0) continue;
+          const int owner = phases[k]->spec.owner(cell.first, cell.second);
+          copy_cell_c(phases[k]->spec,
+                      *phases[k]->locals[static_cast<std::size_t>(owner)],
+                      cell.first, cell.second, c);
+        }
+      }
     }
     const util::Matrix expected = reference_multiply(a, b);
     result.max_abs_error = util::Matrix::max_abs_diff(c, expected);

@@ -65,6 +65,15 @@ struct ExperimentConfig {
   /// Student-t measurement methodology of the paper's Section VI.
   double noise_sigma = 0.0;
   std::uint64_t noise_seed = 1;
+
+  /// Fault injection plan (DESIGN.md "Fault model"). Empty = the exact
+  /// fault-free execution path: results and virtual timing are bit-identical
+  /// to a build without fault support. Non-empty: the runner becomes fault
+  /// tolerant — on a rank crash or slowdown the survivors shrink, the
+  /// unfinished area is re-partitioned over them (CPM/FPM weights, degraded
+  /// ranks at reduced speed), and only the lost work is re-executed.
+  sgmpi::FaultPlan faults;
+  double fault_detect_s = 0.05;  ///< modeled failure-detection latency
 };
 
 /// Everything measured in one execution.
@@ -95,6 +104,18 @@ struct ExperimentResult {
 
   bool verified = false;        ///< numeric plane: C matched the reference
   double max_abs_error = 0.0;   ///< numeric plane: worst |C - C_ref|
+
+  // --- Fault-tolerance accounting (all zero without a fault plan) ---
+  int recoveries = 0;  ///< shrink-and-repartition rounds executed
+  /// Virtual time from the first interrupting fault's trigger to its first
+  /// detection by a survivor.
+  double detection_latency_s = 0.0;
+  /// Total virtual time spent between fault triggers and the survivors'
+  /// agreement (shrink) that handled them.
+  double recovery_vtime_s = 0.0;
+  /// Unfinished C area (elements) that changed owner during recoveries.
+  std::int64_t redistributed_area = 0;
+  std::vector<sgmpi::FaultRecord> fault_records;  ///< per injected event
 };
 
 /// Runs one PMM. Throws on configuration errors (shape/processor-count

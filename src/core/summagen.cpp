@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <set>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -135,6 +136,13 @@ void exec_gemm(sgmpi::Comm& world, const Frame& frame,
                        contended);
   }
 
+  // A planned rank-slowdown fault scales the device's modeled time; the
+  // factor is exactly 1.0 with no fault plan, keeping the charge
+  // bit-identical.
+  const double slow = world.compute_slowdown();
+  cost.compute_s *= slow;
+  cost.transfer_s *= slow;
+
   auto& clk = world.clock();
   const double t0 = clk.now();
   clk.advance_compute(cost.compute_s);
@@ -162,11 +170,38 @@ void exec_gemm(sgmpi::Comm& world, const Frame& frame,
   report.kernel_transfer_s += cost.transfer_s;
 }
 
+/// Drops the plan steps whose outputs are already in `done` (recovery
+/// phases re-execute only lost work). A DGEMM for C(bi, bj) reads the whole
+/// sub-partition row bi of A and column bj of B, so a broadcast/copy
+/// survives iff some remaining DGEMM still reads its row (A ops) or column
+/// (B ops). Every rank filters the identical global plan, so collectives
+/// stay matched.
+void filter_done(ExecutionPlan& plan,
+                 const std::set<std::pair<int, int>>& done) {
+  std::erase_if(plan.gemm_ops, [&](const GemmOp& g) {
+    return done.count({g.bi, g.bj}) != 0;
+  });
+  std::set<int> live_rows, live_cols;
+  for (const GemmOp& g : plan.gemm_ops) {
+    live_rows.insert(g.bi);
+    live_cols.insert(g.bj);
+  }
+  const auto dead = [&](bool is_a, int bi, int bj) {
+    return is_a ? live_rows.count(bi) == 0 : live_cols.count(bj) == 0;
+  };
+  std::erase_if(plan.comm_ops, [&](const CommOp& op) {
+    return dead(op.is_a, op.bi, op.bj);
+  });
+  std::erase_if(plan.copy_ops, [&](const CopyOp& op) {
+    return dead(op.is_a, op.bi, op.bj);
+  });
+}
+
 /// The paper's strict phase order (Figs. 2-4) over the plan: every
 /// communication blocking, all of A, then all of B, then the DGEMMs.
 void run_eager(sgmpi::Comm& world, const Frame& frame,
                const device::AbstractProcessor& ap,
-               const ExecutionPlan& plan, bool contended,
+               const ExecutionPlan& plan, bool contended, const FtContext* ft,
                RankReport& report) {
   const int rank = world.rank();
   std::vector<double> tmp;
@@ -200,7 +235,12 @@ void run_eager(sgmpi::Comm& world, const Frame& frame,
   }
 
   for (const GemmOp& g : plan.gemm_ops) {
-    if (g.owner == rank) exec_gemm(world, frame, ap, g, contended, report);
+    if (g.owner != rank) continue;
+    exec_gemm(world, frame, ap, g, contended, report);
+    // The cell is complete: snapshot it before polling for faults, so a
+    // crash surfacing at this boundary never re-executes finished work.
+    if (ft != nullptr && ft->on_gemm_done) ft->on_gemm_done(g.bi, g.bj);
+    world.fault_check();
   }
 }
 
@@ -241,8 +281,9 @@ void exec_gemm_chunk(sgmpi::Comm& world, const Frame& frame,
 
   const double share =
       static_cast<double>(kc) / static_cast<double>(spec.n);
-  const double compute_s = full.compute_s * share;
-  const double transfer_s = full.transfer_s * share;
+  const double slow = world.compute_slowdown();
+  const double compute_s = full.compute_s * share * slow;
+  const double transfer_s = full.transfer_s * share * slow;
 
   auto& clk = world.clock();
   const double t0 = clk.now();
@@ -287,7 +328,8 @@ void exec_gemm_chunk(sgmpi::Comm& world, const Frame& frame,
 void run_pipelined(sgmpi::Comm& world, const Frame& frame,
                    const device::AbstractProcessor& ap,
                    const ExecutionPlan& plan, bool contended,
-                   const SummaGenOptions& options, RankReport& report) {
+                   const SummaGenOptions& options, const FtContext* ft,
+                   RankReport& report) {
   const int rank = world.rank();
 
   for (const CopyOp& op : plan.copy_ops) {
@@ -374,7 +416,9 @@ void run_pipelined(sgmpi::Comm& world, const Frame& frame,
     for (const GemmChunk& ch : g.chunks) {
       complete_through(ch.dep);
       exec_gemm_chunk(world, frame, ap, g, ch, full, contended, report);
+      world.fault_check();
     }
+    if (ft != nullptr && ft->on_gemm_done) ft->on_gemm_done(g.bi, g.bj);
   }
   complete_through(std::numeric_limits<int>::max());  // drain stragglers
 }
@@ -384,7 +428,8 @@ void run_pipelined(sgmpi::Comm& world, const Frame& frame,
 RankReport summagen_rank(sgmpi::Comm& world,
                          const partition::PartitionSpec& spec,
                          const device::AbstractProcessor& ap, LocalData* data,
-                         bool contended, const SummaGenOptions& options) {
+                         bool contended, const SummaGenOptions& options,
+                         const FtContext* ft) {
   spec.validate(world.size());
   if (data != nullptr && !data->numeric()) {
     throw std::invalid_argument(
@@ -410,16 +455,25 @@ RankReport summagen_rank(sgmpi::Comm& world,
     wb = util::Matrix(spec.n, wb_cols);
   }
 
-  const ExecutionPlan plan = build_plan(spec, options);
+  // Recovery phases with completed cells force the eager scheduler:
+  // filtering the plan invalidates the pipelined chunk->broadcast
+  // dependency indices, and recovery correctness is scheduler-independent.
+  SummaGenOptions effective = options;
+  const bool filtering =
+      ft != nullptr && ft->done != nullptr && !ft->done->empty();
+  if (filtering) effective.scheduler = Scheduler::kEager;
+
+  ExecutionPlan plan = build_plan(spec, effective);
+  if (filtering) filter_done(plan, *ft->done);
   const Frame frame(spec, rank, data, &wa, &wb);
   const double hidden0 = world.clock().hidden_comm_seconds();
 
-  switch (options.scheduler) {
+  switch (effective.scheduler) {
     case Scheduler::kEager:
-      run_eager(world, frame, ap, plan, contended, report);
+      run_eager(world, frame, ap, plan, contended, ft, report);
       break;
     case Scheduler::kPipelined:
-      run_pipelined(world, frame, ap, plan, contended, options, report);
+      run_pipelined(world, frame, ap, plan, contended, effective, ft, report);
       break;
   }
 

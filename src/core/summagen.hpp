@@ -23,6 +23,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <set>
+#include <utility>
 
 #include "src/core/dataplane.hpp"
 #include "src/device/device.hpp"
@@ -84,13 +87,34 @@ struct RankReport {
   double hidden_comm_s = 0.0;
 };
 
+/// Fault-tolerance hooks threaded through one SummaGen execution
+/// (DESIGN.md "Fault model"). All fields optional; a null FtContext* (the
+/// default) leaves the execution path untouched.
+struct FtContext {
+  /// C sub-partitions already completed by earlier recovery phases. When
+  /// non-empty the plan is filtered: their DGEMMs are dropped, and with
+  /// them every broadcast/copy feeding only finished cells. Filtering
+  /// invalidates the pipelined chunk dependencies, so a non-empty set
+  /// forces the eager scheduler.
+  const std::set<std::pair<int, int>>* done = nullptr;
+
+  /// Invoked after each owned C sub-partition (bi, bj) finishes — the
+  /// completion tracker recovery snapshots. Must be thread-safe across
+  /// ranks (called from every rank thread).
+  std::function<void(int, int)> on_gemm_done;
+};
+
 /// Executes SummaGen on the calling rank.
 ///
 /// `world` must have one rank per processor named in `spec`; `ap` is this
 /// rank's abstract processor (its performance model prices the local
 /// DGEMMs). `data` selects the plane: a numeric LocalData for this rank and
 /// spec, or nullptr for the modeled plane. `contended` mirrors the paper's
-/// simultaneous-load measurement methodology.
+/// simultaneous-load measurement methodology. `ft` (optional) wires the
+/// fault-tolerant runner in: completed-cell tracking plus re-execution of
+/// only the unfinished plan ops. Under a fault plan the execution polls for
+/// fault events at op boundaries and may throw sgmpi::PeerFailedError /
+/// sgmpi::RankCrashedError mid-run.
 ///
 /// All ranks must call collectively with the same spec. Throws
 /// std::invalid_argument on spec/world mismatches.
@@ -98,6 +122,7 @@ RankReport summagen_rank(sgmpi::Comm& world,
                          const partition::PartitionSpec& spec,
                          const device::AbstractProcessor& ap, LocalData* data,
                          bool contended = true,
-                         const SummaGenOptions& options = {});
+                         const SummaGenOptions& options = {},
+                         const FtContext* ft = nullptr);
 
 }  // namespace summagen::core

@@ -56,16 +56,19 @@ void Comm::barrier() {
   auto& st = ctx_->state(state_index_);
   const int q = size();
   if (q == 1) return;
+  const int me = world_rank();
+  const auto unwind = [this, me] { ctx_->unwind_check(me); };
+  unwind();
   const double entry = clock().now();
   double entry_max = 0.0;
   st.meeting.rendezvous(
-      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      unwind, ctx_->config.poll_interval_s, q,
       [&] { st.entry_max = std::max(st.entry_max, entry); },
       [&] {
         st.op_complete = st.entry_max + barrier_cost(link(), q);
       });
   st.meeting.rendezvous(
-      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      unwind, ctx_->config.poll_interval_s, q,
       [&] { entry_max = st.entry_max; },
       [&] { st.entry_max = 0.0; });
   clock().wait_until(entry_max);
@@ -80,10 +83,13 @@ double Comm::allreduce_max(double value) {
   const int q = size();
   if (q == 1) return value;
   auto& st = ctx_->state(state_index_);
+  const int me = world_rank();
+  const auto unwind = [this, me] { ctx_->unwind_check(me); };
+  unwind();
   const double entry = clock().now();
   const double cost = trace::allreduce_cost(link(), sizeof(double), q);
   st.meeting.rendezvous(
-      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      unwind, ctx_->config.poll_interval_s, q,
       [&] {
         st.entry_max = std::max(st.entry_max, entry);
         st.reduce_acc = st.reduce_started ? std::max(st.reduce_acc, value)
@@ -94,7 +100,7 @@ double Comm::allreduce_max(double value) {
   const double result = st.reduce_acc;
   double entry_max = 0.0;
   st.meeting.rendezvous(
-      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      unwind, ctx_->config.poll_interval_s, q,
       [&] { entry_max = st.entry_max; },
       [&] {
         st.entry_max = 0.0;
@@ -110,10 +116,13 @@ double Comm::allreduce_sum(double value) {
   const int q = size();
   if (q == 1) return value;
   auto& st = ctx_->state(state_index_);
+  const int me = world_rank();
+  const auto unwind = [this, me] { ctx_->unwind_check(me); };
+  unwind();
   const double entry = clock().now();
   const double cost = trace::allreduce_cost(link(), sizeof(double), q);
   st.meeting.rendezvous(
-      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      unwind, ctx_->config.poll_interval_s, q,
       [&] {
         st.entry_max = std::max(st.entry_max, entry);
         st.reduce_acc += value;
@@ -122,7 +131,7 @@ double Comm::allreduce_sum(double value) {
   const double result = st.reduce_acc;
   double entry_max = 0.0;
   st.meeting.rendezvous(
-      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      unwind, ctx_->config.poll_interval_s, q,
       [&] { entry_max = st.entry_max; },
       [&] {
         st.entry_max = 0.0;
@@ -140,6 +149,9 @@ double Comm::allreduce_sum_buffer(double* data, std::int64_t count) {
   const int q = size();
   if (q == 1 || count == 0) return 0.0;
   auto& st = ctx_->state(state_index_);
+  const int me = world_rank();
+  const auto unwind = [this, me] { ctx_->unwind_check(me); };
+  unwind();
   const double entry = clock().now();
   const double cost = trace::allreduce_cost(
       link(), count * static_cast<std::int64_t>(sizeof(double)), q);
@@ -147,7 +159,7 @@ double Comm::allreduce_sum_buffer(double* data, std::int64_t count) {
   // Phase 1: element-wise accumulation into the shared buffer (first
   // contributor seeds it).
   st.meeting.rendezvous(
-      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      unwind, ctx_->config.poll_interval_s, q,
       [&] {
         st.entry_max = std::max(st.entry_max, entry);
         if (data != nullptr) {
@@ -170,7 +182,7 @@ double Comm::allreduce_sum_buffer(double* data, std::int64_t count) {
 
   double entry_max = 0.0;
   st.meeting.rendezvous(
-      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      unwind, ctx_->config.poll_interval_s, q,
       [&] { entry_max = st.entry_max; },
       [&] {
         st.entry_max = 0.0;
@@ -193,11 +205,14 @@ std::vector<double> Comm::gather(double value, int root) {
   validate_root(root, q);
   if (q == 1) return {value};
   auto& st = ctx_->state(state_index_);
+  const int me = world_rank();
+  const auto unwind = [this, me] { ctx_->unwind_check(me); };
+  unwind();
   const double entry = clock().now();
   const double cost =
       trace::bcast_rounds(q) * link().p2p(sizeof(double));
   st.meeting.rendezvous(
-      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      unwind, ctx_->config.poll_interval_s, q,
       [&] {
         st.entry_max = std::max(st.entry_max, entry);
         if (st.gather_buf.size() != static_cast<std::size_t>(q)) {
@@ -210,7 +225,7 @@ std::vector<double> Comm::gather(double value, int root) {
   if (rank_ == root) result = st.gather_buf;
   double entry_max = 0.0;
   st.meeting.rendezvous(
-      ctx_->aborted, ctx_->config.poll_interval_s, q,
+      unwind, ctx_->config.poll_interval_s, q,
       [&] { entry_max = st.entry_max; },
       [&] {
         st.entry_max = 0.0;
@@ -219,6 +234,45 @@ std::vector<double> Comm::gather(double value, int root) {
   clock().wait_until(entry_max);
   clock().advance_comm(cost);
   return result;
+}
+
+void Comm::fault_check() { ctx_->unwind_check(world_rank()); }
+
+double Comm::compute_slowdown() const {
+  if (!ctx_->faults) return 1.0;
+  return ctx_->faults->compute_factor(world_rank());
+}
+
+ShrinkResult Comm::shrink() {
+  if (!ctx_->faults) {
+    throw std::logic_error("sgmpi: shrink() requires a non-empty fault plan");
+  }
+  ShrinkResult result = ctx_->faults->shrink_arrive(
+      world_rank(), clock().now(), ctx_->config.poll_interval_s);
+  // Virtual cost of the agreement: everyone synchronises at the latest
+  // arrival, then pays one allreduce over the survivors (the vote).
+  const int live = static_cast<int>(result.survivors.size());
+  const double cost =
+      live > 1 ? trace::allreduce_cost(ctx_->state(0).link, sizeof(double),
+                                       live)
+               : 0.0;
+  clock().wait_until(result.agree_vtime);
+  clock().advance_comm(cost);
+  result.agree_vtime += cost;
+  return result;
+}
+
+double Comm::ft_commit() {
+  if (!ctx_->faults) {
+    throw std::logic_error(
+        "sgmpi: ft_commit() requires a non-empty fault plan");
+  }
+  const auto [entry_max, live] = ctx_->faults->commit_arrive(
+      world_rank(), clock(), ctx_->config.poll_interval_s);
+  const double cost =
+      live > 1 ? trace::barrier_cost(ctx_->state(0).link, live) : 0.0;
+  clock().advance_comm(cost);
+  return clock().now();
 }
 
 Comm Comm::subgroup(const std::vector<int>& members) {

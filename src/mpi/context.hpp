@@ -1,6 +1,7 @@
 // Internal shared state of the sgmpi runtime. Not part of the public API.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -8,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
@@ -20,12 +22,16 @@ namespace summagen::sgmpi::detail {
 /// `contribute` under the lock, the last arrival additionally runs
 /// `finalize` under the lock, then everyone is released together.
 ///
-/// Waits poll the context abort flag so that an exception on one rank
-/// unwinds the whole parallel region instead of deadlocking.
+/// Waits run `unwind_check` (which throws AbortedError / PeerFailedError
+/// when the run must unwind) so that an exception on one rank unwinds the
+/// whole parallel region instead of deadlocking. Polling backs off
+/// exponentially from min(poll_interval_s, 1 ms) up to poll_interval_s;
+/// aborts and fault triggers notify the condition variable, so unwind
+/// latency is one wakeup, not a full poll period.
 class Meeting {
  public:
-  template <typename Contribute, typename Finalize>
-  void rendezvous(const std::atomic<bool>& aborted, double poll_interval_s,
+  template <typename UnwindCheck, typename Contribute, typename Finalize>
+  void rendezvous(const UnwindCheck& unwind_check, double poll_interval_s,
                   int size, Contribute&& contribute, Finalize&& finalize) {
     std::unique_lock<std::mutex> lock(mutex_);
     contribute();
@@ -37,12 +43,27 @@ class Meeting {
       return;
     }
     const std::uint64_t my_generation = generation_;
-    const auto poll = std::chrono::duration<double>(poll_interval_s);
+    double backoff_s = std::min(poll_interval_s, 0.001);
     while (generation_ == my_generation) {
-      if (aborted.load(std::memory_order_relaxed)) throw AbortedError();
-      cv_.wait_for(lock, poll);
+      unwind_check();
+      cv_.wait_for(lock, std::chrono::duration<double>(backoff_s));
+      backoff_s = std::min(backoff_s * 2.0, poll_interval_s);
     }
-    if (aborted.load(std::memory_order_relaxed)) throw AbortedError();
+    unwind_check();
+  }
+
+  /// Wakes every waiter (used on abort / fault trigger so blocked ranks
+  /// re-run their unwind check immediately).
+  void notify() { cv_.notify_all(); }
+
+  /// Resets the meeting to its idle state. Only valid when no participant
+  /// is inside `rendezvous` (the shrink finaliser holds this invariant:
+  /// every live rank is parked in the shrink gate).
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    count_ = 0;
+    ++generation_;
+    cv_.notify_all();
   }
 
  private:
@@ -137,6 +158,13 @@ class Context {
     states.emplace_back(world);
     states.back().link = link_for(world);
     subgroup_cache.emplace(std::move(world), 0);
+    if (!config.faults.empty()) {
+      faults = std::make_unique<detail::FaultRuntime>(
+          config.faults, config.nranks, config.fault_detect_s,
+          config.max_send_attempts, config.send_retry_backoff_s);
+      faults->on_trigger = [this] { notify_all_waiters(); };
+      faults->fabric_reset = [this] { reset_fabric(); };
+    }
   }
 
   /// Deque elements have stable addresses, but indexing walks the deque's
@@ -179,9 +207,65 @@ class Context {
     return index;
   }
 
+  /// Unwind check run by every blocked wait and operation entry: throws
+  /// AbortedError when the run is aborting, and (when fault injection is
+  /// active) lets the fault runtime trigger due events / surface failures
+  /// for `world_rank`. With an empty fault plan this is exactly the old
+  /// abort-flag check.
+  void unwind_check(int world_rank) {
+    if (aborted.load(std::memory_order_relaxed)) throw AbortedError();
+    if (faults) {
+      faults->poll(world_rank, clocks[static_cast<std::size_t>(world_rank)]);
+    }
+  }
+
+  /// Wakes every blocked wait in the runtime (meetings, async-collective
+  /// waiters, mailbox receivers) so they re-run their unwind check.
+  void notify_all_waiters() {
+    {
+      std::lock_guard<std::mutex> lock(states_mutex);
+      for (auto& st : states) {
+        st.meeting.notify();
+        st.async_cv.notify_all();
+      }
+    }
+    for (auto& box : mailboxes) box.cv.notify_all();
+  }
+
+  /// Resets all communicator fabric to its idle state: in-flight async
+  /// slots, posting sequence counters, meeting scratch, and mailboxes.
+  /// Called by the shrink finaliser while every live rank is parked in the
+  /// shrink gate (so nothing is mid-operation) — unwound ranks leave
+  /// divergent sequence counters and orphaned slots behind, which would
+  /// mismatch the first post-recovery collective.
+  void reset_fabric() {
+    {
+      std::lock_guard<std::mutex> lock(states_mutex);
+      for (auto& st : states) {
+        {
+          std::lock_guard<std::mutex> async_lock(st.async_mutex);
+          st.async_slots.clear();
+          std::fill(st.next_post_seq.begin(), st.next_post_seq.end(), 0);
+          st.entry_max = 0.0;
+          st.op_complete = 0.0;
+          st.reduce_acc = 0.0;
+          st.reduce_started = false;
+          st.gather_buf.clear();
+          st.reduce_buf.clear();
+        }
+        st.meeting.reset();
+      }
+    }
+    for (auto& box : mailboxes) {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.queue.clear();
+    }
+  }
+
   Config config;
   std::vector<trace::VirtualClock> clocks;
   trace::EventLog event_log;
+  std::unique_ptr<detail::FaultRuntime> faults;  ///< null when plan empty
   std::atomic<bool> aborted{false};
   bool poisoned = false;  ///< set after an aborted run; Runtime enforces
 

@@ -1,0 +1,234 @@
+// Deterministic fault injection for the sgmpi runtime.
+//
+// A FaultPlan schedules per-rank events at *virtual-clock* times: transient
+// message drops, link slowdowns, rank slowdowns, and rank crashes. Events
+// trigger when the victim rank's own virtual clock reaches `at_vtime`, which
+// keeps injection independent of real-thread interleaving: the same plan on
+// the same workload always fails at the same point of the virtual execution.
+//
+// Interrupting events (crash, rank slowdown) unwind every live rank with a
+// typed error so the caller can run ULFM-style recovery: the victim of a
+// crash throws RankCrashedError, every other live rank observes the failure
+// at its next runtime operation (or inside a blocked wait, which polls the
+// fault epoch) and throws PeerFailedError. Survivors then agree on the
+// failure epoch via Comm::shrink(). Non-interrupting events (link slowdown,
+// message drop) only perturb the victim's modeled costs.
+//
+// When the plan is empty the runtime takes none of these paths — the
+// fault-free execution is bit-identical, in results and virtual timing, to a
+// build without fault hooks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/trace/vclock.hpp"
+
+namespace summagen::sgmpi {
+
+enum class FaultKind {
+  kCrash,         ///< rank dies; survivors shrink and re-partition
+  kSlowdown,      ///< rank's compute slows by `factor`; re-partition, no shrink
+  kLinkSlowdown,  ///< rank's link costs scale by `factor`; no unwind
+  kMessageDrop,   ///< rank's next `drop_count` sends are dropped and retried
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault. `rank` is a world rank; the event triggers when that
+/// rank's own virtual clock first reaches `at_vtime` at a runtime operation.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  int rank = 0;
+  double at_vtime = 0.0;
+  double factor = 1.0;  ///< slowdown multiplier (kSlowdown / kLinkSlowdown)
+  int drop_count = 1;   ///< consecutive dropped send attempts (kMessageDrop)
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  bool empty() const noexcept { return events.empty(); }
+};
+
+/// Parses the CLI fault syntax into a plan. The grammar is a comma-separated
+/// list of events, each `<kind>@<t>:<rank>[x<arg>]`:
+///
+///   crash@0.5:1      rank 1 crashes at virtual time 0.5 s
+///   slow@0.5:1x4     rank 1 computes 4x slower from t = 0.5 s
+///   link@0.2:0x8     rank 0's link costs scale by 8x from t = 0.2 s
+///   drop@0.1:2x3     rank 2's next 3 sends after t = 0.1 s are dropped
+///
+/// `x<arg>` defaults to factor 2.0 (slow/link) or one drop (drop) and is
+/// rejected for crash. Throws std::invalid_argument on malformed input;
+/// rank-range validation happens later, in the Runtime constructor.
+FaultPlan parse_fault_plan(const std::string& text);
+
+/// Thrown on every live rank when a peer crashes or degrades past tolerance.
+/// Carries enough context for the caller to drive recovery.
+class PeerFailedError : public std::runtime_error {
+ public:
+  PeerFailedError(int rank_in, FaultKind kind_in, double detected_vtime_in)
+      : std::runtime_error("sgmpi: peer rank " + std::to_string(rank_in) +
+                           " failed (" + fault_kind_name(kind_in) + ")"),
+        rank(rank_in),
+        kind(kind_in),
+        detected_vtime(detected_vtime_in) {}
+
+  int rank;
+  FaultKind kind;
+  double detected_vtime;  ///< observer's virtual time at detection
+};
+
+/// Thrown on the victim rank itself when its scheduled crash triggers. A
+/// fault-tolerant caller catches it and lets the thread exit quietly (the
+/// Runtime does not treat it as an abort); the peers see PeerFailedError.
+class RankCrashedError : public std::runtime_error {
+ public:
+  explicit RankCrashedError(int rank_in)
+      : std::runtime_error("sgmpi: rank " + std::to_string(rank_in) +
+                           " crashed by fault plan"),
+        rank(rank_in) {}
+  int rank;
+};
+
+/// Lifecycle snapshot of one planned event, for recovery metrics.
+struct FaultRecord {
+  FaultEvent event;
+  bool triggered = false;
+  bool handled = false;           ///< agreed on by survivors (shrink)
+  double trigger_vtime = -1.0;    ///< victim's virtual time at trigger
+  double first_detect_vtime = -1.0;  ///< earliest detection over all ranks
+  double handled_vtime = -1.0;    ///< agreement entry-max at shrink
+};
+
+/// Outcome of a shrink agreement (Comm::shrink).
+struct ShrinkResult {
+  std::vector<int> survivors;       ///< live world ranks, ascending
+  std::vector<FaultEvent> handled;  ///< events settled by this agreement
+  double agree_vtime = 0.0;         ///< virtual time the survivors agreed at
+};
+
+namespace detail {
+
+/// Runtime-wide fault state: one per Context, present only when the plan is
+/// non-empty. All methods are thread-safe; `poll` is cheap enough to call
+/// from wait loops.
+class FaultRuntime {
+ public:
+  FaultRuntime(FaultPlan plan, int nranks, double detect_s,
+               int max_send_attempts, double retry_backoff_s);
+
+  /// Called once by the Runtime: wakes every blocked wait in the context so
+  /// a freshly-triggered failure is observed promptly.
+  std::function<void()> on_trigger;
+  /// Called by the shrink finaliser (no FaultRuntime lock held) to reset
+  /// communicator fabric — async slots, sequence counters, meetings,
+  /// mailboxes — before survivors resume.
+  std::function<void()> fabric_reset;
+
+  /// Fault check for `rank` at its current virtual time: triggers this
+  /// rank's due events (a due crash marks the rank dead and throws
+  /// RankCrashedError), then throws PeerFailedError if any interrupting
+  /// event is triggered but not yet handled. No-op otherwise.
+  void poll(int rank, trace::VirtualClock& clk);
+
+  /// Bumped whenever an interrupting event triggers; blocked waits compare
+  /// against it to wake up and re-poll.
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  bool rank_dead(int rank) const;
+
+  /// Product of this rank's triggered compute-slowdown factors.
+  double compute_factor(int rank) const;
+
+  /// Arms due link-slowdown events for `rank` and returns the product of
+  /// the active factors (1.0 when none).
+  double link_factor(int rank, double vtime);
+
+  /// Message-drop handling for one send posted by `rank` at cost
+  /// `base_cost`: arms due drop events, consumes armed drops as failed
+  /// attempts (each charging the wasted attempt plus exponential backoff),
+  /// and returns the total retry penalty. Throws PeerFailedError if the
+  /// attempt cap is exceeded.
+  double send_attempt_penalty(int rank, double vtime, double base_cost);
+
+  /// Blocks until every live rank has arrived, then settles all triggered
+  /// events as handled and resets the communication fabric (first observer
+  /// of completion finalises). Ranks that die while others wait shrink the
+  /// completion condition instead of deadlocking.
+  ShrinkResult shrink_arrive(int rank, double entry_vtime,
+                             double poll_interval_s);
+
+  /// End-of-phase agreement: blocks until every live rank arrives, then
+  /// returns {entry-max, live count} if no unhandled interrupting failure
+  /// exists, and throws PeerFailedError on every arriver otherwise. A
+  /// failure that triggers while waiting aborts the wait with
+  /// PeerFailedError. The caller's clock is settled to the entry-max.
+  std::pair<double, int> commit_arrive(int rank, trace::VirtualClock& clk,
+                                       double poll_interval_s);
+
+  std::vector<FaultRecord> records() const;
+
+ private:
+  struct EventState {
+    FaultEvent event;
+    enum class Phase { kPending, kTriggered, kHandled } phase = Phase::kPending;
+    double trigger_vtime = -1.0;
+    double first_detect_vtime = -1.0;
+    double handled_vtime = -1.0;
+    int drops_left = 0;  ///< armed, not-yet-consumed drops (kMessageDrop)
+  };
+
+  bool interrupting(const EventState& s) const {
+    return s.event.kind == FaultKind::kCrash ||
+           s.event.kind == FaultKind::kSlowdown;
+  }
+  /// Triggers `rank`'s due events under the lock; returns true if an
+  /// interrupting event newly triggered (caller must notify after unlock).
+  bool trigger_due_locked(int rank, double vtime);
+  /// First triggered-but-unhandled interrupting event, or nullptr.
+  EventState* live_failure_locked();
+  bool all_live_arrived_locked(const std::vector<bool>& arrived) const;
+  /// Settles detection on `clk` and throws PeerFailedError for `failure`.
+  [[noreturn]] void throw_detected_locked(EventState& failure,
+                                          trace::VirtualClock& clk);
+
+  const int nranks_;
+  const double detect_s_;
+  const int max_send_attempts_;
+  const double retry_backoff_s_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::vector<EventState> events_;
+  std::vector<bool> dead_;
+
+  // Shrink gate.
+  std::vector<bool> shrink_arrived_;
+  int shrink_arrived_count_ = 0;
+  double shrink_entry_max_ = 0.0;
+  bool shrink_finalizing_ = false;
+  std::uint64_t shrink_gen_ = 0;
+  ShrinkResult shrink_snapshot_;
+
+  // Commit gate.
+  std::vector<bool> commit_arrived_;
+  int commit_arrived_count_ = 0;
+  double commit_entry_max_ = 0.0;
+  std::uint64_t commit_gen_ = 0;
+  double commit_result_ = 0.0;
+  int commit_live_ = 0;
+};
+
+}  // namespace detail
+}  // namespace summagen::sgmpi

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/mpi/faults.hpp"
 #include "src/trace/events.hpp"
 #include "src/trace/hockney.hpp"
 #include "src/trace/vclock.hpp"
@@ -47,8 +48,20 @@ struct Config {
   std::vector<int> node_of;
   trace::HockneyParams internode_link{20.0e-6, 1.0 / 1.0e9};
 
-  /// Watchdog: rendezvous waits poll the abort flag with this period.
+  /// Watchdog: rendezvous waits poll the abort flag with this period (waits
+  /// back off exponentially from min(poll_interval_s, 1 ms) up to it).
   double poll_interval_s = 0.02;
+
+  /// Scheduled fault injection (see faults.hpp). Empty = fault-free: the
+  /// runtime takes no fault paths and execution is bit-identical, in results
+  /// and virtual timing, to a build without the fault subsystem.
+  FaultPlan faults;
+  /// Modeled failure-detector latency: a peer failure at virtual time t is
+  /// observed by a blocked rank no earlier than t + fault_detect_s.
+  double fault_detect_s = 0.05;
+  /// Send retry policy under injected message drops.
+  int max_send_attempts = 5;
+  double send_retry_backoff_s = 1.0e-4;  ///< first-retry virtual backoff
 };
 
 /// Thrown on the sibling ranks when one rank aborts with an exception, so
@@ -65,10 +78,13 @@ class AbortedError : public std::runtime_error {
 /// default-constructed Request is null: waiting on it is a no-op. Requests
 /// are move-only; destroying a pending request without completing it is a
 /// programming error — the peers of a collective would block forever
-/// waiting for this rank's completion.
+/// waiting for this rank's completion — and fails loudly: the destructor
+/// logs the op kind and communicator and calls std::abort(). Destruction
+/// during exception unwind is tolerated (the run is already tearing down).
 class Request {
  public:
   Request() = default;
+  ~Request();
   Request(Request&&) noexcept = default;
   Request& operator=(Request&&) noexcept = default;
   Request(const Request&) = delete;
@@ -94,6 +110,7 @@ class Request {
     double cost = 0.0;        ///< modeled Hockney cost of the operation
     double lane_start = 0.0;  ///< comm-lane slot reserved at post time
     bool blocking = false;    ///< posted by a blocking wrapper (event kind)
+    std::string comm_desc;    ///< communicator label for error reports
   };
 
   explicit Request(std::unique_ptr<Op> op) : op_(std::move(op)) {}
@@ -194,6 +211,34 @@ class Comm {
   /// Gathers one double from every member onto `root` (others get {}).
   std::vector<double> gather(double value, int root);
 
+  /// Fault check: throws if this rank must unwind — AbortedError when the
+  /// run is aborting, RankCrashedError when this rank's own scheduled crash
+  /// is due, PeerFailedError when an interrupting fault has triggered and
+  /// is not yet handled. No-op when the fault plan is empty and the run is
+  /// healthy. Every runtime operation performs this check on entry; call it
+  /// from compute loops to bound detection latency.
+  void fault_check();
+
+  /// Multiplier (>= 1 in practice) applied to this rank's compute costs by
+  /// triggered slowdown faults; exactly 1.0 when the fault plan is empty.
+  double compute_slowdown() const;
+
+  /// ULFM-style agreement after a failure: every live rank that caught
+  /// PeerFailedError calls shrink(); it blocks until all live ranks arrive,
+  /// settles every triggered fault as handled, resets communicator fabric
+  /// (in-flight slots, sequence counters, mailboxes), and returns the
+  /// survivor list plus the agreed virtual time. Collective over all live
+  /// ranks; requires a non-empty fault plan.
+  ShrinkResult shrink();
+
+  /// End-of-phase commitment: blocks until every live rank arrives, then
+  /// returns the agreed virtual time if no unhandled fault exists and
+  /// throws PeerFailedError on every arriver otherwise. This is how a
+  /// fault-tolerant caller ensures a failure that triggered after its last
+  /// communication (e.g. during trailing compute) is still recovered.
+  /// Collective over all live ranks; requires a non-empty fault plan.
+  double ft_commit();
+
   /// Collective among exactly the listed *world* ranks (sorted ascending or
   /// in the order given; communicator rank = index in the list). Every
   /// listed rank must call with an identical list; the calling rank must be
@@ -255,6 +300,10 @@ class Runtime {
   trace::EventLog& events();
 
   void reset_clocks();
+
+  /// Lifecycle snapshot of every planned fault event (empty when the plan
+  /// is empty) — trigger, detection, and agreement virtual times.
+  std::vector<FaultRecord> fault_records() const;
 
  private:
   Config config_;

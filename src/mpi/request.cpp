@@ -18,7 +18,10 @@
 // hidden (the overlap win) and only the remainder stalls the main line.
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <stdexcept>
 #include <utility>
 
@@ -37,6 +40,11 @@ void validate_root(int root, int size) {
   }
 }
 
+std::string comm_label(std::size_t state_index) {
+  return state_index == 0 ? "world"
+                          : "subgroup#" + std::to_string(state_index);
+}
+
 /// Retires this rank's participation in a slot; the last member out erases
 /// the slot (sequence numbers never repeat, so erasure is final).
 void finish_slot(detail::CommState& st,
@@ -47,11 +55,43 @@ void finish_slot(detail::CommState& st,
 
 }  // namespace
 
+// Destroying a pending request is a programming error (the peers of a
+// collective would wait forever for this rank's completion) and fails
+// loudly. During exception unwind the runtime is already tearing the run
+// down via the abort/fault path, so dropping a pending request there is
+// tolerated.
+Request::~Request() {
+  if (op_ == nullptr) return;
+  if (std::uncaught_exceptions() > 0) return;
+  const char* kind = "unknown";
+  switch (op_->kind) {
+    case Kind::kBcastRecv:
+      kind = "ibcast(recv)";
+      break;
+    case Kind::kBcastSendRoot:
+      kind = "ibcast(root)";
+      break;
+    case Kind::kSend:
+      kind = "isend";
+      break;
+    case Kind::kRecv:
+      kind = "irecv";
+      break;
+  }
+  std::fprintf(stderr,
+               "sgmpi: fatal: pending %s request destroyed without "
+               "wait/test on comm '%s'\n",
+               kind, op_->comm_desc.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
 Request Comm::ibcast_bytes(void* data, std::int64_t bytes, int root) {
   const int q = size();
   validate_root(root, q);
   if (bytes < 0) throw std::invalid_argument("sgmpi: negative bcast size");
   if (q == 1) return Request{};
+  ctx_->unwind_check(world_rank());
 
   auto op = std::make_unique<Request::Op>();
   op->kind = rank_ == root ? Request::Kind::kBcastSendRoot
@@ -61,7 +101,11 @@ Request Comm::ibcast_bytes(void* data, std::int64_t bytes, int root) {
   op->bytes = bytes;
   op->root = root;
   op->cost = trace::bcast_cost(link(), bytes, q);
+  if (ctx_->faults) {
+    op->cost *= ctx_->faults->link_factor(world_rank(), clock().now());
+  }
   op->lane_start = clock().post_async_comm(op->cost);
+  op->comm_desc = comm_label(state_index_);
 
   auto& st = ctx_->state(state_index_);
   {
@@ -113,6 +157,7 @@ Request Comm::isend_bytes(const void* data, std::int64_t bytes, int dest,
     throw std::invalid_argument("sgmpi: send to self is not supported");
   }
   if (bytes < 0) throw std::invalid_argument("sgmpi: negative send size");
+  ctx_->unwind_check(world_rank());
 
   auto op = std::make_unique<Request::Op>();
   op->kind = Request::Kind::kSend;
@@ -121,7 +166,16 @@ Request Comm::isend_bytes(const void* data, std::int64_t bytes, int dest,
   op->peer = dest;
   op->tag = tag;
   op->cost = link_to(dest).p2p(bytes);
+  if (ctx_->faults) {
+    const double base =
+        op->cost * ctx_->faults->link_factor(world_rank(), clock().now());
+    // Injected drops: each wasted attempt costs the transfer plus an
+    // exponential backoff; the message itself lands exactly once.
+    op->cost = base + ctx_->faults->send_attempt_penalty(world_rank(),
+                                                         clock().now(), base);
+  }
   op->lane_start = clock().post_async_comm(op->cost);
+  op->comm_desc = comm_label(state_index_);
 
   // Buffered-eager: the payload is snapshotted at post time, so the
   // sender's buffer is reusable immediately and completion is local.
@@ -153,6 +207,7 @@ Request Comm::irecv_bytes(void* data, std::int64_t bytes, int source,
     throw std::invalid_argument("sgmpi: recv from invalid rank");
   }
   if (bytes < 0) throw std::invalid_argument("sgmpi: negative recv size");
+  ctx_->unwind_check(world_rank());
 
   auto op = std::make_unique<Request::Op>();
   op->kind = Request::Kind::kRecv;
@@ -162,7 +217,11 @@ Request Comm::irecv_bytes(void* data, std::int64_t bytes, int source,
   op->peer = source;
   op->tag = tag;
   op->cost = link_to(source).p2p(bytes);
+  if (ctx_->faults) {
+    op->cost *= ctx_->faults->link_factor(world_rank(), clock().now());
+  }
   op->lane_start = clock().post_async_comm(op->cost);
+  op->comm_desc = comm_label(state_index_);
   return Request{std::move(op)};
 }
 
@@ -183,12 +242,12 @@ double Comm::wait(Request& request) {
       break;
 
     case Request::Kind::kRecv: {
-      auto& box = ctx_->mailboxes[static_cast<std::size_t>(world_rank())];
+      const int me = world_rank();
+      auto& box = ctx_->mailboxes[static_cast<std::size_t>(me)];
       detail::Message msg;
       {
         std::unique_lock<std::mutex> lock(box.mutex);
-        const auto poll =
-            std::chrono::duration<double>(ctx_->config.poll_interval_s);
+        double backoff_s = std::min(ctx_->config.poll_interval_s, 0.001);
         for (;;) {
           const auto it = std::find_if(
               box.queue.begin(), box.queue.end(),
@@ -201,10 +260,9 @@ double Comm::wait(Request& request) {
             box.queue.erase(it);
             break;
           }
-          if (ctx_->aborted.load(std::memory_order_relaxed)) {
-            throw AbortedError();
-          }
-          box.cv.wait_for(lock, poll);
+          ctx_->unwind_check(me);
+          box.cv.wait_for(lock, std::chrono::duration<double>(backoff_s));
+          backoff_s = std::min(backoff_s * 2.0, ctx_->config.poll_interval_s);
         }
       }
       if (msg.bytes != op.bytes) {
@@ -223,6 +281,7 @@ double Comm::wait(Request& request) {
     case Request::Kind::kBcastSendRoot: {
       auto& st = ctx_->state(state_index_);
       const int q = size();
+      const int me = world_rank();
       double entry_max = 0.0;
       {
         std::unique_lock<std::mutex> lock(st.async_mutex);
@@ -231,14 +290,13 @@ double Comm::wait(Request& request) {
           throw std::logic_error("sgmpi: request completed twice");
         }
         detail::AsyncSlot& slot = it->second;
-        const auto poll =
-            std::chrono::duration<double>(ctx_->config.poll_interval_s);
+        double backoff_s = std::min(ctx_->config.poll_interval_s, 0.001);
         const bool is_root = op.kind == Request::Kind::kBcastSendRoot;
         while (slot.posted < q || (is_root && slot.copied < q - 1)) {
-          if (ctx_->aborted.load(std::memory_order_relaxed)) {
-            throw AbortedError();
-          }
-          st.async_cv.wait_for(lock, poll);
+          ctx_->unwind_check(me);
+          st.async_cv.wait_for(lock,
+                               std::chrono::duration<double>(backoff_s));
+          backoff_s = std::min(backoff_s * 2.0, ctx_->config.poll_interval_s);
         }
         if (!is_root) {
           if (op.recv_buf != nullptr && slot.src != nullptr) {

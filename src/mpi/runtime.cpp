@@ -32,9 +32,16 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
       try {
         Comm world(ctx_, 0, r);
         body(world);
+      } catch (const RankCrashedError&) {
+        // A planned crash that the body did not handle: the victim exits
+        // quietly. Its peers observe the failure as PeerFailedError and
+        // either recover (fault-tolerant bodies) or unwind the run with a
+        // typed error instead of polling forever.
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         ctx_->aborted.store(true, std::memory_order_relaxed);
+        // Wake blocked peers so the unwind is prompt, not a poll period.
+        ctx_->notify_all_waiters();
       }
     });
   }
@@ -77,6 +84,11 @@ trace::EventLog& Runtime::events() { return ctx_->event_log; }
 
 void Runtime::reset_clocks() {
   for (auto& c : ctx_->clocks) c.reset();
+}
+
+std::vector<FaultRecord> Runtime::fault_records() const {
+  if (!ctx_->faults) return {};
+  return ctx_->faults->records();
 }
 
 }  // namespace summagen::sgmpi

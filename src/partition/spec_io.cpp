@@ -1,8 +1,11 @@
 #include "src/partition/spec_io.hpp"
 
 #include <fstream>
+#include <map>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace summagen::partition {
 namespace {
@@ -14,15 +17,21 @@ std::string trim(const std::string& s) {
   return s.substr(begin, end - begin + 1);
 }
 
+std::string describe(int line, const std::string& key,
+                     const std::string& message) {
+  std::string out = "parse_spec: ";
+  if (line > 0) out += "line " + std::to_string(line) + ": ";
+  if (!key.empty()) out += "key '" + key + "': ";
+  return out + message;
+}
+
 // Parses "{1, 2, 3}" (braces optional) into integers.
 std::vector<std::int64_t> parse_list(const std::string& value,
                                      int line_number) {
   std::string body = trim(value);
   if (!body.empty() && body.front() == '{') {
     if (body.back() != '}') {
-      throw std::invalid_argument("parse_spec: line " +
-                                  std::to_string(line_number) +
-                                  ": unterminated '{'");
+      throw SpecParseError(line_number, "", "unterminated '{'");
     }
     body = body.substr(1, body.size() - 2);
   }
@@ -32,18 +41,17 @@ std::vector<std::int64_t> parse_list(const std::string& value,
   while (std::getline(ss, token, ',')) {
     token = trim(token);
     if (token.empty()) {
-      throw std::invalid_argument("parse_spec: line " +
-                                  std::to_string(line_number) +
-                                  ": empty list element");
+      throw SpecParseError(line_number, "", "empty list element");
     }
     try {
       std::size_t used = 0;
       out.push_back(std::stoll(token, &used));
       if (used != token.size()) throw std::invalid_argument(token);
+    } catch (const SpecParseError&) {
+      throw;
     } catch (const std::exception&) {
-      throw std::invalid_argument("parse_spec: line " +
-                                  std::to_string(line_number) +
-                                  ": bad integer '" + token + "'");
+      throw SpecParseError(line_number, "",
+                           "bad integer '" + token + "'");
     }
   }
   return out;
@@ -52,14 +60,18 @@ std::vector<std::int64_t> parse_list(const std::string& value,
 std::int64_t parse_scalar(const std::string& value, int line_number) {
   const auto list = parse_list(value, line_number);
   if (list.size() != 1) {
-    throw std::invalid_argument("parse_spec: line " +
-                                std::to_string(line_number) +
-                                ": expected a single integer");
+    throw SpecParseError(line_number, "", "expected a single integer");
   }
   return list.front();
 }
 
 }  // namespace
+
+SpecParseError::SpecParseError(int line, std::string key,
+                               const std::string& message)
+    : std::invalid_argument(describe(line, key, message)),
+      line_(line),
+      key_(std::move(key)) {}
 
 std::string to_text(const PartitionSpec& spec) {
   std::ostringstream os;
@@ -84,6 +96,9 @@ PartitionSpec parse_spec(const std::string& text) {
   PartitionSpec spec;
   bool has_n = false, has_lda = false, has_ldb = false;
   bool has_subp = false, has_subph = false, has_subpw = false;
+  // Where each key was defined, so semantic failures discovered after
+  // parsing can still point at the responsible line.
+  std::map<std::string, int> key_lines;
 
   std::stringstream ss(text);
   std::string line;
@@ -100,19 +115,16 @@ PartitionSpec parse_spec(const std::string& text) {
       if (statement.empty()) continue;
       const auto eq = statement.find('=');
       if (eq == std::string::npos) {
-        throw std::invalid_argument("parse_spec: line " +
-                                    std::to_string(line_number) +
-                                    ": expected 'key = value'");
+        throw SpecParseError(line_number, "", "expected 'key = value'");
       }
       const std::string key = trim(statement.substr(0, eq));
       const std::string value = statement.substr(eq + 1);
       auto once = [&](bool& flag) {
         if (flag) {
-          throw std::invalid_argument("parse_spec: line " +
-                                      std::to_string(line_number) +
-                                      ": duplicate key '" + key + "'");
+          throw SpecParseError(line_number, key, "duplicate key");
         }
         flag = true;
+        key_lines[key] = line_number;
       };
       if (key == "n") {
         once(has_n);
@@ -135,18 +147,60 @@ PartitionSpec parse_spec(const std::string& text) {
         once(has_subpw);
         spec.subpw = parse_list(value, line_number);
       } else {
-        throw std::invalid_argument("parse_spec: line " +
-                                    std::to_string(line_number) +
-                                    ": unknown key '" + key + "'");
+        throw SpecParseError(line_number, key, "unknown key");
       }
     }
   }
   if (!has_n || !has_lda || !has_ldb || !has_subp || !has_subph ||
       !has_subpw) {
-    throw std::invalid_argument(
-        "parse_spec: missing one of n/subplda/subpldb/subp/subph/subpw");
+    throw SpecParseError(
+        0, "", "missing one of n/subplda/subpldb/subp/subph/subpw");
   }
-  spec.validate();
+
+  // Semantic checks, each attributed to the line that defined the key.
+  const auto fail = [&](const std::string& key,
+                        const std::string& message) -> void {
+    throw SpecParseError(key_lines.count(key) ? key_lines[key] : 0, key,
+                         message);
+  };
+  if (spec.subplda <= 0) fail("subplda", "must be positive");
+  if (spec.subpldb <= 0) fail("subpldb", "must be positive");
+  const std::int64_t cells =
+      static_cast<std::int64_t>(spec.subplda) * spec.subpldb;
+  if (static_cast<std::int64_t>(spec.subp.size()) != cells) {
+    fail("subp", "has " + std::to_string(spec.subp.size()) +
+                     " owners, expected subplda*subpldb = " +
+                     std::to_string(cells));
+  }
+  const auto check_extents = [&](const std::string& key,
+                                 const std::vector<std::int64_t>& extents,
+                                 int expected, const char* what) {
+    if (static_cast<int>(extents.size()) != expected) {
+      fail(key, "has " + std::to_string(extents.size()) + " " + what +
+                    ", expected " + std::to_string(expected));
+    }
+    for (std::int64_t v : extents) {
+      if (v < 0) fail(key, "negative extent " + std::to_string(v));
+    }
+    const std::int64_t sum =
+        std::accumulate(extents.begin(), extents.end(), std::int64_t{0});
+    if (sum != spec.n) {
+      fail(key, std::string(what) + " sum to " + std::to_string(sum) +
+                    " but n = " + std::to_string(spec.n) +
+                    ": partition does not cover the matrix");
+    }
+  };
+  check_extents("subph", spec.subph, spec.subplda, "row heights");
+  check_extents("subpw", spec.subpw, spec.subpldb, "column widths");
+  for (int owner : spec.subp) {
+    if (owner < 0) fail("subp", "negative owner rank");
+  }
+  // Anything the structural checks above did not cover.
+  try {
+    spec.validate();
+  } catch (const std::invalid_argument& e) {
+    throw SpecParseError(0, "", e.what());
+  }
   return spec;
 }
 

@@ -16,19 +16,42 @@
 // external partitioners.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 #include "src/partition/spec.hpp"
 
 namespace summagen::partition {
 
+/// Typed parse/validation failure raised by `parse_spec`. Derives from
+/// std::invalid_argument so untyped callers keep working; typed callers get
+/// the offending line and key for precise diagnostics:
+///   * `line()` — 1-based line of the offending statement, 0 when the error
+///     concerns the document as a whole (e.g. a missing key);
+///   * `key()`  — the spec key the error is attributed to ("" for pure
+///     syntax errors). Semantic failures (arrays of the wrong length,
+///     extents that do not cover n x n, out-of-range owners) are attributed
+///     to the line where that key was defined.
+class SpecParseError : public std::invalid_argument {
+ public:
+  SpecParseError(int line, std::string key, const std::string& message);
+  int line() const noexcept { return line_; }
+  const std::string& key() const noexcept { return key_; }
+
+ private:
+  int line_;
+  std::string key_;
+};
+
 /// Renders the spec in the paper's array notation (always parseable by
 /// `parse_spec`).
 std::string to_text(const PartitionSpec& spec);
 
-/// Parses the notation above. Throws std::invalid_argument naming the
-/// offending line on syntax errors, missing/duplicate keys, or an invalid
-/// resulting spec (validate() is applied).
+/// Parses the notation above. Throws SpecParseError (an
+/// std::invalid_argument) carrying line context on syntax errors,
+/// missing/duplicate keys, or a semantically invalid spec: mis-sized
+/// arrays, negative extents, row/column extents that do not sum to n (a
+/// non-covering partition), or owner ranks outside [0, nprocs).
 PartitionSpec parse_spec(const std::string& text);
 
 /// File convenience wrappers (throw std::runtime_error on I/O failure).

@@ -264,5 +264,48 @@ TEST(Request, SubgroupIbcastWorks) {
   });
 }
 
+TEST(Request, CompletedRequestDestructsQuietly) {
+  Runtime rt(small_config(2));
+  rt.run([](Comm& world) {
+    double payload = 3.0, sink = 0.0;
+    Request r = world.rank() == 0
+                    ? world.isend_bytes(&payload, sizeof(double), 1, 2)
+                    : world.irecv_bytes(&sink, sizeof(double), 0, 2);
+    world.wait(r);
+  });  // waited requests destruct here: no abort
+}
+
+// Forgetting to wait a pending request silently corrupts the collective
+// posting sequence, so the destructor fails loudly instead. Death tests
+// fork, which thread sanitizer instrumentation does not support.
+#if defined(__SANITIZE_THREAD__)
+#define SUMMAGEN_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SUMMAGEN_TEST_TSAN 1
+#endif
+#endif
+
+#ifndef SUMMAGEN_TEST_TSAN
+TEST(RequestDeathTest, PendingRequestDestroyedFailsLoudly) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Runtime rt(small_config(2));
+        rt.run([](Comm& world) {
+          double payload = 1.0, sink = 0.0;
+          if (world.rank() == 0) {
+            Request r = world.isend_bytes(&payload, sizeof(double), 1, 7);
+            // dropped without wait/test
+          } else {
+            Request r = world.irecv_bytes(&sink, sizeof(double), 0, 7);
+            world.wait(r);
+          }
+        });
+      },
+      "pending isend request destroyed without wait/test on comm 'world'");
+}
+#endif
+
 }  // namespace
 }  // namespace summagen::sgmpi

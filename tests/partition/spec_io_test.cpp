@@ -144,5 +144,100 @@ TEST(SpecIo, FileErrorsThrowRuntimeError) {
                std::runtime_error);
 }
 
+// Capture the typed error a parse raises, or fail the test if none does.
+SpecParseError capture(const std::string& text) {
+  try {
+    parse_spec(text);
+  } catch (const SpecParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected SpecParseError for:\n" << text;
+  return SpecParseError(0, "", "no error raised");
+}
+
+TEST(SpecIoTyped, SyntaxErrorCarriesLineAndEmptyKey) {
+  const auto e = capture("n = 4\nsubplda == 1\n");
+  EXPECT_EQ(e.line(), 2);
+  EXPECT_EQ(e.key(), "");
+  EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+}
+
+TEST(SpecIoTyped, DuplicateKeyNamesTheSecondDefinition) {
+  const auto e = capture(
+      "n=4\nn=5\nsubplda=1\nsubpldb=1\nsubp={0}\nsubph={4}\nsubpw={4}\n");
+  EXPECT_EQ(e.line(), 2);
+  EXPECT_EQ(e.key(), "n");
+}
+
+TEST(SpecIoTyped, UnknownKeyIsAttributed) {
+  const auto e = capture("n = 4\nbogus = 3\n");
+  EXPECT_EQ(e.line(), 2);
+  EXPECT_EQ(e.key(), "bogus");
+}
+
+TEST(SpecIoTyped, MissingKeyIsDocumentLevel) {
+  const auto e = capture("n = 4\nsubplda = 1\n");
+  EXPECT_EQ(e.line(), 0);
+  EXPECT_EQ(e.key(), "");
+  EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos);
+}
+
+TEST(SpecIoTyped, NonCoveringPartitionBlamesTheExtentLine) {
+  // Row heights sum to 5 but n = 4: not a tiling of the matrix.
+  const auto e = capture(
+      "n=4\nsubplda=1\nsubpldb=1\nsubp={0}\nsubph={5}\nsubpw={4}\n");
+  EXPECT_EQ(e.line(), 5);
+  EXPECT_EQ(e.key(), "subph");
+  EXPECT_NE(std::string(e.what()).find("does not cover"), std::string::npos);
+}
+
+TEST(SpecIoTyped, OverlappingColumnsBlameSubpw) {
+  // Column widths sum to 6 > n = 4: sub-partitions would overlap.
+  const auto e = capture(
+      "n=4\nsubplda=1\nsubpldb=2\nsubp={0,1}\nsubph={4}\nsubpw={3,3}\n");
+  EXPECT_EQ(e.line(), 6);
+  EXPECT_EQ(e.key(), "subpw");
+}
+
+TEST(SpecIoTyped, MisSizedOwnerArrayBlamesSubp) {
+  const auto e = capture(
+      "n=4\nsubplda=2\nsubpldb=2\nsubp={0,1}\nsubph={2,2}\nsubpw={2,2}\n");
+  EXPECT_EQ(e.line(), 4);
+  EXPECT_EQ(e.key(), "subp");
+  EXPECT_NE(std::string(e.what()).find("subplda*subpldb"),
+            std::string::npos);
+}
+
+TEST(SpecIoTyped, NegativeExtentBlamesItsArray) {
+  const auto e = capture(
+      "n=4\nsubplda=2\nsubpldb=1\nsubp={0,1}\nsubph={-1,5}\nsubpw={4}\n");
+  EXPECT_EQ(e.line(), 5);
+  EXPECT_EQ(e.key(), "subph");
+}
+
+TEST(SpecIoTyped, NegativeOwnerBlamesSubp) {
+  const auto e = capture(
+      "n=4\nsubplda=1\nsubpldb=2\nsubp={0,-2}\nsubph={4}\nsubpw={2,2}\n");
+  EXPECT_EQ(e.key(), "subp");
+  EXPECT_EQ(e.line(), 4);
+}
+
+TEST(SpecIoTyped, SemanticErrorsSurviveStatementReordering) {
+  // Same non-covering spec, but subph defined first: the attribution must
+  // follow the key's own line, not document order of discovery.
+  const auto e = capture(
+      "subph={5}\nn=4\nsubplda=1\nsubpldb=1\nsubp={0}\nsubpw={4}\n");
+  EXPECT_EQ(e.line(), 1);
+  EXPECT_EQ(e.key(), "subph");
+}
+
+TEST(SpecIoTyped, ValidSpecsStillRoundTripThroughHardenedParser) {
+  // The hardening must not reject anything the writer produces.
+  for (Shape s : extended_shapes()) {
+    const auto spec = build_shape(s, 256, areas256());
+    EXPECT_NO_THROW(parse_spec(to_text(spec))) << shape_name(s);
+  }
+}
+
 }  // namespace
 }  // namespace summagen::partition
