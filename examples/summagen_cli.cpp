@@ -31,6 +31,11 @@ void usage() {
       "  --regime cpm|fpm   workload partitioning regime (default cpm)\n"
       "  --speeds a,b,c     CPM speeds (default 1.0,2.0,0.9)\n"
       "  --numeric          really multiply and verify (n <= 8192)\n"
+      "  --kernel NAME      numeric DGEMM kernel: packed (default) |\n"
+      "                     threaded | blocked | naive\n"
+      "  --kernel-threads N shared compute-pool size override (0 = auto:\n"
+      "                     hardware threads minus rank threads)\n"
+      "  --kernel-block B   cache-block edge for blocked/threaded (64)\n"
       "  --scheduler NAME   eager | pipelined (default eager)\n"
       "  --overlap-depth D  pipelined prefetch window, 0 = unbounded\n"
       "  --panel-rows R     broadcast panel rows, 0 = whole sub-partitions\n"
@@ -74,6 +79,22 @@ int main(int argc, char** argv) {
     config.summagen_options.overlap_depth =
         static_cast<int>(cli.get_int("overlap-depth", 2));
     config.summagen_options.bcast_panel_rows = cli.get_int("panel-rows", 0);
+    const std::string kernel = cli.get("kernel", "packed");
+    if (kernel == "packed") {
+      config.kernel.kernel = blas::GemmKernel::kPacked;
+    } else if (kernel == "threaded") {
+      config.kernel.kernel = blas::GemmKernel::kThreaded;
+    } else if (kernel == "blocked") {
+      config.kernel.kernel = blas::GemmKernel::kBlocked;
+    } else if (kernel == "naive") {
+      config.kernel.kernel = blas::GemmKernel::kNaive;
+    } else {
+      std::cerr << "unknown kernel '" << kernel << "'\n";
+      usage();
+      return 2;
+    }
+    config.kernel.threads = static_cast<int>(cli.get_int("kernel-threads", 0));
+    config.kernel.block = cli.get_int("kernel-block", 64);
     if (cli.has("fault")) {
       config.faults = sgmpi::parse_fault_plan(cli.get("fault", ""));
       config.fault_detect_s = cli.get_double("fault-detect", 0.05);

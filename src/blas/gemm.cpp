@@ -5,13 +5,18 @@
 #include <thread>
 #include <vector>
 
+#include "src/pool/pool.hpp"
+
 namespace summagen::blas {
 namespace {
 
-void scale_c(std::int64_t m, std::int64_t n, double beta, double* c,
-             std::int64_t ldc) {
+// Scales rows [row_begin, row_end) of C by beta (zero-fill when beta == 0,
+// so prior NaNs are overwritten). Runs inside pool tasks for the parallel
+// kernels; the full-matrix serial prepass only survives on kNaive/kBlocked.
+void scale_rows(std::int64_t row_begin, std::int64_t row_end, std::int64_t n,
+                double beta, double* c, std::int64_t ldc) {
   if (beta == 1.0) return;
-  for (std::int64_t i = 0; i < m; ++i) {
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
     double* row = c + i * ldc;
     if (beta == 0.0) {
       std::fill(row, row + n, 0.0);
@@ -63,7 +68,173 @@ void gemm_blocked_rows(std::int64_t row_begin, std::int64_t row_end,
   }
 }
 
+// ---------------------------------------------------------------------------
+// kPacked: BLIS-lineage packed kernel ("Anatomy of High-Performance Matrix
+// Multiplication" shape). The k dimension is processed in KC-deep blocks;
+// per block, B is packed once into NR-column panels (contiguous, shared by
+// all row bands) and each row band packs its alpha-folded A rows into
+// MR-row quads, then a register-tiled MR x NR microkernel accumulates.
+//
+// Bit-identity with kBlocked/kThreaded: every C element's value is the
+// chain  beta*c, then += (alpha*a[i][l]) * b[l][j] for l ascending — the
+// packed layout and register accumulators change where operands live, not
+// the operation sequence (stores/loads of doubles are exact).
+// ---------------------------------------------------------------------------
+
+constexpr std::int64_t kMr = 4;    ///< microkernel rows
+constexpr std::int64_t kNr = 8;    ///< microkernel cols
+constexpr std::int64_t kKc = 256;  ///< k-block depth (A quad: 8 KiB/row set)
+
+// Packs rows [row_begin, row_end) of alpha*A, k-slice [l0, l0+kc), into
+// MR-row quads: quad q holds interleaved rows at [q*kc*MR + l*MR + r].
+// Rows past row_end are zero (the microkernel discards those lanes).
+void pack_a_band(const double* a, std::int64_t lda, double alpha,
+                 std::int64_t row_begin, std::int64_t row_end,
+                 std::int64_t l0, std::int64_t kc, double* pa) {
+  const std::int64_t quads = (row_end - row_begin + kMr - 1) / kMr;
+  for (std::int64_t q = 0; q < quads; ++q) {
+    double* quad = pa + q * kc * kMr;
+    for (std::int64_t l = 0; l < kc; ++l) {
+      for (std::int64_t r = 0; r < kMr; ++r) {
+        const std::int64_t i = row_begin + q * kMr + r;
+        quad[l * kMr + r] =
+            i < row_end ? alpha * a[i * lda + (l0 + l)] : 0.0;
+      }
+    }
+  }
+}
+
+// Packs the k-slice [l0, l0+kc) of B into NR-column panels: panel p holds
+// columns [p*NR, p*NR+NR) at [p*kc*NR + l*NR + c], zero-padded past n.
+void pack_b_panels(const double* b, std::int64_t ldb, std::int64_t n,
+                   std::int64_t l0, std::int64_t kc,
+                   std::int64_t panel_begin, std::int64_t panel_end,
+                   double* pb) {
+  for (std::int64_t p = panel_begin; p < panel_end; ++p) {
+    double* panel = pb + p * kc * kNr;
+    const std::int64_t j0 = p * kNr;
+    const std::int64_t w = std::min(kNr, n - j0);
+    for (std::int64_t l = 0; l < kc; ++l) {
+      const double* brow = b + (l0 + l) * ldb + j0;
+      double* prow = panel + l * kNr;
+      for (std::int64_t cix = 0; cix < w; ++cix) prow[cix] = brow[cix];
+      for (std::int64_t cix = w; cix < kNr; ++cix) prow[cix] = 0.0;
+    }
+  }
+}
+
+// MR x NR register-tiled microkernel over one packed A quad and one packed
+// B panel. `first_block` fuses the beta pass into the accumulator init, so
+// beta == 0 never reads C (satisfies overwrite-NaN semantics) and no
+// separate zero-fill pass over C exists at all.
+void micro_kernel(const double* pa_quad, const double* pb_panel,
+                  std::int64_t kc, std::int64_t rows, std::int64_t cols,
+                  bool first_block, double beta, double* c,
+                  std::int64_t ldc) {
+  double acc[kMr][kNr];
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    for (std::int64_t cix = 0; cix < kNr; ++cix) {
+      if (r < rows && cix < cols) {
+        const double cur = c[r * ldc + cix];
+        acc[r][cix] = first_block ? (beta == 0.0 ? 0.0 : beta * cur) : cur;
+      } else {
+        acc[r][cix] = 0.0;
+      }
+    }
+  }
+  for (std::int64_t l = 0; l < kc; ++l) {
+    const double* pa_l = pa_quad + l * kMr;
+    const double* pb_l = pb_panel + l * kNr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const double av = pa_l[r];
+      for (std::int64_t cix = 0; cix < kNr; ++cix) {
+        acc[r][cix] += av * pb_l[cix];
+      }
+    }
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t cix = 0; cix < cols; ++cix) {
+      c[r * ldc + cix] = acc[r][cix];
+    }
+  }
+}
+
+// One row band's share of one k-block: pack the band's A rows, then sweep
+// quads x panels of microkernels. Runs as a pool task; the thread-local
+// scratch persists across tasks (a band task never yields mid-run, so a
+// helping thread cannot re-enter while the buffer is live).
+void packed_band(const double* a, std::int64_t lda, double alpha,
+                 std::int64_t row_begin, std::int64_t row_end,
+                 std::int64_t l0, std::int64_t kc, const double* pb,
+                 std::int64_t n, bool first_block, double beta, double* c,
+                 std::int64_t ldc) {
+  thread_local std::vector<double> pa;
+  const std::int64_t quads = (row_end - row_begin + kMr - 1) / kMr;
+  pa.resize(static_cast<std::size_t>(quads * kc * kMr));
+  pack_a_band(a, lda, alpha, row_begin, row_end, l0, kc, pa.data());
+  const std::int64_t panels = (n + kNr - 1) / kNr;
+  for (std::int64_t q = 0; q < quads; ++q) {
+    const std::int64_t i = row_begin + q * kMr;
+    const std::int64_t rows = std::min(kMr, row_end - i);
+    for (std::int64_t p = 0; p < panels; ++p) {
+      const std::int64_t j = p * kNr;
+      micro_kernel(pa.data() + q * kc * kMr, pb + p * kc * kNr, kc, rows,
+                   std::min(kNr, n - j), first_block, beta,
+                   c + i * ldc + j, ldc);
+    }
+  }
+}
+
+void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
+                 const double* a, std::int64_t lda, const double* b,
+                 std::int64_t ldb, double beta, double* c, std::int64_t ldc,
+                 int width) {
+  const std::int64_t panels = (n + kNr - 1) / kNr;
+  const std::int64_t quads = (m + kMr - 1) / kMr;
+  std::vector<double> pb(static_cast<std::size_t>(panels * kKc * kNr));
+  // Row bands are quad-aligned; the split depends only on (m, width), so
+  // results are independent of which worker runs which band.
+  const std::int64_t band_quads =
+      std::max<std::int64_t>(1, (quads + width - 1) / width);
+  for (std::int64_t l0 = 0; l0 < k; l0 += kKc) {
+    const std::int64_t kc = std::min(kKc, k - l0);
+    const bool first_block = l0 == 0;
+    if (width <= 1) {
+      pack_b_panels(b, ldb, n, l0, kc, 0, panels, pb.data());
+      packed_band(a, lda, alpha, 0, m, l0, kc, pb.data(), n, first_block,
+                  beta, c, ldc);
+      continue;
+    }
+    sgpool::parallel_for(
+        0, panels, std::max<std::int64_t>(1, (panels + width - 1) / width),
+        [&](std::int64_t p0, std::int64_t p1) {
+          pack_b_panels(b, ldb, n, l0, kc, p0, p1, pb.data());
+        });
+    sgpool::TaskGroup group;
+    for (std::int64_t q0 = 0; q0 < quads; q0 += band_quads) {
+      const std::int64_t r0 = q0 * kMr;
+      const std::int64_t r1 = std::min(m, (q0 + band_quads) * kMr);
+      group.run([=, &pb] {
+        packed_band(a, lda, alpha, r0, r1, l0, kc, pb.data(), n, first_block,
+                    beta, c, ldc);
+      });
+    }
+    group.wait();
+  }
+}
+
 }  // namespace
+
+int resolve_gemm_threads(int threads) {
+  if (threads <= 0) {
+    // Auto: the shared pool's workers plus the calling thread, which helps
+    // execute its own tasks while waiting.
+    return sgpool::Pool::instance().size() + 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int cap = static_cast<int>(hw == 0 ? 1 : hw);
+  return std::clamp(threads, 1, cap);
+}
 
 void dgemm(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
            const double* a, std::int64_t lda, const double* b,
@@ -78,39 +249,66 @@ void dgemm(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
     throw std::invalid_argument("dgemm: leading dimension too small");
   }
   if (m == 0 || n == 0) return;
-  scale_c(m, n, beta, c, ldc);
-  if (k == 0 || alpha == 0.0) return;
+
+  const bool pooled = opts.kernel == GemmKernel::kThreaded ||
+                      opts.kernel == GemmKernel::kPacked;
+  if (k == 0 || alpha == 0.0) {
+    // Pure C-scaling call: still worth the pool on the parallel kernels.
+    if (pooled && m > 1) {
+      const int width = resolve_gemm_threads(opts.threads);
+      sgpool::parallel_for(
+          0, m, std::max<std::int64_t>(1, (m + width - 1) / width),
+          [&](std::int64_t r0, std::int64_t r1) {
+            scale_rows(r0, r1, n, beta, c, ldc);
+          });
+    } else {
+      scale_rows(0, m, n, beta, c, ldc);
+    }
+    return;
+  }
 
   switch (opts.kernel) {
     case GemmKernel::kNaive:
+      scale_rows(0, m, n, beta, c, ldc);
       gemm_naive(m, n, k, alpha, a, lda, b, ldb, c, ldc);
       return;
     case GemmKernel::kBlocked:
+      scale_rows(0, m, n, beta, c, ldc);
       gemm_blocked_rows(0, m, n, k, alpha, a, lda, b, ldb, c, ldc,
                         std::max<std::int64_t>(8, opts.block));
       return;
     case GemmKernel::kThreaded: {
-      const int want = std::max(1, opts.threads);
-      const int nthreads = static_cast<int>(
+      const int want = resolve_gemm_threads(opts.threads);
+      const int width = static_cast<int>(
           std::min<std::int64_t>(want, std::max<std::int64_t>(1, m)));
-      if (nthreads == 1) {
-        gemm_blocked_rows(0, m, n, k, alpha, a, lda, b, ldb, c, ldc,
-                          std::max<std::int64_t>(8, opts.block));
+      const std::int64_t blk = std::max<std::int64_t>(8, opts.block);
+      if (width == 1) {
+        scale_rows(0, m, n, beta, c, ldc);
+        gemm_blocked_rows(0, m, n, k, alpha, a, lda, b, ldb, c, ldc, blk);
         return;
       }
-      std::vector<std::thread> workers;
-      workers.reserve(static_cast<std::size_t>(nthreads));
-      const std::int64_t chunk = (m + nthreads - 1) / nthreads;
-      for (int t = 0; t < nthreads; ++t) {
+      // Row-band tasks on the shared pool; the beta pass is fused into
+      // each band (one parallel touch of C instead of a serial prepass).
+      const std::int64_t chunk = (m + width - 1) / width;
+      sgpool::TaskGroup group;
+      for (int t = 0; t < width; ++t) {
         const std::int64_t r0 = t * chunk;
         const std::int64_t r1 = std::min(m, r0 + chunk);
         if (r0 >= r1) break;
-        workers.emplace_back([=] {
+        group.run([=] {
+          scale_rows(r0, r1, n, beta, c, ldc);
           gemm_blocked_rows(r0, r1, n, k, alpha, a, lda, b, ldb, c, ldc,
-                            std::max<std::int64_t>(8, opts.block));
+                            blk);
         });
       }
-      for (auto& w : workers) w.join();
+      group.wait();
+      return;
+    }
+    case GemmKernel::kPacked: {
+      const int want = resolve_gemm_threads(opts.threads);
+      const int width = static_cast<int>(
+          std::min<std::int64_t>(want, (m + kMr - 1) / kMr));
+      gemm_packed(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, width);
       return;
     }
   }

@@ -5,11 +5,22 @@
 // multiplies a (height x n) slice of WA by an (n x width) slice of WB, so
 // everything here takes explicit leading dimensions.
 //
-// Three implementations, all bit-compatible in result up to floating-point
-// reassociation:
+// Four implementations, bit-identical in result (the parallel split and
+// the packed layout preserve the per-element l-ascending accumulation
+// chain of the ikj kernel):
 //  * kNaive   - triple loop, the oracle used in tests;
-//  * kBlocked - cache-blocked ikj kernel (default);
-//  * kThreaded- kBlocked with rows parallelised over std::thread.
+//  * kBlocked - cache-blocked ikj kernel, serial;
+//  * kThreaded- kBlocked with row bands run on the shared sgpool executor;
+//  * kPacked  - BLIS-style packed panels (contiguous alpha*A quads and
+//               B column-panels) with a register-tiled microkernel, row
+//               bands on the shared pool (default; see DESIGN.md
+//               "Compute executor").
+//
+// No kernel ever constructs a std::thread: all parallelism is task
+// submission into the persistent process-wide pool (sgpool::Pool), which
+// the experiment runner sizes to hardware_concurrency() minus the live
+// rank threads — mirroring the paper's one-MKL-pool-per-abstract-processor
+// setup instead of oversubscribing the host per call.
 #pragma once
 
 #include <cstdint>
@@ -18,14 +29,22 @@
 
 namespace summagen::blas {
 
-enum class GemmKernel { kNaive, kBlocked, kThreaded };
+enum class GemmKernel { kNaive, kBlocked, kThreaded, kPacked };
 
-/// Options for dgemm. `threads` only applies to kThreaded.
+/// Options for dgemm. `threads` applies to kThreaded/kPacked.
 struct GemmOptions {
-  GemmKernel kernel = GemmKernel::kBlocked;
-  int threads = 4;
+  GemmKernel kernel = GemmKernel::kPacked;
+  /// Parallel width for the pool-backed kernels. 0 (default) = auto: the
+  /// shared pool's workers plus the calling thread (which participates).
+  /// Explicit values are clamped to [1, hardware_concurrency] — a larger
+  /// request cannot oversubscribe the host, it only splits finer.
+  int threads = 0;
   std::int64_t block = 64;  ///< cache-block edge for kBlocked/kThreaded
 };
+
+/// Resolves `threads` (see GemmOptions::threads): 0 maps to the shared
+/// pool size + 1, explicit requests clamp to [1, hardware_concurrency].
+int resolve_gemm_threads(int threads);
 
 /// General row-major dgemm with leading dimensions (in elements):
 ///   C[m x n] (ld ldc) := alpha * A[m x k] (ld lda) * B[k x n] (ld ldb)

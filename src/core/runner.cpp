@@ -8,6 +8,7 @@
 
 #include "src/core/recovery.hpp"
 #include "src/core/reference.hpp"
+#include "src/pool/pool.hpp"
 #include "src/util/rng.hpp"
 
 namespace summagen::core {
@@ -96,6 +97,16 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
         "run_pmm: numeric plane beyond n=8192 is a mistake; use the modeled "
         "plane for paper-scale sweeps");
   }
+
+  // Size the shared compute pool so rank threads + pool workers together
+  // fill the host — the paper's one-persistent-MKL-pool-per-processor
+  // setup, instead of per-call thread spawns oversubscribing the machine.
+  // config.kernel.threads > 0 overrides (clamped to hardware_concurrency).
+  sgpool::Pool::set_reserved_threads(p);
+  sgpool::Pool::configure(config.kernel.threads > 0
+                              ? blas::resolve_gemm_threads(
+                                    config.kernel.threads)
+                              : sgpool::Pool::recommended_size(p));
 
   ExperimentResult result;
   if (config.preset_spec.n > 0) {

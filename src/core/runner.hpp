@@ -57,7 +57,10 @@ struct ExperimentConfig {
   bool record_events = false;  ///< event log + energy accounting
   bool contended = true;       ///< paper methodology: co-loaded profiles
   std::uint64_t seed = 42;     ///< matrix initialisation (numeric plane)
-  blas::GemmOptions kernel;    ///< numeric DGEMM kernel
+  /// Numeric DGEMM kernel. `kernel.threads` == 0 (default) sizes the shared
+  /// compute pool to hardware_concurrency() minus the rank threads; a
+  /// positive value overrides the pool size (clamped to the hardware).
+  blas::GemmOptions kernel;
 
   /// Run-to-run measurement noise: lognormal sigma applied to every local
   /// kernel's compute time, seeded per (noise_seed, rank). 0 = the default

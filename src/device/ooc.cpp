@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/pool/pool.hpp"
 #include "src/util/matrix.hpp"
 
 namespace summagen::device {
@@ -120,28 +121,35 @@ OutOfCorePlan out_of_core_gemm(std::int64_t m, std::int64_t n, std::int64_t k,
   const std::int64_t tn = plan.tile_n;
   const std::int64_t tk = plan.tile_k;
 
-  // Staging buffers play the role of device memory.
-  std::vector<double> dev_a(static_cast<std::size_t>(tm * tk));
-  std::vector<double> dev_b(static_cast<std::size_t>(tk * tn));
-  std::vector<double> dev_c(static_cast<std::size_t>(tm * tn));
-
+  // One pool task per C tile: tiles own disjoint C blocks and accumulate
+  // over k internally (ascending, as before, so results stay bit-identical
+  // to the serial stage order). Each task stages through its own buffers —
+  // the simulated "device memory" — and its inner dgemm calls land on the
+  // same shared pool (TaskGroup::wait helps, so nesting cannot deadlock).
+  sgpool::TaskGroup tiles;
   for (std::int64_t i0 = 0; i0 < m; i0 += tm) {
-    const std::int64_t mm = std::min(tm, m - i0);
     for (std::int64_t j0 = 0; j0 < n; j0 += tn) {
-      const std::int64_t nn = std::min(tn, n - j0);
-      // "Copy C tile to device" (accumulation base).
-      util::copy_matrix(dev_c.data(), nn, c + i0 * ldc + j0, ldc, mm, nn);
-      for (std::int64_t l0 = 0; l0 < k; l0 += tk) {
-        const std::int64_t kk = std::min(tk, k - l0);
-        util::copy_matrix(dev_a.data(), kk, a + i0 * lda + l0, lda, mm, kk);
-        util::copy_matrix(dev_b.data(), nn, b + l0 * ldb + j0, ldb, kk, nn);
-        blas::dgemm(mm, nn, kk, 1.0, dev_a.data(), kk, dev_b.data(), nn, 1.0,
-                    dev_c.data(), nn, kernel);
-      }
-      // "Copy C tile back to host".
-      util::copy_matrix(c + i0 * ldc + j0, ldc, dev_c.data(), nn, mm, nn);
+      tiles.run([=] {
+        const std::int64_t mm = std::min(tm, m - i0);
+        const std::int64_t nn = std::min(tn, n - j0);
+        std::vector<double> dev_a(static_cast<std::size_t>(tm * tk));
+        std::vector<double> dev_b(static_cast<std::size_t>(tk * tn));
+        std::vector<double> dev_c(static_cast<std::size_t>(tm * tn));
+        // "Copy C tile to device" (accumulation base).
+        util::copy_matrix(dev_c.data(), nn, c + i0 * ldc + j0, ldc, mm, nn);
+        for (std::int64_t l0 = 0; l0 < k; l0 += tk) {
+          const std::int64_t kk = std::min(tk, k - l0);
+          util::copy_matrix(dev_a.data(), kk, a + i0 * lda + l0, lda, mm, kk);
+          util::copy_matrix(dev_b.data(), nn, b + l0 * ldb + j0, ldb, kk, nn);
+          blas::dgemm(mm, nn, kk, 1.0, dev_a.data(), kk, dev_b.data(), nn,
+                      1.0, dev_c.data(), nn, kernel);
+        }
+        // "Copy C tile back to host".
+        util::copy_matrix(c + i0 * ldc + j0, ldc, dev_c.data(), nn, mm, nn);
+      });
     }
   }
+  tiles.wait();
   return plan;
 }
 

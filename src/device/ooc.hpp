@@ -37,7 +37,9 @@ OutOfCorePlan plan_out_of_core(std::int64_t m, std::int64_t n, std::int64_t k,
 /// `plan_out_of_core(m, n, k, memory_bytes, /*staged=*/true)`.
 /// Tiles are copied into staging buffers (the simulated device memory)
 /// before each in-core multiplication, exactly as the OOC packages do.
-/// Returns the plan that was executed.
+/// C-tile stages run as tasks on the shared sgpool executor (disjoint C
+/// blocks; k accumulation stays in order, so results are bit-identical to
+/// a serial stage sweep). Returns the plan that was executed.
 OutOfCorePlan out_of_core_gemm(std::int64_t m, std::int64_t n, std::int64_t k,
                                const double* a, std::int64_t lda,
                                const double* b, std::int64_t ldb, double* c,

@@ -30,8 +30,8 @@ TEST(GemmRandom, RandomShapesAllKernels) {
       }
     }
 
-    for (auto kernel :
-         {GemmKernel::kNaive, GemmKernel::kBlocked, GemmKernel::kThreaded}) {
+    for (auto kernel : {GemmKernel::kNaive, GemmKernel::kBlocked,
+                        GemmKernel::kThreaded, GemmKernel::kPacked}) {
       GemmOptions opts;
       opts.kernel = kernel;
       opts.threads = static_cast<int>(rng.uniform_int(1, 5));

@@ -53,7 +53,7 @@ INSTANTIATE_TEST_SUITE_P(
     KernelsAndShapes, GemmShapes,
     ::testing::Combine(
         ::testing::Values(GemmKernel::kNaive, GemmKernel::kBlocked,
-                          GemmKernel::kThreaded),
+                          GemmKernel::kThreaded, GemmKernel::kPacked),
         ::testing::Values(Case{1, 1, 1}, Case{1, 7, 3}, Case{5, 1, 9},
                           Case{8, 8, 8}, Case{17, 19, 23}, Case{16, 64, 16},
                           Case{64, 16, 48}, Case{33, 31, 1},
@@ -61,9 +61,10 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& param_info) {
       const auto kernel = std::get<0>(param_info.param);
       const auto c = std::get<1>(param_info.param);
-      const char* kn = kernel == GemmKernel::kNaive     ? "naive"
-                       : kernel == GemmKernel::kBlocked ? "blocked"
-                                                        : "threaded";
+      const char* kn = kernel == GemmKernel::kNaive      ? "naive"
+                       : kernel == GemmKernel::kBlocked  ? "blocked"
+                       : kernel == GemmKernel::kThreaded ? "threaded"
+                                                         : "packed";
       return std::string(kn) + "_" + std::to_string(c.m) + "x" +
              std::to_string(c.n) + "x" + std::to_string(c.k);
     });
@@ -156,6 +157,9 @@ TEST(Gemm, ThreadedMatchesBlockedExactly) {
   // Note: threading splits rows, which does not change the per-row
   // reduction order of the ikj kernel, so results are bit-identical.
   EXPECT_EQ(multiply(a, b, blocked), multiply(a, b, threaded));
+  // The packed kernel preserves the same l-ascending accumulation chain.
+  GemmOptions packed{.kernel = GemmKernel::kPacked, .threads = 3};
+  EXPECT_EQ(multiply(a, b, blocked), multiply(a, b, packed));
 }
 
 TEST(Gemm, MoreThreadsThanRows) {

@@ -149,7 +149,7 @@ TEST_P(KernelSweep, NumericPlaneWorksWithEveryKernel) {
 INSTANTIATE_TEST_SUITE_P(
     Kernels, KernelSweep,
     ::testing::Values(blas::GemmKernel::kNaive, blas::GemmKernel::kBlocked,
-                      blas::GemmKernel::kThreaded),
+                      blas::GemmKernel::kThreaded, blas::GemmKernel::kPacked),
     [](const auto& param_info) {
       switch (param_info.param) {
         case blas::GemmKernel::kNaive:
@@ -158,6 +158,8 @@ INSTANTIATE_TEST_SUITE_P(
           return "blocked";
         case blas::GemmKernel::kThreaded:
           return "threaded";
+        case blas::GemmKernel::kPacked:
+          return "packed";
       }
       return "unknown";
     });

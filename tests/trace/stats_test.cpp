@@ -93,7 +93,11 @@ TEST(ChiSquared, CriticalValuesReasonable) {
 }
 
 TEST(ChiSquared, NormalSamplePassesNormalityCheck) {
-  util::Rng rng(13);
+  // Seed-sensitive by nature: a 95%-level test rejects ~5% of healthy
+  // samples. Seed 12 passes under Rng's member normal_distribution (which
+  // consumes both Box-Muller variates per pair, unlike the old
+  // construct-per-draw stream).
+  util::Rng rng(12);
   std::vector<double> xs;
   for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(5.0, 2.0));
   const auto res = chi_squared_normality(xs);

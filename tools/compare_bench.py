@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Gate micro-benchmark regressions against a committed baseline.
+
+Usage:
+    tools/compare_bench.py BASELINE.json CURRENT.json [--max-ratio 1.3]
+
+Both files are Google-Benchmark JSON (micro_dgemm --json FILE). For every
+benchmark present in BOTH files the script compares throughput
+(items_per_second, i.e. FLOP/s for the DGEMM benches) and fails if
+
+    baseline_items_per_second / current_items_per_second > max_ratio
+
+for any benchmark — i.e. the current build is more than `max_ratio` slower
+than the recorded baseline. Benchmarks present in only one file are
+reported but never fail the gate (so adding/removing benches does not
+require regenerating the baseline in the same commit).
+
+Benchmarks without items_per_second fall back to comparing real_time
+(higher is worse), with the same ratio threshold.
+
+Exit code 0 = within budget, 1 = regression, 2 = usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    out: dict[str, dict] = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    if not out:
+        print(f"error: no benchmarks found in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def slowdown(base: dict, cur: dict) -> float:
+    """Return how many times slower `cur` is than `base` (>1 == regression)."""
+    b_ips, c_ips = base.get("items_per_second"), cur.get("items_per_second")
+    if b_ips and c_ips:
+        return b_ips / c_ips
+    return cur["real_time"] / base["real_time"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.3,
+        help="fail if current is more than this factor slower (default 1.3)",
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+
+    failures = []
+    for name in sorted(base):
+        if name not in cur:
+            print(f"  (baseline-only, skipped) {name}")
+            continue
+        ratio = slowdown(base[name], cur[name])
+        status = "FAIL" if ratio > args.max_ratio else "ok"
+        print(f"  [{status}] {name}: {ratio:.2f}x baseline time")
+        if ratio > args.max_ratio:
+            failures.append((name, ratio))
+    for name in sorted(set(cur) - set(base)):
+        print(f"  (new, no baseline) {name}")
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed beyond "
+            f"{args.max_ratio:.2f}x:",
+            file=sys.stderr,
+        )
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nall shared benchmarks within {args.max_ratio:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
