@@ -16,6 +16,7 @@
 
 #include "src/blas/gemm.hpp"
 #include "src/pool/pool.hpp"
+#include "src/util/accounting.hpp"
 #include "src/util/matrix.hpp"
 #include "src/util/rng.hpp"
 
@@ -23,6 +24,22 @@ namespace {
 
 using summagen::blas::GemmKernel;
 using summagen::blas::GemmOptions;
+
+// Exports the data-plane accounting delta of the timed region as benchmark
+// counters, so the JSON baseline also gates allocation behaviour (a kernel
+// that silently starts allocating per call regresses alloc_bytes_per_iter
+// long before it regresses GFLOPs).
+void set_alloc_counters(benchmark::State& state,
+                        const summagen::util::DataPlaneStats& base) {
+  const summagen::util::DataPlaneStats d =
+      summagen::util::data_plane_stats().since(base);
+  const double iters =
+      static_cast<double>(state.iterations() > 0 ? state.iterations() : 1);
+  state.counters["alloc_bytes_per_iter"] =
+      static_cast<double>(d.alloc_bytes) / iters;
+  state.counters["allocs_per_iter"] = static_cast<double>(d.allocs) / iters;
+  state.counters["pool_hit_rate"] = d.pool_hit_rate();
+}
 
 void run_gemm(benchmark::State& state, GemmKernel kernel, int threads) {
   const std::int64_t n = state.range(0);
@@ -32,11 +49,18 @@ void run_gemm(benchmark::State& state, GemmKernel kernel, int threads) {
   GemmOptions opts;
   opts.kernel = kernel;
   opts.threads = threads;
+  // One untimed warm-up so the counters measure the pool's steady state,
+  // not the first touch of this problem size's buffer classes.
+  summagen::blas::dgemm(n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+                        c.data(), n, opts);
+  const summagen::util::DataPlaneStats base =
+      summagen::util::data_plane_stats();
   for (auto _ : state) {
     summagen::blas::dgemm(n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
                           c.data(), n, opts);
     benchmark::DoNotOptimize(c.data());
   }
+  set_alloc_counters(state, base);
   state.SetItemsProcessed(state.iterations() *
                           summagen::blas::gemm_flops(n, n, n));
 }
@@ -57,7 +81,7 @@ void run_gemm_concurrent3(benchmark::State& state, GemmKernel kernel) {
   }
   GemmOptions opts;
   opts.kernel = kernel;
-  for (auto _ : state) {
+  const auto wave = [&] {
     std::vector<std::thread> callers;
     for (int r = 0; r < kCallers; ++r) {
       callers.emplace_back([&, r] {
@@ -66,8 +90,17 @@ void run_gemm_concurrent3(benchmark::State& state, GemmKernel kernel) {
       });
     }
     for (auto& t : callers) t.join();
+  };
+  // One untimed 3-way wave warms the pool at this concurrency level, so
+  // the counters below report the steady state.
+  wave();
+  const summagen::util::DataPlaneStats base =
+      summagen::util::data_plane_stats();
+  for (auto _ : state) {
+    wave();
     benchmark::DoNotOptimize(cs[0].data());
   }
+  set_alloc_counters(state, base);
   state.SetItemsProcessed(state.iterations() * kCallers *
                           summagen::blas::gemm_flops(n, n, n));
 }

@@ -160,6 +160,23 @@ int main(int argc, char** argv) {
     }
     if (config.numeric) {
       t.add_row({"verified vs reference", res.verified ? "yes" : "NO"});
+      t.add_row({"data-plane alloc (MiB)",
+                 util::Table::num(
+                     static_cast<double>(res.alloc.alloc_bytes) / 1048576.0,
+                     2)});
+      t.add_row({"data-plane allocs", util::Table::num(res.alloc.allocs)});
+      t.add_row({"copied (MiB)",
+                 util::Table::num(
+                     static_cast<double>(res.alloc.copy_bytes) / 1048576.0,
+                     2)});
+      t.add_row({"copy calls", util::Table::num(res.alloc.copy_calls)});
+      t.add_row({"pool hit rate",
+                 util::Table::num(res.alloc.pool_hit_rate(), 3)});
+      t.add_row({"pool peak resident (MiB)",
+                 util::Table::num(
+                     static_cast<double>(res.alloc.pool_peak_resident_bytes) /
+                         1048576.0,
+                     2)});
     }
     t.print(std::cout);
 

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <thread>
-#include <vector>
 
 #include "src/pool/pool.hpp"
+#include "src/util/buffer_pool.hpp"
 
 namespace summagen::blas {
 namespace {
@@ -160,17 +161,18 @@ void micro_kernel(const double* pa_quad, const double* pb_panel,
 }
 
 // One row band's share of one k-block: pack the band's A rows, then sweep
-// quads x panels of microkernels. Runs as a pool task; the thread-local
-// scratch persists across tasks (a band task never yields mid-run, so a
-// helping thread cannot re-enter while the buffer is live).
+// quads x panels of microkernels. Runs as a pool task; the A scratch is
+// leased from the shared buffer pool per band (steady state: a freelist
+// pop), so worker threads retain no high-water-mark storage between calls
+// the way the previous thread_local vector did.
 void packed_band(const double* a, std::int64_t lda, double alpha,
                  std::int64_t row_begin, std::int64_t row_end,
                  std::int64_t l0, std::int64_t kc, const double* pb,
                  std::int64_t n, bool first_block, double beta, double* c,
                  std::int64_t ldc) {
-  thread_local std::vector<double> pa;
   const std::int64_t quads = (row_end - row_begin + kMr - 1) / kMr;
-  pa.resize(static_cast<std::size_t>(quads * kc * kMr));
+  util::PooledBuffer pa =
+      util::BufferPool::instance().acquire(quads * kc * kMr);
   pack_a_band(a, lda, alpha, row_begin, row_end, l0, kc, pa.data());
   const std::int64_t panels = (n + kNr - 1) / kNr;
   for (std::int64_t q = 0; q < quads; ++q) {
@@ -191,7 +193,8 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
                  int width) {
   const std::int64_t panels = (n + kNr - 1) / kNr;
   const std::int64_t quads = (m + kMr - 1) / kMr;
-  std::vector<double> pb(static_cast<std::size_t>(panels * kKc * kNr));
+  util::PooledBuffer pb =
+      util::BufferPool::instance().acquire(panels * kKc * kNr);
   // Row bands are quad-aligned; the split depends only on (m, width), so
   // results are independent of which worker runs which band.
   const std::int64_t band_quads =
@@ -313,6 +316,27 @@ void dgemm(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
     }
   }
   throw std::logic_error("dgemm: unknown kernel");
+}
+
+void dgemm(double alpha, util::ConstMatrixView a, util::ConstMatrixView b,
+           double beta, util::MatrixView c, const GemmOptions& opts) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("dgemm: inner dimensions differ (A is " +
+                                std::to_string(a.rows()) + "x" +
+                                std::to_string(a.cols()) + ", B is " +
+                                std::to_string(b.rows()) + "x" +
+                                std::to_string(b.cols()) + ")");
+  }
+  if (c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw std::invalid_argument("dgemm: C shape differs from A*B");
+  }
+  if (util::views_overlap(c, a) || util::views_overlap(c, b)) {
+    throw std::invalid_argument("dgemm: C aliases an input view");
+  }
+  dgemm(a.rows(), b.cols(), a.cols(), alpha, a.data(),
+        std::max<std::int64_t>(1, a.ld()), b.data(),
+        std::max<std::int64_t>(1, b.ld()), beta, c.data(),
+        std::max<std::int64_t>(1, c.ld()), opts);
 }
 
 util::Matrix multiply(const util::Matrix& a, const util::Matrix& b,

@@ -26,6 +26,7 @@
 #include <cstdint>
 
 #include "src/util/matrix.hpp"
+#include "src/util/matrix_view.hpp"
 
 namespace summagen::blas {
 
@@ -55,6 +56,15 @@ void dgemm(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
            const double* a, std::int64_t lda, const double* b,
            std::int64_t ldb, double beta, double* c, std::int64_t ldc,
            const GemmOptions& opts = {});
+
+/// View-based dgemm: C := alpha * A * B + beta * C with shapes and strides
+/// taken from the views (A is m x k, B is k x n, C is m x n; inner and
+/// outer extents are validated, and C must not alias A or B). Because the
+/// raw-pointer form already takes leading dimensions, this is a pure
+/// adapter — the operation sequence, and therefore the result, is
+/// bit-identical to the pointer call on the same storage.
+void dgemm(double alpha, util::ConstMatrixView a, util::ConstMatrixView b,
+           double beta, util::MatrixView c, const GemmOptions& opts = {});
 
 /// Whole-matrix convenience: C := A * B (shapes validated).
 util::Matrix multiply(const util::Matrix& a, const util::Matrix& b,

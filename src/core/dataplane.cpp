@@ -1,79 +1,88 @@
 #include "src/core/dataplane.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace summagen::core {
 
 LocalData::LocalData(const partition::PartitionSpec& spec, int rank,
-                     const util::Matrix& a, const util::Matrix& b)
-    : numeric_(true), rank_(rank) {
+                     const util::Matrix& a, const util::Matrix& b,
+                     util::Matrix* c_global)
+    : numeric_(true), rank_(rank), a_(&a), b_(&b) {
   if (a.rows() != spec.n || a.cols() != spec.n || b.rows() != spec.n ||
       b.cols() != spec.n) {
     throw std::invalid_argument("LocalData: global matrices must be n x n");
+  }
+  if (c_global != nullptr &&
+      (c_global->rows() != spec.n || c_global->cols() != spec.n)) {
+    throw std::invalid_argument("LocalData: global C must be n x n");
   }
   const auto roff = spec.row_offsets();
   const auto coff = spec.col_offsets();
   for (int bi = 0; bi < spec.subplda; ++bi) {
     for (int bj = 0; bj < spec.subpldb; ++bj) {
       if (spec.owner(bi, bj) != rank) continue;
-      const std::int64_t h = spec.subph[static_cast<std::size_t>(bi)];
-      const std::int64_t w = spec.subpw[static_cast<std::size_t>(bj)];
-      const std::int64_t r0 = roff[static_cast<std::size_t>(bi)];
-      const std::int64_t c0 = coff[static_cast<std::size_t>(bj)];
-      a_parts_.emplace(std::make_pair(bi, bj),
-                       util::extract_block(a, r0, c0, h, w));
-      b_parts_.emplace(std::make_pair(bi, bj),
-                       util::extract_block(b, r0, c0, h, w));
+      partition::Rect r;
+      r.row0 = roff[static_cast<std::size_t>(bi)];
+      r.col0 = coff[static_cast<std::size_t>(bj)];
+      r.rows = spec.subph[static_cast<std::size_t>(bi)];
+      r.cols = spec.subpw[static_cast<std::size_t>(bj)];
+      cells_.emplace(std::make_pair(bi, bj), r);
     }
   }
   c_rect_ = spec.covering(rank);
-  c_ = util::Matrix(c_rect_.rows, c_rect_.cols);
+  if (c_global != nullptr) {
+    c_in_place_ = true;
+    c_view_ = util::block_view(*c_global, c_rect_.row0, c_rect_.col0,
+                               c_rect_.rows, c_rect_.cols);
+  } else {
+    c_store_ =
+        util::BufferPool::instance().acquire(c_rect_.rows * c_rect_.cols);
+    c_view_ = util::MatrixView(c_store_.data(), c_rect_.rows, c_rect_.cols,
+                               c_rect_.cols);
+    c_view_.fill(0.0);
+  }
 }
 
-const util::Matrix& LocalData::a_part(int bi, int bj) const {
-  const auto it = a_parts_.find({bi, bj});
-  if (it == a_parts_.end()) {
+const partition::Rect& LocalData::cell(const char* which, int bi,
+                                       int bj) const {
+  const auto it = cells_.find({bi, bj});
+  if (it == cells_.end()) {
     throw std::out_of_range("LocalData: rank " + std::to_string(rank_) +
-                            " does not own A(" + std::to_string(bi) + "," +
-                            std::to_string(bj) + ")");
+                            " does not own " + which + "(" +
+                            std::to_string(bi) + "," + std::to_string(bj) +
+                            ")");
   }
   return it->second;
 }
 
-const util::Matrix& LocalData::b_part(int bi, int bj) const {
-  const auto it = b_parts_.find({bi, bj});
-  if (it == b_parts_.end()) {
-    throw std::out_of_range("LocalData: rank " + std::to_string(rank_) +
-                            " does not own B(" + std::to_string(bi) + "," +
-                            std::to_string(bj) + ")");
-  }
-  return it->second;
+util::ConstMatrixView LocalData::a_part(int bi, int bj) const {
+  const partition::Rect& r = cell("A", bi, bj);
+  return util::block_view(*a_, r.row0, r.col0, r.rows, r.cols);
+}
+
+util::ConstMatrixView LocalData::b_part(int bi, int bj) const {
+  const partition::Rect& r = cell("B", bi, bj);
+  return util::block_view(*b_, r.row0, r.col0, r.rows, r.cols);
 }
 
 bool LocalData::owns(int bi, int bj) const {
-  return a_parts_.contains({bi, bj});
+  return cells_.contains({bi, bj});
 }
 
-void LocalData::gather_c(const partition::PartitionSpec& spec,
+void LocalData::gather_c(const partition::PartitionSpec& /*spec*/,
                          util::Matrix& c_global) const {
   if (!numeric_) {
     throw std::logic_error("LocalData::gather_c on a modeled plane");
   }
-  const auto roff = spec.row_offsets();
-  const auto coff = spec.col_offsets();
-  for (int bi = 0; bi < spec.subplda; ++bi) {
-    for (int bj = 0; bj < spec.subpldb; ++bj) {
-      if (spec.owner(bi, bj) != rank_) continue;
-      const std::int64_t h = spec.subph[static_cast<std::size_t>(bi)];
-      const std::int64_t w = spec.subpw[static_cast<std::size_t>(bj)];
-      if (h == 0 || w == 0) continue;
-      const std::int64_t r0 = roff[static_cast<std::size_t>(bi)];
-      const std::int64_t c0 = coff[static_cast<std::size_t>(bj)];
-      util::copy_matrix(
-          c_global.data() + r0 * c_global.cols() + c0, c_global.cols(),
-          c_.data() + (r0 - c_rect_.row0) * c_.cols() + (c0 - c_rect_.col0),
-          c_.cols(), h, w);
-    }
+  if (c_in_place_) return;  // owned cells were written into C directly
+  for (const auto& [key, r] : cells_) {
+    if (r.rows == 0 || r.cols == 0) continue;
+    util::copy_matrix(
+        c_global.data() + r.row0 * c_global.cols() + r.col0, c_global.cols(),
+        c_view_.data() + (r.row0 - c_rect_.row0) * c_view_.ld() +
+            (r.col0 - c_rect_.col0),
+        c_view_.ld(), r.rows, r.cols);
   }
 }
 

@@ -4,9 +4,12 @@
 // exactly the sub-partitions of A and B it owns, and produces the C
 // sub-partitions it owns. LocalData is that store, in two flavours
 // (DESIGN.md §5.2):
-//   * numeric - real doubles; scatter/gather against global matrices lets
-//     tests verify SummaGen's C against a serial reference bit-for-bit in
-//     structure (up to fp reassociation);
+//   * numeric - A/B sub-partitions are strided views in place over the
+//     global operands (zero copies, zero allocation); the local C is either
+//     a pooled private buffer over the covering rectangle or — when the
+//     caller passes the global C — a window viewed directly into it, in
+//     which case gather_c is a no-op because every owned cell was written
+//     in place;
 //   * modeled - no storage at all; the algorithm still runs every loop and
 //     communication with null payloads, so figure benches can execute the
 //     paper's N = 25600..38416 without 10+ GB of allocation.
@@ -17,48 +20,68 @@
 #include <utility>
 
 #include "src/partition/spec.hpp"
+#include "src/util/buffer_pool.hpp"
 #include "src/util/matrix.hpp"
+#include "src/util/matrix_view.hpp"
 
 namespace summagen::core {
 
 /// Local matrices of one rank under a given PartitionSpec.
+///
+/// Numeric instances view the caller's global A/B (and optionally C)
+/// in place, so those matrices must outlive the LocalData.
 class LocalData {
  public:
   /// Modeled plane: no buffers.
   LocalData() = default;
 
-  /// Numeric plane: extracts `rank`'s owned sub-partitions of `a` and `b`
-  /// (both n x n per `spec`) and allocates the local C (covering-rectangle
-  /// extent, zero-initialised).
+  /// Numeric plane: records `rank`'s owned sub-partitions of `a` and `b`
+  /// as in-place views (both matrices are n x n per `spec`). When
+  /// `c_global` is null the local C is a pooled covering-rectangle buffer
+  /// (zero-filled); when non-null the local C is a window into `c_global`
+  /// — owned C cells are disjoint across ranks, so every rank may write
+  /// its cells directly and `gather_c` becomes a no-op. Fault-tolerant
+  /// phases must use the private-C form: a re-executed phase accumulates
+  /// from zero, which an in-place global C cannot provide.
   LocalData(const partition::PartitionSpec& spec, int rank,
-            const util::Matrix& a, const util::Matrix& b);
+            const util::Matrix& a, const util::Matrix& b,
+            util::Matrix* c_global = nullptr);
 
   bool numeric() const { return numeric_; }
   int rank() const { return rank_; }
 
-  /// Owned sub-partition of A / B at grid cell (bi, bj); throws if not
-  /// owned or modeled-only.
-  const util::Matrix& a_part(int bi, int bj) const;
-  const util::Matrix& b_part(int bi, int bj) const;
+  /// Owned sub-partition of A / B at grid cell (bi, bj), viewed in place
+  /// inside the global operand; throws if not owned or modeled-only.
+  util::ConstMatrixView a_part(int bi, int bj) const;
+  util::ConstMatrixView b_part(int bi, int bj) const;
   bool owns(int bi, int bj) const;
 
-  /// Local C buffer spanning the covering rectangle (numeric only).
-  util::Matrix& c() { return c_; }
-  const util::Matrix& c() const { return c_; }
+  /// Local C spanning the covering rectangle (numeric only).
+  util::MatrixView c() { return c_view_; }
+  util::ConstMatrixView c() const { return c_view_; }
   const partition::Rect& c_rect() const { return c_rect_; }
 
+  /// True when the local C writes land directly in the caller's global C.
+  bool c_in_place() const { return c_in_place_; }
+
   /// Writes this rank's owned C sub-partitions into the global matrix.
-  /// Unowned cells inside the covering rectangle are left untouched.
+  /// Unowned cells inside the covering rectangle are left untouched. A
+  /// no-op for in-place C (the cells are already there).
   void gather_c(const partition::PartitionSpec& spec, util::Matrix& c_global)
       const;
 
  private:
+  const partition::Rect& cell(const char* which, int bi, int bj) const;
+
   bool numeric_ = false;
   int rank_ = -1;
-  std::map<std::pair<int, int>, util::Matrix> a_parts_;
-  std::map<std::pair<int, int>, util::Matrix> b_parts_;
-  util::Matrix c_;
+  const util::Matrix* a_ = nullptr;
+  const util::Matrix* b_ = nullptr;
+  std::map<std::pair<int, int>, partition::Rect> cells_;
+  util::PooledBuffer c_store_;
+  util::MatrixView c_view_;
   partition::Rect c_rect_;
+  bool c_in_place_ = false;
 };
 
 }  // namespace summagen::core

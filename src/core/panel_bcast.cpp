@@ -1,0 +1,69 @@
+#include "src/core/panel_bcast.hpp"
+
+#include <stdexcept>
+
+namespace summagen::core {
+
+PanelBcastStats bcast_k_panel(sgmpi::Comm& comm, PanelAxis axis,
+                              std::int64_t n, int parts, int my_index,
+                              std::int64_t extent, std::int64_t k0,
+                              std::int64_t bcur, util::ConstMatrixView block,
+                              util::MatrixView dst) {
+  if (parts < 1 || my_index < 0 || my_index >= parts) {
+    throw std::invalid_argument("bcast_k_panel: bad part index");
+  }
+  if (extent < 1 || bcur < 1 || k0 < 0 || k0 + bcur > n) {
+    throw std::invalid_argument("bcast_k_panel: panel outside [0, n)");
+  }
+  const bool numeric = dst.data() != nullptr;
+  if (numeric) {
+    const std::int64_t want_rows = axis == PanelAxis::kA ? extent : bcur;
+    const std::int64_t want_cols = axis == PanelAxis::kA ? bcur : extent;
+    if (dst.rows() != want_rows || dst.cols() != want_cols) {
+      throw std::invalid_argument("bcast_k_panel: workspace shape mismatch");
+    }
+  }
+
+  PanelBcastStats stats;
+  std::int64_t k = k0;
+  while (k < k0 + bcur) {
+    int owner = 0;
+    while (balanced_part_offset(n, parts, owner + 1) <= k) ++owner;
+    const std::int64_t seg_end = std::min<std::int64_t>(
+        k0 + bcur, balanced_part_offset(n, parts, owner + 1));
+    const std::int64_t seg = seg_end - k;
+    const bool mine = my_index == owner;
+    const std::int64_t local_k = k - balanced_part_offset(n, parts, owner);
+
+    util::MatrixView dseg;
+    util::ConstMatrixView sseg;
+    if (numeric) {
+      if (axis == PanelAxis::kA) {
+        dseg = dst.subview(0, k - k0, extent, seg);
+        if (mine) sseg = block.subview(0, local_k, extent, seg);
+      } else {
+        dseg = dst.subview(k - k0, 0, seg, extent);
+        if (mine) sseg = block.subview(local_k, 0, seg, extent);
+      }
+    }
+
+    if (parts > 1) {
+      const std::int64_t bytes =
+          extent * seg * static_cast<std::int64_t>(sizeof(double));
+      if (numeric) {
+        stats.mpi_time_s += comm.bcast_panel(
+            mine ? sseg : util::ConstMatrixView{}, dseg, owner);
+      } else {
+        stats.mpi_time_s += comm.bcast_bytes(nullptr, bytes, owner);
+      }
+      ++stats.bcasts;
+      stats.bytes += bytes;
+    } else if (numeric) {
+      util::copy_view(sseg, dseg);
+    }
+    k = seg_end;
+  }
+  return stats;
+}
+
+}  // namespace summagen::core

@@ -1,0 +1,72 @@
+// Shared strided-panel broadcast for the SUMMA-family algorithms.
+//
+// Classic SUMMA and 2.5D both walk the k dimension in panels of width b,
+// broadcasting A's columns [k0, k0+b) along processor rows and B's rows
+// down processor columns. When block extents are uneven a panel may
+// straddle two owner blocks, so it is split into segments at the owner
+// boundaries of a balanced 1D distribution. This logic used to exist four
+// times (A/B x summa/summa25d), each staging through a compact scratch
+// vector; it now lives here once, on top of sgmpi's strided bcast_panel,
+// which moves the doubles directly between the owner's block and every
+// rank's workspace with no intermediate packing.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/mpi/mpi.hpp"
+#include "src/util/matrix_view.hpp"
+
+namespace summagen::core {
+
+/// Balanced 1D split of `extent` over `parts`: the first `extent % parts`
+/// parts get one extra element. Offset of part `index` (`index == parts`
+/// yields `extent`).
+inline std::int64_t balanced_part_offset(std::int64_t extent, int parts,
+                                         int index) {
+  const std::int64_t base = extent / parts;
+  const std::int64_t extra = extent % parts;
+  return base * index + std::min<std::int64_t>(index, extra);
+}
+
+/// Size of part `index` of the balanced split.
+inline std::int64_t balanced_part_size(std::int64_t extent, int parts,
+                                       int index) {
+  return balanced_part_offset(extent, parts, index + 1) -
+         balanced_part_offset(extent, parts, index);
+}
+
+/// Which operand the panel slices: A panels are `extent x seg` column
+/// bands landing at column (k - k0) of the workspace; B panels are
+/// `seg x extent` row bands landing at row (k - k0).
+enum class PanelAxis { kA, kB };
+
+/// Communication side effects of one panel broadcast, for the caller's
+/// report accumulation.
+struct PanelBcastStats {
+  int bcasts = 0;           ///< broadcasts issued (one per owner segment)
+  std::int64_t bytes = 0;   ///< payload bytes across those broadcasts
+  double mpi_time_s = 0.0;  ///< virtual seconds blocked in them
+};
+
+/// Broadcasts the k-panel [k0, k0+bcur) of A (axis kA) or B (axis kB)
+/// across `comm`, splitting at the owner boundaries of the balanced 1D
+/// split of [0, n) over `parts` (root within `comm` = part index).
+///
+/// Numeric plane: `block` is this rank's local operand block (its k axis
+/// covers the rank's own part) and `dst` is the workspace panel — extent
+/// x bcur for A, bcur x extent for B. Owners source segments straight
+/// from `block` and every rank's segment lands in `dst`; no staging
+/// copies on either side. Modeled plane: pass empty views — only the
+/// virtual clock and the counters move.
+///
+/// parts == 1 degenerates to a direct local copy (numeric) or a no-op
+/// (modeled) with no broadcasts counted, matching the historical inline
+/// code paths.
+PanelBcastStats bcast_k_panel(sgmpi::Comm& comm, PanelAxis axis,
+                              std::int64_t n, int parts, int my_index,
+                              std::int64_t extent, std::int64_t k0,
+                              std::int64_t bcur, util::ConstMatrixView block,
+                              util::MatrixView dst);
+
+}  // namespace summagen::core

@@ -136,11 +136,11 @@ void copy_cell_c(const partition::PartitionSpec& spec,
   const std::int64_t r0 = roff[static_cast<std::size_t>(bi)];
   const std::int64_t c0 = coff[static_cast<std::size_t>(bj)];
   const partition::Rect& rect = owner_data.c_rect();
-  const util::Matrix& local = owner_data.c();
+  const util::ConstMatrixView local = owner_data.c();
   const double* src = local.data() +
-                      (r0 - rect.row0) * local.cols() + (c0 - rect.col0);
+                      (r0 - rect.row0) * local.ld() + (c0 - rect.col0);
   double* dst = c_global.data() + r0 * c_global.cols() + c0;
-  util::copy_matrix(dst, c_global.cols(), src, local.cols(), h, w);
+  util::copy_matrix(dst, c_global.cols(), src, local.ld(), h, w);
 }
 
 }  // namespace summagen::core

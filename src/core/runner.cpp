@@ -147,18 +147,31 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
   sgmpi::Runtime runtime(mpi_config);
   const bool fault_tolerant = !config.faults.empty();
 
-  // Numeric plane: build the global inputs and each rank's local store.
-  util::Matrix a, b;
+  // Numeric plane: build the global inputs (and the gather target) and each
+  // rank's local store.
+  util::Matrix a, b, c;
   std::vector<std::unique_ptr<LocalData>> locals(
       static_cast<std::size_t>(p));
   if (config.numeric) {
     a = util::Matrix(config.n, config.n);
     b = util::Matrix(config.n, config.n);
+    c = util::Matrix(config.n, config.n);
     util::fill_random(a, util::derive_seed(config.seed, 1));
     util::fill_random(b, util::derive_seed(config.seed, 2));
+  }
+  // Accounting window opens after the global inputs exist: what follows is
+  // the data plane proper (local stores, broadcasts, workspaces, gather).
+  const util::DataPlaneStats alloc_base = util::data_plane_stats();
+  if (config.numeric) {
+    // Single-phase runs write C in place: each rank's owned cells are
+    // disjoint, so its LocalData views the global C directly and the final
+    // gather is a no-op. Fault-tolerant runs must keep a private pooled C
+    // per phase — a re-executed phase accumulates its cells from zero, and
+    // only copy_cell_c decides which phase's value survives.
+    util::Matrix* c_target = fault_tolerant ? nullptr : &c;
     for (int r = 0; r < p; ++r) {
       locals[static_cast<std::size_t>(r)] =
-          std::make_unique<LocalData>(result.spec, r, a, b);
+          std::make_unique<LocalData>(result.spec, r, a, b, c_target);
     }
   }
 
@@ -343,8 +356,9 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
     result.has_energy = true;
   }
 
+  result.alloc = util::data_plane_stats().since(alloc_base);
+
   if (config.numeric) {
-    util::Matrix c(config.n, config.n);
     if (!fault_tolerant) {
       for (int r = 0; r < p; ++r) {
         locals[static_cast<std::size_t>(r)]->gather_c(result.spec, c);
@@ -366,6 +380,9 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
         }
       }
     }
+    // Re-take the window with the gather included, before the serial
+    // verification reference (which is measurement harness, not data plane).
+    result.alloc = util::data_plane_stats().since(alloc_base);
     const util::Matrix expected = reference_multiply(a, b);
     result.max_abs_error = util::Matrix::max_abs_diff(c, expected);
     result.verified = result.max_abs_error <= gemm_tolerance(config.n);

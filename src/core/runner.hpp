@@ -18,6 +18,7 @@
 #include "src/energy/energy.hpp"
 #include "src/partition/areas.hpp"
 #include "src/partition/shapes.hpp"
+#include "src/util/accounting.hpp"
 
 namespace summagen::core {
 
@@ -107,6 +108,13 @@ struct ExperimentResult {
 
   bool verified = false;        ///< numeric plane: C matched the reference
   double max_abs_error = 0.0;   ///< numeric plane: worst |C - C_ref|
+
+  /// Data-plane allocation/copy accounting over the execution window:
+  /// per-rank local stores, broadcasts, compute workspaces and the C
+  /// gather. Excludes building the global inputs and the serial
+  /// verification reference. Counter fields are deltas for this run;
+  /// pool residency fields are process-wide absolutes at run end.
+  util::DataPlaneStats alloc;
 
   // --- Fault-tolerance accounting (all zero without a fault plan) ---
   int recoveries = 0;  ///< shrink-and-repartition rounds executed

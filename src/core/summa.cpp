@@ -4,21 +4,12 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/core/panel_bcast.hpp"
+#include "src/util/buffer_pool.hpp"
+#include "src/util/matrix_view.hpp"
+
 namespace summagen::core {
 namespace {
-
-// Balanced 1D split: part sizes of `extent` over `parts`, first
-// `extent % parts` parts get one extra element.
-std::int64_t part_offset(std::int64_t extent, int parts, int index) {
-  const std::int64_t base = extent / parts;
-  const std::int64_t extra = extent % parts;
-  return base * index + std::min<std::int64_t>(index, extra);
-}
-
-std::int64_t part_size(std::int64_t extent, int parts, int index) {
-  return part_offset(extent, parts, index + 1) -
-         part_offset(extent, parts, index);
-}
 
 void validate_config(std::int64_t n, const SummaConfig& config) {
   if (n <= 0) throw std::invalid_argument("summa: n <= 0");
@@ -43,10 +34,10 @@ SummaBlock summa_block(std::int64_t n, const SummaConfig& config, int rank) {
   const int gi = rank / config.pc;
   const int gj = rank % config.pc;
   SummaBlock b;
-  b.row0 = part_offset(n, config.pr, gi);
-  b.rows = part_size(n, config.pr, gi);
-  b.col0 = part_offset(n, config.pc, gj);
-  b.cols = part_size(n, config.pc, gj);
+  b.row0 = balanced_part_offset(n, config.pr, gi);
+  b.rows = balanced_part_size(n, config.pr, gi);
+  b.col0 = balanced_part_offset(n, config.pc, gj);
+  b.cols = balanced_part_size(n, config.pc, gj);
   return b;
 }
 
@@ -79,8 +70,8 @@ SummaReport summa_rank(sgmpi::Comm& world, std::int64_t n,
   const int rank = world.rank();
   const int gi = rank / config.pc;
   const int gj = rank % config.pc;
-  const std::int64_t my_rows = part_size(n, config.pr, gi);
-  const std::int64_t my_cols = part_size(n, config.pc, gj);
+  const std::int64_t my_rows = balanced_part_size(n, config.pr, gi);
+  const std::int64_t my_cols = balanced_part_size(n, config.pc, gj);
 
   // Row and column communicators of the 2D grid.
   std::vector<int> row_members, col_members;
@@ -89,11 +80,13 @@ SummaReport summa_rank(sgmpi::Comm& world, std::int64_t n,
   sgmpi::Comm row = config.pc > 1 ? world.subgroup(row_members) : world;
   sgmpi::Comm col = config.pr > 1 ? world.subgroup(col_members) : world;
 
-  // Panel buffers (numeric plane only): WA is my_rows x b, WB is b x my_cols.
-  std::vector<double> wa, wb;
+  // Panel workspaces (numeric plane only), leased from the shared pool:
+  // WA is my_rows x b, WB is b x my_cols. Not zeroed — every panel step
+  // fully overwrites the columns/rows the GEMM below reads.
+  util::PooledBuffer wa_store, wb_store;
   if (data != nullptr) {
-    wa.resize(static_cast<std::size_t>(my_rows * config.panel));
-    wb.resize(static_cast<std::size_t>(my_cols * config.panel));
+    wa_store = util::BufferPool::instance().acquire(my_rows * config.panel);
+    wb_store = util::BufferPool::instance().acquire(my_cols * config.panel);
   }
 
   SummaReport report;
@@ -101,95 +94,26 @@ SummaReport summa_rank(sgmpi::Comm& world, std::int64_t n,
     const std::int64_t bcur = std::min(config.panel, n - k0);
     ++report.steps;
 
-    // Which grid column owns A's panel columns [k0, k0+bcur), and which
-    // grid row owns B's panel rows. A panel may straddle two owner blocks
-    // when block extents are uneven; split at owner boundaries.
-    std::int64_t k = k0;
-    while (k < k0 + bcur) {
-      // --- A panel segment along my processor row ---
-      int owner_col = 0;
-      while (part_offset(n, config.pc, owner_col + 1) <= k) ++owner_col;
-      const std::int64_t seg_end = std::min<std::int64_t>(
-          k0 + bcur, part_offset(n, config.pc, owner_col + 1));
-      const std::int64_t seg = seg_end - k;
-
-      if (config.pc > 1) {
-        const std::int64_t bytes =
-            my_rows * seg * static_cast<std::int64_t>(sizeof(double));
-        if (data != nullptr && gj == owner_col) {
-          // Pack my A columns [k, seg_end) into the panel buffer.
-          const std::int64_t local_col =
-              k - part_offset(n, config.pc, owner_col);
-          util::copy_matrix(wa.data() + (k - k0), bcur,
-                            data->a_block().data() + local_col,
-                            data->a_block().cols(), my_rows, seg);
-        }
-        // Broadcast the segment across the row (root = owner column).
-        if (data != nullptr) {
-          // Use a compact scratch so ranks receive contiguous data.
-          std::vector<double> seg_buf(
-              static_cast<std::size_t>(my_rows * seg));
-          if (gj == owner_col) {
-            util::copy_matrix(seg_buf.data(), seg, wa.data() + (k - k0),
-                              bcur, my_rows, seg);
-          }
-          report.mpi_time_s +=
-              row.bcast(seg_buf.data(), my_rows * seg, owner_col);
-          util::copy_matrix(wa.data() + (k - k0), bcur, seg_buf.data(), seg,
-                            my_rows, seg);
-        } else {
-          report.mpi_time_s += row.bcast_bytes(nullptr, bytes, owner_col);
-        }
-        ++report.bcasts;
-        report.bcast_bytes += bytes;
-      } else if (data != nullptr) {
-        const std::int64_t local_col = k;
-        util::copy_matrix(wa.data() + (k - k0), bcur,
-                          data->a_block().data() + local_col,
-                          data->a_block().cols(), my_rows, seg);
-      }
-      k = seg_end;
+    util::MatrixView wa, wb;
+    util::ConstMatrixView a_block, b_block;
+    if (data != nullptr) {
+      wa = util::MatrixView(wa_store.data(), my_rows, bcur, bcur);
+      wb = util::MatrixView(wb_store.data(), bcur, my_cols, my_cols);
+      a_block = data->a_block();
+      b_block = data->b_block();
     }
 
-    k = k0;
-    while (k < k0 + bcur) {
-      // --- B panel segment down my processor column ---
-      int owner_row = 0;
-      while (part_offset(n, config.pr, owner_row + 1) <= k) ++owner_row;
-      const std::int64_t seg_end = std::min<std::int64_t>(
-          k0 + bcur, part_offset(n, config.pr, owner_row + 1));
-      const std::int64_t seg = seg_end - k;
-
-      if (config.pr > 1) {
-        const std::int64_t bytes =
-            seg * my_cols * static_cast<std::int64_t>(sizeof(double));
-        if (data != nullptr) {
-          std::vector<double> seg_buf(
-              static_cast<std::size_t>(seg * my_cols));
-          if (gi == owner_row) {
-            const std::int64_t local_row =
-                k - part_offset(n, config.pr, owner_row);
-            util::copy_matrix(seg_buf.data(), my_cols,
-                              data->b_block().data() +
-                                  local_row * data->b_block().cols(),
-                              data->b_block().cols(), seg, my_cols);
-          }
-          report.mpi_time_s +=
-              col.bcast(seg_buf.data(), seg * my_cols, owner_row);
-          util::copy_matrix(wb.data() + (k - k0) * my_cols, my_cols,
-                            seg_buf.data(), my_cols, seg, my_cols);
-        } else {
-          report.mpi_time_s += col.bcast_bytes(nullptr, bytes, owner_row);
-        }
-        ++report.bcasts;
-        report.bcast_bytes += bytes;
-      } else if (data != nullptr) {
-        util::copy_matrix(wb.data() + (k - k0) * my_cols, my_cols,
-                          data->b_block().data() + k * data->b_block().cols(),
-                          data->b_block().cols(), seg, my_cols);
-      }
-      k = seg_end;
-    }
+    // A panel across my processor row, B panel down my processor column;
+    // segments split at the grid's block-ownership boundaries.
+    const PanelBcastStats sa = bcast_k_panel(row, PanelAxis::kA, n, config.pc,
+                                             gj, my_rows, k0, bcur, a_block,
+                                             wa);
+    const PanelBcastStats sb = bcast_k_panel(col, PanelAxis::kB, n, config.pr,
+                                             gi, my_cols, k0, bcur, b_block,
+                                             wb);
+    report.mpi_time_s += sa.mpi_time_s + sb.mpi_time_s;
+    report.bcasts += sa.bcasts + sb.bcasts;
+    report.bcast_bytes += sa.bytes + sb.bytes;
 
     // --- rank-b update of my C block ---
     device::KernelCost cost;

@@ -4,14 +4,12 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/core/panel_bcast.hpp"
+#include "src/util/buffer_pool.hpp"
+#include "src/util/matrix_view.hpp"
+
 namespace summagen::core {
 namespace {
-
-std::int64_t part_offset(std::int64_t extent, int parts, int index) {
-  const std::int64_t base = extent / parts;
-  const std::int64_t extra = extent % parts;
-  return base * index + std::min<std::int64_t>(index, extra);
-}
 
 void validate_config(std::int64_t n, const Summa25dConfig& config) {
   if (n <= 0) throw std::invalid_argument("summa25d: n <= 0");
@@ -58,7 +56,9 @@ Summa25dLocalData::Summa25dLocalData(std::int64_t n,
     b_ = util::extract_block(b, extent_.row0, extent_.col0, extent_.rows,
                              extent_.cols);
   } else {
-    // Receive buffers for the replication broadcast.
+    // Receive buffers for the replication broadcast. These must stay
+    // owning Matrices: they are written by the depth bcast, not sourced
+    // from the layer-0 globals this rank can see.
     a_ = util::Matrix(extent_.rows, extent_.cols);
     b_ = util::Matrix(extent_.rows, extent_.cols);
   }
@@ -123,97 +123,41 @@ Summa25dReport summa25d_rank(sgmpi::Comm& world, std::int64_t n,
   sgmpi::Comm row = config.q > 1 ? world.subgroup(row_members) : world;
   sgmpi::Comm col = config.q > 1 ? world.subgroup(col_members) : world;
 
-  const std::int64_t k_lo = part_offset(n, config.c, layer);
-  const std::int64_t k_hi = part_offset(n, config.c, layer + 1);
+  const std::int64_t k_lo = balanced_part_offset(n, config.c, layer);
+  const std::int64_t k_hi = balanced_part_offset(n, config.c, layer + 1);
 
-  std::vector<double> wa, wb;
+  // Panel workspaces (numeric plane only), leased from the shared pool;
+  // not zeroed — every step fully overwrites what the GEMM reads.
+  util::PooledBuffer wa_store, wb_store;
   if (data != nullptr) {
-    wa.resize(static_cast<std::size_t>(my.rows * config.panel));
-    wb.resize(static_cast<std::size_t>(my.cols * config.panel));
+    wa_store = util::BufferPool::instance().acquire(my.rows * config.panel);
+    wb_store = util::BufferPool::instance().acquire(my.cols * config.panel);
   }
 
   for (std::int64_t k0 = k_lo; k0 < k_hi; k0 += config.panel) {
     const std::int64_t bcur = std::min(config.panel, k_hi - k0);
     ++report.steps;
 
-    // A panel [k0, k0+bcur) along my layer row; segments split at the
-    // q-grid column ownership boundaries.
-    std::int64_t k = k0;
-    while (k < k0 + bcur) {
-      int owner_col = 0;
-      while (part_offset(n, config.q, owner_col + 1) <= k) ++owner_col;
-      const std::int64_t seg_end = std::min<std::int64_t>(
-          k0 + bcur, part_offset(n, config.q, owner_col + 1));
-      const std::int64_t seg = seg_end - k;
-      if (config.q > 1) {
-        const std::int64_t bytes =
-            my.rows * seg * static_cast<std::int64_t>(sizeof(double));
-        if (data != nullptr) {
-          std::vector<double> seg_buf(
-              static_cast<std::size_t>(my.rows * seg));
-          if (gj == owner_col) {
-            const std::int64_t local_col =
-                k - part_offset(n, config.q, owner_col);
-            util::copy_matrix(seg_buf.data(), seg,
-                              data->a_block().data() + local_col,
-                              data->a_block().cols(), my.rows, seg);
-          }
-          report.mpi_time_s +=
-              row.bcast(seg_buf.data(), my.rows * seg, owner_col);
-          util::copy_matrix(wa.data() + (k - k0), bcur, seg_buf.data(), seg,
-                            my.rows, seg);
-        } else {
-          report.mpi_time_s += row.bcast_bytes(nullptr, bytes, owner_col);
-        }
-        ++report.bcasts;
-        report.bcast_bytes += bytes;
-      } else if (data != nullptr) {
-        util::copy_matrix(wa.data() + (k - k0), bcur,
-                          data->a_block().data() + k,
-                          data->a_block().cols(), my.rows, seg);
-      }
-      k = seg_end;
+    util::MatrixView wa, wb;
+    util::ConstMatrixView a_block, b_block;
+    if (data != nullptr) {
+      wa = util::MatrixView(wa_store.data(), my.rows, bcur, bcur);
+      wb = util::MatrixView(wb_store.data(), bcur, my.cols, my.cols);
+      a_block = data->a_block();
+      b_block = data->b_block();
     }
 
-    // B panel down my layer column.
-    k = k0;
-    while (k < k0 + bcur) {
-      int owner_row = 0;
-      while (part_offset(n, config.q, owner_row + 1) <= k) ++owner_row;
-      const std::int64_t seg_end = std::min<std::int64_t>(
-          k0 + bcur, part_offset(n, config.q, owner_row + 1));
-      const std::int64_t seg = seg_end - k;
-      if (config.q > 1) {
-        const std::int64_t bytes =
-            seg * my.cols * static_cast<std::int64_t>(sizeof(double));
-        if (data != nullptr) {
-          std::vector<double> seg_buf(
-              static_cast<std::size_t>(seg * my.cols));
-          if (gi == owner_row) {
-            const std::int64_t local_row =
-                k - part_offset(n, config.q, owner_row);
-            util::copy_matrix(seg_buf.data(), my.cols,
-                              data->b_block().data() +
-                                  local_row * data->b_block().cols(),
-                              data->b_block().cols(), seg, my.cols);
-          }
-          report.mpi_time_s +=
-              col.bcast(seg_buf.data(), seg * my.cols, owner_row);
-          util::copy_matrix(wb.data() + (k - k0) * my.cols, my.cols,
-                            seg_buf.data(), my.cols, seg, my.cols);
-        } else {
-          report.mpi_time_s += col.bcast_bytes(nullptr, bytes, owner_row);
-        }
-        ++report.bcasts;
-        report.bcast_bytes += bytes;
-      } else if (data != nullptr) {
-        util::copy_matrix(
-            wb.data() + (k - k0) * my.cols, my.cols,
-            data->b_block().data() + k * data->b_block().cols(),
-            data->b_block().cols(), seg, my.cols);
-      }
-      k = seg_end;
-    }
+    // A panel along my layer row, B panel down my layer column; segments
+    // split at the q-grid block-ownership boundaries over the full k axis.
+    const PanelBcastStats sa = bcast_k_panel(row, PanelAxis::kA, n, config.q,
+                                             gj, my.rows, k0, bcur, a_block,
+                                             wa);
+    const PanelBcastStats sb = bcast_k_panel(col, PanelAxis::kB, n, config.q,
+                                             gi, my.cols, k0, bcur, b_block,
+                                             wb);
+    report.mpi_time_s += sa.mpi_time_s + sb.mpi_time_s;
+    report.bcasts += sa.bcasts + sb.bcasts;
+    report.bcast_bytes += sa.bytes + sb.bytes;
 
     // Rank-b update of the layer-local partial C.
     device::KernelCost cost;

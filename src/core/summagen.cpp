@@ -9,7 +9,8 @@
 #include <vector>
 
 #include "src/core/plan.hpp"
-#include "src/util/matrix.hpp"
+#include "src/util/buffer_pool.hpp"
+#include "src/util/matrix_view.hpp"
 
 namespace summagen::core {
 
@@ -28,16 +29,16 @@ namespace {
 /// Rank-invariant geometry shared by every plan step executor.
 struct Frame {
   const partition::PartitionSpec& spec;
-  LocalData* data;          ///< nullptr on the modeled plane
-  util::Matrix* wa;
-  util::Matrix* wb;
+  LocalData* data;      ///< nullptr on the modeled plane
+  util::MatrixView wa;  ///< my_rows x n workspace (empty on modeled plane)
+  util::MatrixView wb;  ///< n x my_cols workspace (empty on modeled plane)
   std::vector<std::int64_t> roff;
   std::vector<std::int64_t> coff;
   std::int64_t wa_base = 0;  ///< first matrix row covered by WA
   std::int64_t wb_base = 0;  ///< first matrix column covered by WB
 
   Frame(const partition::PartitionSpec& spec_in, int rank, LocalData* data_in,
-        util::Matrix* wa_in, util::Matrix* wb_in)
+        util::MatrixView wa_in, util::MatrixView wb_in)
       : spec(spec_in),
         data(data_in),
         wa(wa_in),
@@ -53,36 +54,28 @@ struct Frame {
   }
 
   /// Destination of panel rows [op.p0, op.p0 + op.rows) of `op`'s payload
-  /// inside WA (A ops) or WB (B ops), with the destination stride.
-  std::pair<double*, std::int64_t> dest(const CommOp& op) const {
+  /// inside WA (A ops) or WB (B ops).
+  util::MatrixView dest(const CommOp& op) const {
     if (op.is_a) {
       const std::int64_t row0 =
           roff[static_cast<std::size_t>(op.bi)] - wa_base + op.p0;
-      return {wa->data() + row0 * wa->cols() +
-                  coff[static_cast<std::size_t>(op.bj)],
-              wa->cols()};
+      return wa.subview(row0, coff[static_cast<std::size_t>(op.bj)], op.rows,
+                        op.width);
     }
     const std::int64_t col0 =
         coff[static_cast<std::size_t>(op.bj)] - wb_base;
-    return {wb->data() +
-                (roff[static_cast<std::size_t>(op.bi)] + op.p0) * wb->cols() +
-                col0,
-            wb->cols()};
+    return wb.subview(roff[static_cast<std::size_t>(op.bi)] + op.p0, col0,
+                      op.rows, op.width);
   }
 
-  /// The owner's stored payload for `op` (contiguous, stride op.width).
-  const double* owned_src(const CommOp& op) const {
-    const util::Matrix& part =
+  /// The owner's payload for `op`, viewed in place inside the global
+  /// operand (panel rows [op.p0, op.p0 + op.rows) of the owned part).
+  util::ConstMatrixView owned_src(const CommOp& op) const {
+    const util::ConstMatrixView part =
         op.is_a ? data->a_part(op.bi, op.bj) : data->b_part(op.bi, op.bj);
-    return part.data() + op.p0 * op.width;
+    return part.subview(op.p0, 0, op.rows, op.width);
   }
 };
-
-/// Copies `rows x width` from a contiguous payload into WA/WB.
-void store_panel(const Frame& frame, const CommOp& op, const double* src) {
-  const auto [dst, stride] = frame.dest(op);
-  util::copy_matrix(dst, stride, src, op.width, op.rows, op.width);
-}
 
 /// Executes a single-owner local copy (zero virtual cost).
 void exec_copy(const Frame& frame, const CopyOp& op) {
@@ -90,21 +83,19 @@ void exec_copy(const Frame& frame, const CopyOp& op) {
   const std::int64_t h = frame.spec.subph[static_cast<std::size_t>(op.bi)];
   const std::int64_t w = frame.spec.subpw[static_cast<std::size_t>(op.bj)];
   if (op.is_a) {
-    const util::Matrix& part = frame.data->a_part(op.bi, op.bj);
     const std::int64_t row0 =
         frame.roff[static_cast<std::size_t>(op.bi)] - frame.wa_base;
-    util::copy_matrix(frame.wa->data() + row0 * frame.wa->cols() +
-                          frame.coff[static_cast<std::size_t>(op.bj)],
-                      frame.wa->cols(), part.data(), part.cols(), h, w);
+    util::copy_view(frame.data->a_part(op.bi, op.bj),
+                    frame.wa.subview(
+                        row0, frame.coff[static_cast<std::size_t>(op.bj)], h,
+                        w));
   } else {
-    const util::Matrix& part = frame.data->b_part(op.bi, op.bj);
     const std::int64_t col0 =
         frame.coff[static_cast<std::size_t>(op.bj)] - frame.wb_base;
-    util::copy_matrix(frame.wb->data() +
-                          frame.roff[static_cast<std::size_t>(op.bi)] *
-                              frame.wb->cols() +
-                          col0,
-                      frame.wb->cols(), part.data(), part.cols(), h, w);
+    util::copy_view(frame.data->b_part(op.bi, op.bj),
+                    frame.wb.subview(
+                        frame.roff[static_cast<std::size_t>(op.bi)], col0, h,
+                        w));
   }
 }
 
@@ -125,15 +116,14 @@ void exec_gemm(sgmpi::Comm& world, const Frame& frame,
         frame.roff[static_cast<std::size_t>(g.bi)] - frame.wa_base;
     const std::int64_t wb_col0 =
         frame.coff[static_cast<std::size_t>(g.bj)] - frame.wb_base;
-    double* cptr = frame.data->c().data() +
+    const util::MatrixView cv = frame.data->c();
+    double* cptr = cv.data() +
                    (frame.roff[static_cast<std::size_t>(g.bi)] - cr.row0) *
-                       frame.data->c().cols() +
+                       cv.ld() +
                    (frame.coff[static_cast<std::size_t>(g.bj)] - cr.col0);
-    cost = ap.run_gemm(h, w, spec.n,
-                       frame.wa->data() + wa_row0 * frame.wa->cols(),
-                       frame.wa->cols(), frame.wb->data() + wb_col0,
-                       frame.wb->cols(), cptr, frame.data->c().cols(),
-                       contended);
+    cost = ap.run_gemm(h, w, spec.n, frame.wa.row(wa_row0), frame.wa.ld(),
+                       frame.wb.data() + wb_col0, frame.wb.ld(), cptr,
+                       cv.ld(), contended);
   }
 
   // A planned rank-slowdown fault scales the device's modeled time; the
@@ -204,7 +194,6 @@ void run_eager(sgmpi::Comm& world, const Frame& frame,
                const ExecutionPlan& plan, bool contended, const FtContext* ft,
                RankReport& report) {
   const int rank = world.rank();
-  std::vector<double> tmp;
 
   for (const CopyOp& op : plan.copy_ops) {
     const int owner = frame.spec.owner(op.bi, op.bj);
@@ -220,15 +209,14 @@ void run_eager(sgmpi::Comm& world, const Frame& frame,
     if (frame.data == nullptr) {
       report.mpi_time_s += group.bcast_bytes(nullptr, op.bytes, op.root);
     } else if (op.owner == rank) {
-      // Owned sub-partitions are stored contiguously, so the local block
-      // doubles as the (read-only) broadcast source buffer.
-      const double* src = frame.owned_src(op);
-      report.mpi_time_s += group.bcast_send_bytes(src, op.bytes, op.root);
-      store_panel(frame, op, src);
+      // The owner broadcasts its sub-partition viewed in place inside the
+      // global operand; the transport lands its own copy in WA/WB too.
+      report.mpi_time_s +=
+          group.bcast_panel(frame.owned_src(op), frame.dest(op), op.root);
     } else {
-      tmp.resize(static_cast<std::size_t>(op.rows * op.width));
-      report.mpi_time_s += group.bcast_bytes(tmp.data(), op.bytes, op.root);
-      store_panel(frame, op, tmp.data());
+      // Receivers copy straight from the root's view into WA/WB — no
+      // contiguous staging buffer on either side.
+      report.mpi_time_s += group.bcast_panel({}, frame.dest(op), op.root);
     }
     ++report.bcasts;
     report.bcast_bytes += op.bytes;
@@ -265,18 +253,17 @@ void exec_gemm_chunk(sgmpi::Comm& world, const Frame& frame,
         frame.roff[static_cast<std::size_t>(g.bi)] - frame.wa_base;
     const std::int64_t wb_col0 =
         frame.coff[static_cast<std::size_t>(g.bj)] - frame.wb_base;
-    double* cptr = frame.data->c().data() +
+    const util::MatrixView cv = frame.data->c();
+    double* cptr = cv.data() +
                    (frame.roff[static_cast<std::size_t>(g.bi)] - cr.row0) *
-                       frame.data->c().cols() +
+                       cv.ld() +
                    (frame.coff[static_cast<std::size_t>(g.bj)] - cr.col0);
     // run_gemm accumulates (beta = 1); its returned cost describes a
     // standalone (h, w, kc) kernel and is discarded in favour of `full`'s
     // pro-rata share.
-    ap.run_gemm(h, w, kc,
-                frame.wa->data() + wa_row0 * frame.wa->cols() + ch.k0,
-                frame.wa->cols(),
-                frame.wb->data() + ch.k0 * frame.wb->cols() + wb_col0,
-                frame.wb->cols(), cptr, frame.data->c().cols(), contended);
+    ap.run_gemm(h, w, kc, frame.wa.row(wa_row0) + ch.k0, frame.wa.ld(),
+                frame.wb.row(ch.k0) + wb_col0, frame.wb.ld(), cptr, cv.ld(),
+                contended);
   }
 
   const double share =
@@ -352,14 +339,14 @@ void run_pipelined(sgmpi::Comm& world, const Frame& frame,
     }
   }
 
-  // One outstanding entry per posted broadcast; `buffer` holds the panel
-  // until completion copies it into WA/WB (the double-buffering the
-  // overlap window pays for on the numeric plane).
+  // One outstanding entry per posted broadcast. The panel payload needs no
+  // local staging: completion copies straight from the root's in-place view
+  // of the global operand into this rank's WA/WB window, so the steady
+  // state of the pipeline allocates nothing.
   struct Pending {
     sgmpi::Request request;
     sgmpi::Comm group;
     const CommOp* op;
-    std::vector<double> buffer;
   };
   std::deque<Pending> pending;
   const std::size_t depth =
@@ -371,15 +358,14 @@ void run_pipelined(sgmpi::Comm& world, const Frame& frame,
   auto post_one = [&] {
     const CommOp& op = *ops[next_post++].op;
     sgmpi::Comm group = world.subgroup(op.owners);
-    Pending p{sgmpi::Request{}, group, &op, {}};
+    Pending p{sgmpi::Request{}, group, &op};
     if (frame.data == nullptr) {
       p.request = group.ibcast_bytes(nullptr, op.bytes, op.root);
     } else if (op.owner == rank) {
-      p.request = group.ibcast_send_bytes(frame.owned_src(op), op.bytes,
-                                          op.root);
+      p.request =
+          group.ibcast_panel(frame.owned_src(op), frame.dest(op), op.root);
     } else {
-      p.buffer.resize(static_cast<std::size_t>(op.rows * op.width));
-      p.request = group.ibcast_bytes(p.buffer.data(), op.bytes, op.root);
+      p.request = group.ibcast_panel({}, frame.dest(op), op.root);
     }
     ++report.bcasts;
     report.bcast_bytes += op.bytes;
@@ -389,12 +375,9 @@ void run_pipelined(sgmpi::Comm& world, const Frame& frame,
   auto complete_one = [&] {
     Pending p = std::move(pending.front());
     pending.pop_front();
+    // The wait itself lands the panel in WA/WB (receivers gather from the
+    // root's view, the root stores its own window).
     report.mpi_time_s += p.group.wait(p.request);
-    if (frame.data != nullptr) {
-      store_panel(frame, *p.op,
-                  p.op->owner == rank ? frame.owned_src(*p.op)
-                                      : p.buffer.data());
-    }
   };
 
   std::size_t next_complete = 0;
@@ -443,7 +426,14 @@ RankReport summagen_rank(sgmpi::Comm& world,
 
   RankReport report;
 
-  util::Matrix wa, wb;
+  // The WA/WB workspaces come from the process-wide buffer pool and are
+  // deliberately not zeroed: the plan writes every region a DGEMM reads
+  // (all cells of my block row land in WA and of my block column in WB
+  // before any chunk touches them) — including under recovery filtering,
+  // which keeps an A/B op whenever any surviving DGEMM reads its
+  // row/column.
+  util::PooledBuffer wa_store, wb_store;
+  util::MatrixView wa, wb;
   if (data != nullptr) {
     const std::int64_t wa_rows =
         roff[static_cast<std::size_t>(myi + block_lda)] -
@@ -451,8 +441,10 @@ RankReport summagen_rank(sgmpi::Comm& world,
     const std::int64_t wb_cols =
         coff[static_cast<std::size_t>(myj + block_ldb)] -
         coff[static_cast<std::size_t>(myj)];
-    wa = util::Matrix(wa_rows, spec.n);
-    wb = util::Matrix(spec.n, wb_cols);
+    wa_store = util::BufferPool::instance().acquire(wa_rows * spec.n);
+    wb_store = util::BufferPool::instance().acquire(spec.n * wb_cols);
+    wa = util::MatrixView(wa_store.data(), wa_rows, spec.n, spec.n);
+    wb = util::MatrixView(wb_store.data(), spec.n, wb_cols, wb_cols);
   }
 
   // Recovery phases with completed cells force the eager scheduler:
@@ -465,7 +457,7 @@ RankReport summagen_rank(sgmpi::Comm& world,
 
   ExecutionPlan plan = build_plan(spec, effective);
   if (filtering) filter_done(plan, *ft->done);
-  const Frame frame(spec, rank, data, &wa, &wb);
+  const Frame frame(spec, rank, data, wa, wb);
   const double hidden0 = world.clock().hidden_comm_seconds();
 
   switch (effective.scheduler) {

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
 
 #include "src/pool/pool.hpp"
+#include "src/util/buffer_pool.hpp"
 #include "src/util/matrix.hpp"
 
 namespace summagen::device {
@@ -132,9 +132,14 @@ OutOfCorePlan out_of_core_gemm(std::int64_t m, std::int64_t n, std::int64_t k,
       tiles.run([=] {
         const std::int64_t mm = std::min(tm, m - i0);
         const std::int64_t nn = std::min(tn, n - j0);
-        std::vector<double> dev_a(static_cast<std::size_t>(tm * tk));
-        std::vector<double> dev_b(static_cast<std::size_t>(tk * tn));
-        std::vector<double> dev_c(static_cast<std::size_t>(tm * tn));
+        // The simulated device slabs are leased from the shared buffer
+        // pool: after the first tile of each shape, staging allocates
+        // nothing. Contents need no zeroing — every cell read below is
+        // copied in first.
+        auto& pool = util::BufferPool::instance();
+        util::PooledBuffer dev_a = pool.acquire(tm * tk);
+        util::PooledBuffer dev_b = pool.acquire(tk * tn);
+        util::PooledBuffer dev_c = pool.acquire(tm * tn);
         // "Copy C tile to device" (accumulation base).
         util::copy_matrix(dev_c.data(), nn, c + i0 * ldc + j0, ldc, mm, nn);
         for (std::int64_t l0 = 0; l0 < k; l0 += tk) {

@@ -86,6 +86,12 @@ struct AsyncSlot {
   std::int64_t bytes = -1;     ///< payload size (validated across members)
   int root = -1;               ///< communicator rank of the root
   bool root_posted = false;
+  // Panel (strided) broadcasts: geometry of the root's source view, so
+  // receivers copy row-wise straight out of the root's matrix instead of a
+  // flat staging buffer. -1 = contiguous op / root not yet posted.
+  std::int64_t src_ld = -1;    ///< root-side leading dimension (doubles)
+  std::int64_t rows = -1;      ///< panel rows (validated across members)
+  std::int64_t cols = -1;      ///< panel cols (validated across members)
 };
 
 /// State shared by all members of one communicator.

@@ -29,6 +29,7 @@
 #include "src/trace/events.hpp"
 #include "src/trace/hockney.hpp"
 #include "src/trace/vclock.hpp"
+#include "src/util/matrix_view.hpp"
 
 namespace summagen::sgmpi {
 
@@ -111,6 +112,17 @@ class Request {
     double lane_start = 0.0;  ///< comm-lane slot reserved at post time
     bool blocking = false;    ///< posted by a blocking wrapper (event kind)
     std::string comm_desc;    ///< communicator label for error reports
+
+    // Strided (panel) descriptor, set by the *_panel operations: the
+    // payload is a panel_rows x panel_cols double block. recv_buf/dst_ld
+    // locate this rank's destination; panel_src/src_ld the root's source
+    // view (used for the root's own local store at completion).
+    bool panel = false;
+    std::int64_t panel_rows = 0;
+    std::int64_t panel_cols = 0;
+    std::int64_t src_ld = 0;
+    std::int64_t dst_ld = 0;
+    const double* panel_src = nullptr;
   };
 
   explicit Request(std::unique_ptr<Op> op) : op_(std::move(op)) {}
@@ -165,11 +177,37 @@ class Comm {
   /// rank must be `root`.
   Request ibcast_send_bytes(const void* data, std::int64_t bytes, int root);
 
+  /// Strided (zero-copy) broadcast of a rows x cols double panel from
+  /// communicator rank `root`. The root passes `src` — a view of its owned
+  /// data, typically a sub-block viewed in place inside a larger matrix —
+  /// and every member that wants the panel stored locally passes `dst`
+  /// (leading dimensions are free on both ends; non-root members pass {}
+  /// for `src`). Receivers copy row-wise straight out of the root's buffer
+  /// at completion, and the root's own `dst` (when non-empty) is filled at
+  /// its wait — neither side stages through a contiguous scratch buffer.
+  /// Wire size, modeled cost and event shape are exactly those of
+  /// `bcast_bytes` with rows*cols*sizeof(double) bytes.
+  double bcast_panel(util::ConstMatrixView src, util::MatrixView dst,
+                     int root);
+
+  /// Non-blocking form of `bcast_panel`; same contract as `ibcast_bytes`
+  /// (the root's `src` must stay valid until its own wait returns).
+  Request ibcast_panel(util::ConstMatrixView src, util::MatrixView dst,
+                       int root);
+
   /// Non-blocking point-to-point. isend is buffered-eager like send_bytes
   /// (the payload is snapshotted at post time); irecv records the post time
   /// and matches at completion.
   Request isend_bytes(const void* data, std::int64_t bytes, int dest, int tag);
   Request irecv_bytes(void* data, std::int64_t bytes, int source, int tag);
+
+  /// Strided point-to-point: `isend_panel` snapshots the view row-wise into
+  /// the eager buffer at post time (the same single staging copy a
+  /// contiguous isend makes); `irecv_panel` scatters the payload into `dst`
+  /// at completion. Wire size and modeled cost equal a contiguous transfer
+  /// of rows*cols doubles; the matching peer may use the flat byte calls.
+  Request isend_panel(util::ConstMatrixView src, int dest, int tag);
+  Request irecv_panel(util::MatrixView dst, int source, int tag);
 
   /// Blocks until `request` completes; null requests return immediately.
   /// Returns the modeled cost charged to this rank (0 for null/trivial
@@ -198,6 +236,10 @@ class Comm {
     recv_bytes(data, count * static_cast<std::int64_t>(sizeof(double)), source,
                tag);
   }
+
+  /// Blocking strided point-to-point (isend_panel/irecv_panel + wait).
+  void send_panel(util::ConstMatrixView src, int dest, int tag);
+  void recv_panel(util::MatrixView dst, int source, int tag);
 
   /// Allreduce of one double with max/sum combiners.
   double allreduce_max(double value);

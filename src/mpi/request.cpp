@@ -135,6 +135,90 @@ Request Comm::ibcast_bytes(void* data, std::int64_t bytes, int root) {
   return Request{std::move(op)};
 }
 
+Request Comm::ibcast_panel(util::ConstMatrixView src, util::MatrixView dst,
+                           int root) {
+  const int q = size();
+  validate_root(root, q);
+  const bool is_root = rank_ == root;
+  if (!is_root && src.data() != nullptr) {
+    throw std::invalid_argument(
+        "sgmpi: ibcast_panel src is root-only (non-root members pass {})");
+  }
+  const std::int64_t rows = is_root ? src.rows() : dst.rows();
+  const std::int64_t cols = is_root ? src.cols() : dst.cols();
+  if (is_root && dst.data() != nullptr &&
+      (dst.rows() != rows || dst.cols() != cols)) {
+    throw std::invalid_argument(
+        "sgmpi: ibcast_panel root dst shape differs from src");
+  }
+  const std::int64_t bytes =
+      rows * cols * static_cast<std::int64_t>(sizeof(double));
+  if (q == 1) {
+    // Single-member communicator: no traffic, but the root's local store
+    // still happens (callers rely on the panel landing in dst).
+    if (is_root && dst.data() != nullptr && rows > 0 && cols > 0) {
+      util::copy_view(src, dst);
+    }
+    return Request{};
+  }
+  ctx_->unwind_check(world_rank());
+
+  auto op = std::make_unique<Request::Op>();
+  op->kind = is_root ? Request::Kind::kBcastSendRoot
+                     : Request::Kind::kBcastRecv;
+  op->state_index = state_index_;
+  op->recv_buf = dst.data();
+  op->bytes = bytes;
+  op->root = root;
+  op->panel = true;
+  op->panel_rows = rows;
+  op->panel_cols = cols;
+  op->src_ld = src.ld();
+  op->dst_ld = dst.ld();
+  op->panel_src = src.data();
+  op->cost = trace::bcast_cost(link(), bytes, q);
+  if (ctx_->faults) {
+    op->cost *= ctx_->faults->link_factor(world_rank(), clock().now());
+  }
+  op->lane_start = clock().post_async_comm(op->cost);
+  op->comm_desc = comm_label(state_index_);
+
+  auto& st = ctx_->state(state_index_);
+  {
+    std::lock_guard<std::mutex> lock(st.async_mutex);
+    op->seq = st.next_post_seq[static_cast<std::size_t>(rank_)]++;
+    auto& slot = st.async_slots[op->seq];
+    ++slot.posted;
+    slot.entry_max = std::max(slot.entry_max, op->lane_start);
+    if (slot.bytes < 0) {
+      slot.bytes = bytes;
+    } else if (slot.bytes != bytes) {
+      throw std::invalid_argument(
+          "sgmpi: bcast size mismatch across members (got " +
+          std::to_string(bytes) + " vs " + std::to_string(slot.bytes) + ")");
+    }
+    if (slot.root < 0) {
+      slot.root = root;
+    } else if (slot.root != root) {
+      throw std::invalid_argument("sgmpi: bcast root mismatch across members");
+    }
+    if (slot.rows < 0) {
+      slot.rows = rows;
+      slot.cols = cols;
+    } else if (slot.rows != rows || slot.cols != cols) {
+      throw std::invalid_argument(
+          "sgmpi: panel bcast shape mismatch across members");
+    }
+    if (is_root) {
+      slot.src = src.data();
+      slot.src_ld = src.ld();
+      slot.root_posted = true;
+    }
+  }
+  st.async_cv.notify_all();
+  return Request{std::move(op)};
+}
+
 Request Comm::ibcast_send_bytes(const void* data, std::int64_t bytes,
                                 int root) {
   if (rank_ != root) {
@@ -225,6 +309,74 @@ Request Comm::irecv_bytes(void* data, std::int64_t bytes, int source,
   return Request{std::move(op)};
 }
 
+Request Comm::isend_panel(util::ConstMatrixView src, int dest, int tag) {
+  const int q = size();
+  if (dest < 0 || dest >= q) {
+    throw std::invalid_argument("sgmpi: send to invalid rank");
+  }
+  if (dest == rank_) {
+    throw std::invalid_argument("sgmpi: send to self is not supported");
+  }
+  ctx_->unwind_check(world_rank());
+
+  const std::int64_t bytes =
+      src.rows() * src.cols() * static_cast<std::int64_t>(sizeof(double));
+  auto op = std::make_unique<Request::Op>();
+  op->kind = Request::Kind::kSend;
+  op->state_index = state_index_;
+  op->bytes = bytes;
+  op->peer = dest;
+  op->tag = tag;
+  op->panel = true;
+  op->panel_rows = src.rows();
+  op->panel_cols = src.cols();
+  op->src_ld = src.ld();
+  op->cost = link_to(dest).p2p(bytes);
+  if (ctx_->faults) {
+    const double base =
+        op->cost * ctx_->faults->link_factor(world_rank(), clock().now());
+    op->cost = base + ctx_->faults->send_attempt_penalty(world_rank(),
+                                                         clock().now(), base);
+  }
+  op->lane_start = clock().post_async_comm(op->cost);
+  op->comm_desc = comm_label(state_index_);
+
+  // Buffered-eager like isend_bytes, but the snapshot gathers the strided
+  // view row-wise — the one staging copy a contiguous send makes anyway.
+  detail::Message msg;
+  msg.comm_state = state_index_;
+  msg.src_comm_rank = rank_;
+  msg.tag = tag;
+  msg.bytes = bytes;
+  msg.sender_entry_vtime = op->lane_start;
+  if (src.data() != nullptr && bytes > 0) {
+    msg.payload.resize(static_cast<std::size_t>(bytes));
+    util::copy_matrix(reinterpret_cast<double*>(msg.payload.data()),
+                      src.cols(), src.data(), src.ld(), src.rows(),
+                      src.cols());
+  }
+
+  const int dest_world = world_ranks()[static_cast<std::size_t>(dest)];
+  auto& box = ctx_->mailboxes[static_cast<std::size_t>(dest_world)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+  return Request{std::move(op)};
+}
+
+Request Comm::irecv_panel(util::MatrixView dst, int source, int tag) {
+  const std::int64_t bytes =
+      dst.rows() * dst.cols() * static_cast<std::int64_t>(sizeof(double));
+  Request r = irecv_bytes(dst.data(), bytes, source, tag);
+  r.op_->panel = true;
+  r.op_->panel_rows = dst.rows();
+  r.op_->panel_cols = dst.cols();
+  r.op_->dst_ld = dst.ld();
+  return r;
+}
+
 double Comm::wait(Request& request) {
   if (!request.pending()) return 0.0;
   const Request::Op& op = *request.op_;
@@ -271,7 +423,15 @@ double Comm::wait(Request& request) {
             " bytes, expected " + std::to_string(op.bytes) + ")");
       }
       if (op.recv_buf != nullptr && !msg.payload.empty()) {
-        std::memcpy(op.recv_buf, msg.payload.data(), msg.payload.size());
+        if (op.panel) {
+          // Scatter the contiguous wire payload into the strided dst.
+          util::copy_matrix(static_cast<double*>(op.recv_buf), op.dst_ld,
+                            reinterpret_cast<const double*>(
+                                msg.payload.data()),
+                            op.panel_cols, op.panel_rows, op.panel_cols);
+        } else {
+          std::memcpy(op.recv_buf, msg.payload.data(), msg.payload.size());
+        }
       }
       completion = std::max(op.lane_start, msg.sender_entry_vtime) + op.cost;
       break;
@@ -300,8 +460,22 @@ double Comm::wait(Request& request) {
         }
         if (!is_root) {
           if (op.recv_buf != nullptr && slot.src != nullptr) {
-            std::memcpy(op.recv_buf, slot.src,
-                        static_cast<std::size_t>(op.bytes));
+            if (op.panel) {
+              // Strided gather straight out of the root's view — the
+              // zero-staging path of ibcast_panel. A contiguous root
+              // (src_ld unset) is read with ld == cols.
+              const std::int64_t src_ld =
+                  slot.src_ld >= 0 ? slot.src_ld : op.panel_cols;
+              if (op.panel_rows > 0 && op.panel_cols > 0) {
+                util::copy_matrix(static_cast<double*>(op.recv_buf),
+                                  op.dst_ld,
+                                  static_cast<const double*>(slot.src),
+                                  src_ld, op.panel_rows, op.panel_cols);
+              }
+            } else {
+              std::memcpy(op.recv_buf, slot.src,
+                          static_cast<std::size_t>(op.bytes));
+            }
           }
           ++slot.copied;
         }
@@ -309,6 +483,16 @@ double Comm::wait(Request& request) {
         finish_slot(st, it, q);
       }
       st.async_cv.notify_all();
+      // Panel root with a local destination: store its own copy of the
+      // panel now, outside the slot lock (src and dst are this rank's
+      // buffers; values are identical whenever it happens before return).
+      if (op.kind == Request::Kind::kBcastSendRoot && op.panel &&
+          op.recv_buf != nullptr && op.panel_src != nullptr &&
+          op.panel_rows > 0 && op.panel_cols > 0) {
+        util::copy_matrix(static_cast<double*>(op.recv_buf), op.dst_ld,
+                          op.panel_src, op.src_ld, op.panel_rows,
+                          op.panel_cols);
+      }
       completion = entry_max + op.cost;
       break;
     }
@@ -368,6 +552,14 @@ bool Comm::test(Request& request) {
   return true;
 }
 
+double Comm::bcast_panel(util::ConstMatrixView src, util::MatrixView dst,
+                         int root) {
+  Request r = ibcast_panel(src, dst, root);
+  if (!r.pending()) return 0.0;  // single-member communicator
+  r.op_->blocking = true;
+  return wait(r);
+}
+
 double Comm::bcast_bytes(void* data, std::int64_t bytes, int root) {
   Request r = ibcast_bytes(data, bytes, root);
   if (!r.pending()) return 0.0;  // single-member communicator
@@ -392,6 +584,18 @@ void Comm::send_bytes(const void* data, std::int64_t bytes, int dest,
 
 void Comm::recv_bytes(void* data, std::int64_t bytes, int source, int tag) {
   Request r = irecv_bytes(data, bytes, source, tag);
+  r.op_->blocking = true;
+  wait(r);
+}
+
+void Comm::send_panel(util::ConstMatrixView src, int dest, int tag) {
+  Request r = isend_panel(src, dest, tag);
+  r.op_->blocking = true;
+  wait(r);
+}
+
+void Comm::recv_panel(util::MatrixView dst, int source, int tag) {
+  Request r = irecv_panel(dst, source, tag);
   r.op_->blocking = true;
   wait(r);
 }

@@ -1,0 +1,62 @@
+// Process-wide data-plane allocation and copy accounting.
+//
+// The zero-copy refactor (strided MatrixView + pooled workspaces) is only a
+// win if it is measurable: these counters record every heap allocation made
+// for matrix payloads (owning Matrix buffers, transient workspaces, pool
+// misses), every copy_matrix invocation, and the BufferPool's hit/resident
+// behaviour. The experiment runner snapshots them around a run and reports
+// the delta; `micro_dgemm --json` exports them as benchmark counters.
+//
+// All counters are relaxed atomics: they are statistics, not
+// synchronisation, and the hot paths only pay an uncontended atomic add.
+#pragma once
+
+#include <cstdint>
+
+namespace summagen::util {
+
+/// Cumulative process-wide data-plane counters (monotone except
+/// pool_resident_bytes, which tracks the live pooled footprint).
+struct DataPlaneStats {
+  std::int64_t allocs = 0;       ///< heap allocations for matrix payloads
+  std::int64_t alloc_bytes = 0;  ///< bytes of those allocations
+  std::int64_t copy_calls = 0;   ///< copy_matrix invocations
+  std::int64_t copy_bytes = 0;   ///< bytes moved by copy_matrix
+  std::int64_t pool_acquires = 0;  ///< BufferPool::acquire calls
+  std::int64_t pool_hits = 0;      ///< acquires served from a freelist
+  std::int64_t pool_resident_bytes = 0;  ///< pooled bytes currently alive
+  std::int64_t pool_peak_resident_bytes = 0;  ///< high-water mark of above
+
+  /// Fraction of pool acquires served without a heap allocation.
+  double pool_hit_rate() const {
+    return pool_acquires == 0
+               ? 0.0
+               : static_cast<double>(pool_hits) /
+                     static_cast<double>(pool_acquires);
+  }
+
+  /// Counter-wise difference (peaks and residency keep this snapshot's
+  /// absolute values — a peak is not meaningful as a delta).
+  DataPlaneStats since(const DataPlaneStats& base) const;
+};
+
+/// Snapshot of the process-wide counters.
+DataPlaneStats data_plane_stats();
+
+/// Records one heap allocation of `bytes` for matrix payload data. Called
+/// by the Matrix constructor and by BufferPool misses; transient workspace
+/// paths not yet routed through the pool call it directly.
+void record_alloc(std::int64_t bytes);
+
+/// Records one copy_matrix of `bytes`.
+void record_copy(std::int64_t bytes);
+
+/// Records one BufferPool::acquire (`hit` = served from a freelist).
+void record_pool_acquire(bool hit);
+
+/// Adjusts the live pooled footprint by `delta` bytes (positive on a fresh
+/// pool allocation, negative when the pool releases memory) and maintains
+/// the peak.
+void record_pool_resident_delta(std::int64_t delta);
+
+}  // namespace summagen::util

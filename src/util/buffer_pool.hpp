@@ -1,0 +1,126 @@
+// Process-wide size-classed pool for transient double workspaces.
+//
+// The data plane needs short-lived scratch buffers constantly — GEMM pack
+// panels, broadcast staging for strided sub-partitions, per-phase WA/WB
+// workspaces, OOC device slabs. Allocating them with std::vector meant a
+// malloc + zero-fill per use (and, for the old thread_local pack buffers,
+// memory retained forever on every pool worker). The BufferPool serves
+// these from power-of-two size-classed freelists: steady-state acquire is
+// a mutex-guarded pop, memory is bounded by the high-water mark of
+// *concurrent* use, and every transaction is accounted (hit rate, fresh
+// bytes, resident peak) via src/util/accounting.hpp.
+//
+// Buffers are NOT zero-initialised on acquire — callers overwrite them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace summagen::util {
+
+class BufferPool;
+
+/// RAII handle to a pooled double buffer; returns the storage to the pool
+/// on destruction. Move-only. `size()` is the requested element count;
+/// the underlying block may be larger (its size class).
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  ~PooledBuffer() { release(); }
+
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : pool_(other.pool_),
+        data_(std::move(other.data_)),
+        size_(other.size_),
+        capacity_(other.capacity_) {
+    other.pool_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      pool_ = other.pool_;
+      data_ = std::move(other.data_);
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.pool_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  double* data() noexcept { return data_.get(); }
+  const double* data() const noexcept { return data_.get(); }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Returns the storage to the pool now (the handle becomes empty).
+  void release();
+
+ private:
+  friend class BufferPool;
+  PooledBuffer(BufferPool* pool, std::unique_ptr<double[]> data,
+               std::size_t size, std::size_t capacity)
+      : pool_(pool), data_(std::move(data)), size_(size), capacity_(capacity) {}
+
+  BufferPool* pool_ = nullptr;
+  std::unique_ptr<double[]> data_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+/// Size-classed freelist pool. Thread-safe; one instance per process.
+class BufferPool {
+ public:
+  /// The process-wide pool. Intentionally leaked so buffers held by
+  /// thread_local caches or static state can release safely at shutdown.
+  static BufferPool& instance();
+
+  /// Acquires a buffer of at least `doubles` elements (uninitialised).
+  /// A zero-size request returns an empty handle without touching the pool.
+  PooledBuffer acquire(std::size_t doubles);
+
+  /// Frees every cached (idle) buffer. Outstanding PooledBuffers are
+  /// unaffected; their storage is freed on return. Mainly for tests and
+  /// memory-pressure hooks.
+  void trim();
+
+  /// Number of idle buffers currently cached (test visibility).
+  std::size_t cached_count() const;
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+ private:
+  friend class PooledBuffer;
+
+  // Size classes are powers of two from 2^kMinClassLog2 doubles upward.
+  static constexpr std::size_t kMinClassLog2 = 8;  // 256 doubles = 2 KiB
+  static constexpr std::size_t kNumClasses = 34;   // up to 2^41 doubles
+
+  struct SizeClass {
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<double[]>> free;
+  };
+
+  static std::size_t class_index(std::size_t doubles);
+  static std::size_t class_capacity(std::size_t index);
+
+  void put_back(std::unique_ptr<double[]> data, std::size_t capacity);
+
+  std::array<SizeClass, kNumClasses> classes_;
+};
+
+}  // namespace summagen::util

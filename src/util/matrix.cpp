@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
 #include <sstream>
+
+#include "src/util/accounting.hpp"
 
 namespace summagen::util {
 
@@ -14,6 +17,7 @@ Matrix::Matrix(std::int64_t rows, std::int64_t cols)
   }
   data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
                0.0);
+  record_alloc(static_cast<std::int64_t>(data_.size() * sizeof(double)));
 }
 
 Matrix::Matrix(std::int64_t rows, std::int64_t cols, double value)
@@ -59,6 +63,19 @@ void copy_matrix(double* dst, std::int64_t dst_ld, const double* src,
     throw std::invalid_argument("copy_matrix: leading dimension < cols");
   }
   if (rows == 0 || cols == 0) return;
+  // The docstring promises "no aliasing overlap"; enforce it. The check is
+  // conservative (address spans, ignoring gaps between rows), which is exact
+  // for every legitimate pack/unpack in this codebase: overlapping spans with
+  // row-wise memcpy would already be undefined behaviour.
+  {
+    const double* dst_end = dst + (rows - 1) * dst_ld + cols;
+    const double* src_end = src + (rows - 1) * src_ld + cols;
+    if (std::less<const double*>{}(src, dst_end) &&
+        std::less<const double*>{}(dst, src_end)) {
+      throw std::invalid_argument("copy_matrix: src and dst overlap");
+    }
+  }
+  record_copy(rows * cols * static_cast<std::int64_t>(sizeof(double)));
   if (dst_ld == cols && src_ld == cols) {
     std::memcpy(dst, src,
                 static_cast<std::size_t>(rows * cols) * sizeof(double));

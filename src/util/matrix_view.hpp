@@ -1,0 +1,249 @@
+// Non-owning strided views over row-major double buffers.
+//
+// SummaGen's pseudo-code (paper Figures 2-4) operates on sub-matrices of the
+// global operands via pointer + leading-dimension arithmetic. MatrixView /
+// ConstMatrixView make that idiom typed: a view is {data, rows, cols, ld}
+// with `subview()` composing offsets, so sub-partitions and workspace panels
+// can be described without copying them into owning Matrix objects.
+//
+// Checking policy:
+//  * structural operations (construction, subview, view copies) validate
+//    their arguments unconditionally and throw — they run once per panel,
+//    not per element, so the cost is irrelevant;
+//  * per-element access is asserted only in debug builds (!NDEBUG), where
+//    a violation aborts (suitable for death tests); release builds compile
+//    the check out entirely.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "src/util/matrix.hpp"
+
+namespace summagen::util {
+
+namespace detail {
+
+[[noreturn]] inline void view_index_abort(const char* what, std::int64_t i,
+                                          std::int64_t j, std::int64_t rows,
+                                          std::int64_t cols) {
+  std::fprintf(stderr, "%s: index (%lld,%lld) outside %lldx%lld view\n", what,
+               static_cast<long long>(i), static_cast<long long>(j),
+               static_cast<long long>(rows), static_cast<long long>(cols));
+  std::abort();
+}
+
+inline void view_check_shape(const char* what, const double* data,
+                             std::int64_t rows, std::int64_t cols,
+                             std::int64_t ld) {
+  if (rows < 0 || cols < 0) {
+    throw std::invalid_argument(std::string(what) + ": negative extent");
+  }
+  if (ld < cols) {
+    throw std::invalid_argument(std::string(what) +
+                                ": leading dimension < cols");
+  }
+  if (data == nullptr && rows > 0 && cols > 0) {
+    throw std::invalid_argument(std::string(what) +
+                                ": null data with non-empty extent");
+  }
+}
+
+inline void view_check_subview(const char* what, std::int64_t r0,
+                               std::int64_t c0, std::int64_t rows,
+                               std::int64_t cols, std::int64_t parent_rows,
+                               std::int64_t parent_cols) {
+  if (r0 < 0 || c0 < 0 || rows < 0 || cols < 0 || r0 + rows > parent_rows ||
+      c0 + cols > parent_cols) {
+    throw std::out_of_range(std::string(what) + ": block (" +
+                            std::to_string(r0) + "," + std::to_string(c0) +
+                            ")+" + std::to_string(rows) + "x" +
+                            std::to_string(cols) + " outside " +
+                            std::to_string(parent_rows) + "x" +
+                            std::to_string(parent_cols));
+  }
+}
+
+}  // namespace detail
+
+#ifndef NDEBUG
+#define SUMMAGEN_VIEW_AT_CHECK(i, j, rows, cols, what)              \
+  do {                                                              \
+    if ((i) < 0 || (i) >= (rows) || (j) < 0 || (j) >= (cols)) {     \
+      ::summagen::util::detail::view_index_abort(what, (i), (j),    \
+                                                 (rows), (cols));   \
+    }                                                               \
+  } while (0)
+#else
+#define SUMMAGEN_VIEW_AT_CHECK(i, j, rows, cols, what) ((void)0)
+#endif
+
+/// Read-only non-owning view of a rows x cols block inside a row-major
+/// buffer with leading dimension `ld` (in elements). Element (i, j) lives
+/// at `data()[i*ld() + j]`. Copyable and cheap to pass by value.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+
+  ConstMatrixView(const double* data, std::int64_t rows, std::int64_t cols,
+                  std::int64_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    detail::view_check_shape("ConstMatrixView", data, rows, cols, ld);
+  }
+
+  /// Views a whole owning Matrix (implicit: a Matrix *is* a contiguous view).
+  ConstMatrixView(const Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()), ld_(m.cols()) {}
+
+  std::int64_t rows() const noexcept { return rows_; }
+  std::int64_t cols() const noexcept { return cols_; }
+  std::int64_t ld() const noexcept { return ld_; }
+  std::int64_t size() const noexcept { return rows_ * cols_; }
+  bool empty() const noexcept { return size() == 0; }
+  const double* data() const noexcept { return data_; }
+
+  /// True when rows are adjacent in memory (the whole view is one span).
+  bool contiguous() const noexcept { return ld_ == cols_ || rows_ <= 1; }
+
+  const double* row(std::int64_t i) const noexcept { return data_ + i * ld_; }
+
+  double operator()(std::int64_t i, std::int64_t j) const noexcept {
+    SUMMAGEN_VIEW_AT_CHECK(i, j, rows_, cols_, "ConstMatrixView");
+    return data_[static_cast<std::size_t>(i * ld_ + j)];
+  }
+
+  /// Sub-block with top-left corner (r0, c0); offsets compose, so a
+  /// subview of a subview addresses the original buffer.
+  ConstMatrixView subview(std::int64_t r0, std::int64_t c0, std::int64_t rows,
+                          std::int64_t cols) const {
+    detail::view_check_subview("ConstMatrixView::subview", r0, c0, rows, cols,
+                               rows_, cols_);
+    return ConstMatrixView(data_ + r0 * ld_ + c0, rows, cols, ld_);
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::int64_t ld_ = 0;
+};
+
+/// Mutable non-owning view; converts implicitly to ConstMatrixView.
+class MatrixView {
+ public:
+  MatrixView() = default;
+
+  MatrixView(double* data, std::int64_t rows, std::int64_t cols,
+             std::int64_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    detail::view_check_shape("MatrixView", data, rows, cols, ld);
+  }
+
+  MatrixView(Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()), ld_(m.cols()) {}
+
+  operator ConstMatrixView() const {  // NOLINT(google-explicit-constructor)
+    return ConstMatrixView(data_, rows_, cols_, ld_);
+  }
+
+  std::int64_t rows() const noexcept { return rows_; }
+  std::int64_t cols() const noexcept { return cols_; }
+  std::int64_t ld() const noexcept { return ld_; }
+  std::int64_t size() const noexcept { return rows_ * cols_; }
+  bool empty() const noexcept { return size() == 0; }
+  double* data() const noexcept { return data_; }
+
+  bool contiguous() const noexcept { return ld_ == cols_ || rows_ <= 1; }
+
+  double* row(std::int64_t i) const noexcept { return data_ + i * ld_; }
+
+  double& operator()(std::int64_t i, std::int64_t j) const noexcept {
+    SUMMAGEN_VIEW_AT_CHECK(i, j, rows_, cols_, "MatrixView");
+    return data_[static_cast<std::size_t>(i * ld_ + j)];
+  }
+
+  MatrixView subview(std::int64_t r0, std::int64_t c0, std::int64_t rows,
+                     std::int64_t cols) const {
+    detail::view_check_subview("MatrixView::subview", r0, c0, rows, cols,
+                               rows_, cols_);
+    return MatrixView(data_ + r0 * ld_ + c0, rows, cols, ld_);
+  }
+
+  /// Sets every element of the viewed block to `value`.
+  void fill(double value) const {
+    for (std::int64_t i = 0; i < rows_; ++i) {
+      double* r = row(i);
+      for (std::int64_t j = 0; j < cols_; ++j) r[j] = value;
+    }
+  }
+
+ private:
+  double* data_ = nullptr;
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::int64_t ld_ = 0;
+};
+
+/// Conservative aliasing predicate: true when the address spans of the two
+/// views intersect (span = [row(0), row(rows-1) + cols), ignoring the gaps
+/// between strided rows, so it may report overlap for interleaved disjoint
+/// views — acceptable for a safety precondition).
+inline bool views_overlap(ConstMatrixView a, ConstMatrixView b) noexcept {
+  if (a.empty() || b.empty()) return false;
+  const double* a_end = a.row(a.rows() - 1) + a.cols();
+  const double* b_end = b.row(b.rows() - 1) + b.cols();
+  return std::less<const double*>{}(a.data(), b_end) &&
+         std::less<const double*>{}(b.data(), a_end);
+}
+
+/// Exact containment: true when every element of `inner` lies inside the
+/// buffer span addressed by `outer` (used by debug invariants).
+inline bool view_spans_contain(ConstMatrixView outer,
+                               ConstMatrixView inner) noexcept {
+  if (inner.empty()) return true;
+  if (outer.empty()) return false;
+  const double* outer_end = outer.row(outer.rows() - 1) + outer.cols();
+  const double* inner_end = inner.row(inner.rows() - 1) + inner.cols();
+  return !std::less<const double*>{}(inner.data(), outer.data()) &&
+         !std::less<const double*>{}(outer_end, inner_end);
+}
+
+/// Copies `src` into `dst`. Shapes must match exactly and the views must
+/// not overlap (both enforced; copy_matrix re-checks the span overlap).
+inline void copy_view(ConstMatrixView src, MatrixView dst) {
+  if (src.rows() != dst.rows() || src.cols() != dst.cols()) {
+    throw std::invalid_argument(
+        "copy_view: shape mismatch " + std::to_string(src.rows()) + "x" +
+        std::to_string(src.cols()) + " -> " + std::to_string(dst.rows()) +
+        "x" + std::to_string(dst.cols()));
+  }
+  if (src.empty()) return;
+  copy_matrix(dst.data(), dst.ld(), src.data(), src.ld(), src.rows(),
+              src.cols());
+}
+
+/// Copies a view into a fresh owning Matrix.
+inline Matrix materialize(ConstMatrixView src) {
+  Matrix out(src.rows(), src.cols());
+  if (!src.empty()) copy_view(src, MatrixView(out));
+  return out;
+}
+
+/// Mutable view of the block of `m` with top-left corner (r0, c0).
+inline MatrixView block_view(Matrix& m, std::int64_t r0, std::int64_t c0,
+                             std::int64_t rows, std::int64_t cols) {
+  return MatrixView(m).subview(r0, c0, rows, cols);
+}
+
+/// Read-only view of the block of `m` with top-left corner (r0, c0).
+inline ConstMatrixView block_view(const Matrix& m, std::int64_t r0,
+                                  std::int64_t c0, std::int64_t rows,
+                                  std::int64_t cols) {
+  return ConstMatrixView(m).subview(r0, c0, rows, cols);
+}
+
+}  // namespace summagen::util

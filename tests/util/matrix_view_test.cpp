@@ -1,0 +1,191 @@
+// Tests of the non-owning strided view layer: offset composition,
+// structural validation, the aliasing predicates, copy/materialize edge
+// cases, and (debug builds only) the per-element bounds aborts.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/util/matrix.hpp"
+#include "src/util/matrix_view.hpp"
+
+namespace summagen::util {
+namespace {
+
+Matrix numbered(std::int64_t rows, std::int64_t cols) {
+  Matrix m(rows, cols);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) m(i, j) = 100.0 * i + j;
+  }
+  return m;
+}
+
+TEST(MatrixView, WholeMatrixViewMatchesMatrix) {
+  Matrix m = numbered(3, 5);
+  MatrixView v(m);
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_EQ(v.cols(), 5);
+  EXPECT_EQ(v.ld(), 5);
+  EXPECT_TRUE(v.contiguous());
+  EXPECT_EQ(v.data(), m.data());
+  EXPECT_EQ(v(2, 4), m(2, 4));
+}
+
+TEST(MatrixView, SubviewOfSubviewComposesOffsets) {
+  Matrix m = numbered(8, 10);
+  const MatrixView outer = block_view(m, 2, 3, 5, 6);
+  const MatrixView inner = outer.subview(1, 2, 3, 3);
+  // The inner view addresses the original buffer: ld stays 10 and the
+  // origin is the sum of both corner offsets.
+  EXPECT_EQ(inner.ld(), 10);
+  EXPECT_EQ(inner.data(), m.data() + (2 + 1) * 10 + (3 + 2));
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(inner(i, j), m(3 + i, 5 + j));
+    }
+  }
+  EXPECT_FALSE(inner.contiguous());
+}
+
+TEST(MatrixView, ConstSubviewOfSubviewComposesOffsets) {
+  const Matrix m = numbered(6, 7);
+  const ConstMatrixView outer = block_view(m, 1, 1, 4, 5);
+  const ConstMatrixView inner = outer.subview(2, 3, 2, 2);
+  EXPECT_EQ(inner.data(), m.data() + 3 * 7 + 4);
+  EXPECT_EQ(inner(1, 1), m(4, 5));
+}
+
+TEST(MatrixView, SubviewOutsideParentThrows) {
+  Matrix m = numbered(4, 4);
+  MatrixView v(m);
+  EXPECT_THROW(v.subview(0, 0, 5, 1), std::out_of_range);
+  EXPECT_THROW(v.subview(2, 2, 2, 3), std::out_of_range);
+  EXPECT_THROW(v.subview(-1, 0, 1, 1), std::out_of_range);
+  // A zero-extent subview at the far corner is legal (empty).
+  EXPECT_TRUE(v.subview(4, 4, 0, 0).empty());
+}
+
+TEST(MatrixView, ShapeValidation) {
+  double buf[12] = {};
+  EXPECT_THROW(MatrixView(buf, 3, 4, 3), std::invalid_argument);  // ld < cols
+  EXPECT_THROW(MatrixView(nullptr, 2, 2, 2), std::invalid_argument);
+  EXPECT_NO_THROW(MatrixView(nullptr, 0, 0, 0));  // empty views are fine
+  EXPECT_NO_THROW(MatrixView(buf, 3, 4, 4));
+}
+
+TEST(MatrixView, FillTouchesOnlyTheBlock) {
+  Matrix m = numbered(5, 5);
+  block_view(m, 1, 1, 3, 3).fill(-1.0);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      const bool inside = i >= 1 && i < 4 && j >= 1 && j < 4;
+      EXPECT_EQ(m(i, j), inside ? -1.0 : 100.0 * i + j);
+    }
+  }
+}
+
+TEST(MatrixView, CopyViewStridedToStrided) {
+  Matrix src = numbered(6, 8);
+  Matrix dst(7, 9);
+  dst.fill(0.0);
+  copy_view(block_view(src, 2, 3, 3, 4), block_view(dst, 1, 1, 3, 4));
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(dst(1 + i, 1 + j), src(2 + i, 3 + j));
+    }
+  }
+  EXPECT_EQ(dst(0, 0), 0.0);
+  EXPECT_EQ(dst(6, 8), 0.0);
+}
+
+TEST(MatrixView, CopyViewShapeMismatchThrows) {
+  Matrix a = numbered(4, 4);
+  Matrix b(4, 4);
+  EXPECT_THROW(copy_view(block_view(a, 0, 0, 2, 2), block_view(b, 0, 0, 2, 3)),
+               std::invalid_argument);
+}
+
+TEST(MatrixView, CopyViewEmptyIsNoOp) {
+  Matrix a = numbered(4, 4);
+  Matrix b = numbered(4, 4);
+  EXPECT_NO_THROW(
+      copy_view(block_view(a, 0, 0, 0, 4), block_view(b, 0, 0, 0, 4)));
+}
+
+TEST(MatrixView, MaterializeCopiesStridedBlock) {
+  Matrix m = numbered(6, 6);
+  const Matrix out = materialize(block_view(m, 1, 2, 3, 2));
+  ASSERT_EQ(out.rows(), 3);
+  ASSERT_EQ(out.cols(), 2);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(out(i, j), m(1 + i, 2 + j));
+    }
+  }
+}
+
+TEST(MatrixView, ViewsOverlapPredicate) {
+  Matrix m = numbered(8, 8);
+  // Row-disjoint blocks occupy disjoint address spans.
+  EXPECT_FALSE(
+      views_overlap(block_view(m, 0, 0, 3, 8), block_view(m, 4, 0, 3, 8)));
+  // A block and a sub-block of it overlap.
+  EXPECT_TRUE(
+      views_overlap(block_view(m, 1, 1, 4, 4), block_view(m, 2, 2, 2, 2)));
+  // Column-disjoint blocks of adjacent columns interleave in memory; the
+  // span test is deliberately conservative and reports overlap.
+  EXPECT_TRUE(
+      views_overlap(block_view(m, 0, 0, 8, 4), block_view(m, 0, 4, 8, 4)));
+  // Empty views never overlap anything.
+  EXPECT_FALSE(
+      views_overlap(block_view(m, 0, 0, 0, 0), block_view(m, 0, 0, 8, 8)));
+  // Views over different buffers do not overlap.
+  Matrix other = numbered(8, 8);
+  EXPECT_FALSE(views_overlap(ConstMatrixView(m), ConstMatrixView(other)));
+}
+
+TEST(MatrixView, ViewSpansContain) {
+  Matrix m = numbered(8, 8);
+  EXPECT_TRUE(
+      view_spans_contain(ConstMatrixView(m), block_view(m, 2, 2, 3, 3)));
+  EXPECT_FALSE(
+      view_spans_contain(block_view(m, 2, 2, 3, 3), ConstMatrixView(m)));
+  EXPECT_TRUE(
+      view_spans_contain(block_view(m, 0, 0, 1, 1), block_view(m, 0, 0, 0, 0)));
+}
+
+TEST(MatrixView, CopyMatrixRejectsAliasingOverlap) {
+  Matrix m = numbered(8, 8);
+  // dst starting one row below src overlaps src's span.
+  EXPECT_THROW(copy_matrix(m.data() + 8, 8, m.data(), 8, 4, 8),
+               std::invalid_argument);
+  // Disjoint halves of the same buffer are fine.
+  EXPECT_NO_THROW(copy_matrix(m.data() + 4 * 8, 8, m.data(), 8, 4, 8));
+}
+
+TEST(MatrixView, CopyViewRejectsOverlap) {
+  Matrix m = numbered(8, 8);
+  EXPECT_THROW(
+      copy_view(block_view(m, 0, 0, 4, 8), block_view(m, 1, 0, 4, 8)),
+      std::invalid_argument);
+}
+
+#ifndef NDEBUG
+using MatrixViewDeathTest = ::testing::Test;
+
+TEST(MatrixViewDeathTest, OutOfBoundsElementAccessAborts) {
+  Matrix m = numbered(3, 3);
+  MatrixView v = block_view(m, 0, 0, 2, 2);
+  EXPECT_DEATH((void)v(2, 0), "outside");
+  EXPECT_DEATH((void)v(0, 2), "outside");
+  EXPECT_DEATH((void)v(-1, 0), "outside");
+}
+
+TEST(MatrixViewDeathTest, ConstOutOfBoundsElementAccessAborts) {
+  const Matrix m = numbered(3, 3);
+  ConstMatrixView v = block_view(m, 1, 1, 2, 2);
+  EXPECT_DEATH((void)v(2, 2), "outside");
+}
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace summagen::util

@@ -18,6 +18,18 @@ require regenerating the baseline in the same commit).
 Benchmarks without items_per_second fall back to comparing real_time
 (higher is worse), with the same ratio threshold.
 
+Allocation gate: benchmarks exporting the `alloc_bytes_per_iter` counter
+(micro_dgemm does, via the data-plane accounting) are additionally checked
+against the baseline's counter. The current build fails if it allocates
+more than --max-alloc-ratio times the baseline's bytes per iteration, with
+an absolute floor of --alloc-floor bytes. The floor absorbs residual
+BufferPool size-class misses: the pool caches by observed *concurrent*
+high-water per class, so a rerun of a single-iteration bench can legally
+miss once (a few MiB) even though its baseline recorded zero. A genuine
+per-call allocation regression (staging whole operands again) shows up as
+tens of MiB per iteration and still trips the gate; the exact steady-state
+property is enforced deterministically by tests/core/alloc_test.cpp.
+
 Exit code 0 = within budget, 1 = regression, 2 = usage/parse error.
 """
 
@@ -65,12 +77,28 @@ def main() -> int:
         default=1.3,
         help="fail if current is more than this factor slower (default 1.3)",
     )
+    parser.add_argument(
+        "--max-alloc-ratio",
+        type=float,
+        default=1.05,
+        help="fail if alloc_bytes_per_iter exceeds this factor of the "
+        "baseline counter (default 1.05; allocation is deterministic)",
+    )
+    parser.add_argument(
+        "--alloc-floor",
+        type=float,
+        default=8.0 * 1024 * 1024,
+        help="ignore alloc regressions below this many bytes/iter "
+        "(default 8 MiB: above any residual pool-class miss, far below "
+        "per-call operand staging)",
+    )
     args = parser.parse_args()
 
     base = load_benchmarks(args.baseline)
     cur = load_benchmarks(args.current)
 
     failures = []
+    alloc_failures = []
     for name in sorted(base):
         if name not in cur:
             print(f"  (baseline-only, skipped) {name}")
@@ -80,6 +108,16 @@ def main() -> int:
         print(f"  [{status}] {name}: {ratio:.2f}x baseline time")
         if ratio > args.max_ratio:
             failures.append((name, ratio))
+        b_alloc = base[name].get("alloc_bytes_per_iter")
+        c_alloc = cur[name].get("alloc_bytes_per_iter")
+        if b_alloc is not None and c_alloc is not None:
+            budget = max(b_alloc * args.max_alloc_ratio, args.alloc_floor)
+            if c_alloc > budget:
+                print(
+                    f"  [FAIL] {name}: allocates {c_alloc:.0f} B/iter "
+                    f"(baseline {b_alloc:.0f}, budget {budget:.0f})"
+                )
+                alloc_failures.append((name, b_alloc, c_alloc))
     for name in sorted(set(cur) - set(base)):
         print(f"  (new, no baseline) {name}")
 
@@ -91,8 +129,23 @@ def main() -> int:
         )
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+    if alloc_failures:
+        print(
+            f"\n{len(alloc_failures)} benchmark(s) allocate beyond "
+            f"{args.max_alloc_ratio:.2f}x the baseline bytes/iter:",
+            file=sys.stderr,
+        )
+        for name, b_alloc, c_alloc in alloc_failures:
+            print(
+                f"  {name}: {b_alloc:.0f} -> {c_alloc:.0f} B/iter",
+                file=sys.stderr,
+            )
+    if failures or alloc_failures:
         return 1
-    print(f"\nall shared benchmarks within {args.max_ratio:.2f}x of baseline")
+    print(
+        f"\nall shared benchmarks within {args.max_ratio:.2f}x of baseline "
+        f"(alloc within {args.max_alloc_ratio:.2f}x)"
+    )
     return 0
 
 
