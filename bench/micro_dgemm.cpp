@@ -5,8 +5,16 @@
 // against the one shared sgpool executor — the scenario the pool exists
 // for (no per-call thread spawning, no host oversubscription).
 //
+// Per-tier entries: BM_GemmPackedTier<Scalar|Sse2|Avx2> are registered for
+// every SIMD tier available on this host, so one run covers the dispatch
+// table and the baseline gates each tier independently (a forced-scalar
+// host simply registers fewer entries).
+//
 //   --json FILE   also write results as Google-Benchmark JSON (the format
 //                 tools/compare_bench.py checks against BENCH_dgemm.json).
+//   --repeats R   run R repetitions per benchmark and report aggregates;
+//                 compare_bench.py prefers the medians (sugar for
+//                 --benchmark_repetitions=R).
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -15,6 +23,7 @@
 #include <vector>
 
 #include "src/blas/gemm.hpp"
+#include "src/blas/simd.hpp"
 #include "src/pool/pool.hpp"
 #include "src/util/accounting.hpp"
 #include "src/util/matrix.hpp"
@@ -41,7 +50,8 @@ void set_alloc_counters(benchmark::State& state,
   state.counters["pool_hit_rate"] = d.pool_hit_rate();
 }
 
-void run_gemm(benchmark::State& state, GemmKernel kernel, int threads) {
+void run_gemm(benchmark::State& state, GemmKernel kernel, int threads,
+              summagen::blas::SimdTier tier = summagen::blas::SimdTier::kAuto) {
   const std::int64_t n = state.range(0);
   summagen::util::Matrix a(n, n), b(n, n), c(n, n);
   summagen::util::fill_random(a, 1);
@@ -49,6 +59,7 @@ void run_gemm(benchmark::State& state, GemmKernel kernel, int threads) {
   GemmOptions opts;
   opts.kernel = kernel;
   opts.threads = threads;
+  opts.tier = tier;
   // One untimed warm-up so the counters measure the pool's steady state,
   // not the first touch of this problem size's buffer classes.
   summagen::blas::dgemm(n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
@@ -124,6 +135,32 @@ void BM_GemmPackedConcurrent3(benchmark::State& state) {
   run_gemm_concurrent3(state, GemmKernel::kPacked);
 }
 
+// Registers one BM_GemmPackedTier<Name> entry per available SIMD tier, so
+// the baseline JSON carries each tier's GFLOPs independently of which tier
+// kAuto dispatches to.
+void register_tier_benchmarks() {
+  using summagen::blas::SimdTier;
+  struct TierEntry {
+    SimdTier tier;
+    const char* name;
+  };
+  const TierEntry tiers[] = {{SimdTier::kScalar, "BM_GemmPackedTierScalar"},
+                             {SimdTier::kSse2, "BM_GemmPackedTierSse2"},
+                             {SimdTier::kAvx2, "BM_GemmPackedTierAvx2"}};
+  for (const TierEntry& entry : tiers) {
+    if (!summagen::blas::simd_tier_available(entry.tier)) continue;
+    const SimdTier tier = entry.tier;
+    benchmark::RegisterBenchmark(
+        entry.name,
+        [tier](benchmark::State& state) {
+          run_gemm(state, GemmKernel::kPacked, 0, tier);
+        })
+        ->Arg(256)
+        ->Arg(512)
+        ->Arg(1024);
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
@@ -139,7 +176,9 @@ BENCHMARK(BM_GemmPackedConcurrent3)->Arg(512)->Arg(1024)
 
 int main(int argc, char** argv) {
   // Translate `--json FILE` into the library's out/out_format flags so the
-  // CI regression gate gets machine-readable GFLOPs (items_per_second).
+  // CI regression gate gets machine-readable GFLOPs (items_per_second),
+  // and `--repeats R` into --benchmark_repetitions (median-of-R rows that
+  // compare_bench.py prefers over single runs).
   std::vector<std::string> args(argv, argv + argc);
   std::vector<std::string> rewritten;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -149,6 +188,13 @@ int main(int argc, char** argv) {
       file = arg.substr(std::strlen("--json="));
     } else if (arg == "--json" && i + 1 < args.size()) {
       file = args[++i];
+    } else if (arg.rfind("--repeats=", 0) == 0) {
+      rewritten.push_back("--benchmark_repetitions=" +
+                          arg.substr(std::strlen("--repeats=")));
+      continue;
+    } else if (arg == "--repeats" && i + 1 < args.size()) {
+      rewritten.push_back("--benchmark_repetitions=" + args[++i]);
+      continue;
     } else {
       rewritten.push_back(arg);
       continue;
@@ -156,6 +202,7 @@ int main(int argc, char** argv) {
     rewritten.push_back("--benchmark_out=" + file);
     rewritten.push_back("--benchmark_out_format=json");
   }
+  register_tier_benchmarks();
   std::vector<char*> cargs;
   for (std::string& s : rewritten) cargs.push_back(s.data());
   int cargc = static_cast<int>(cargs.size());

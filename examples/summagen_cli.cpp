@@ -36,6 +36,9 @@ void usage() {
       "  --kernel-threads N shared compute-pool size override (0 = auto:\n"
       "                     hardware threads minus rank threads)\n"
       "  --kernel-block B   cache-block edge for blocked/threaded (64)\n"
+      "  --simd-tier T      packed microkernel tier: auto (default) |\n"
+      "                     scalar | sse2 | avx2 (explicit unavailable\n"
+      "                     tiers fail; SUMMAGEN_FORCE_SCALAR=1 caps auto)\n"
       "  --scheduler NAME   eager | pipelined (default eager)\n"
       "  --overlap-depth D  pipelined prefetch window, 0 = unbounded\n"
       "  --panel-rows R     broadcast panel rows, 0 = whole sub-partitions\n"
@@ -93,8 +96,14 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    config.kernel.threads = static_cast<int>(cli.get_int("kernel-threads", 0));
-    config.kernel.block = cli.get_int("kernel-block", 64);
+    config.kernel.threads =
+        static_cast<int>(cli.get_int_min("kernel-threads", 0, 0));
+    config.kernel.block = cli.get_int_min("kernel-block", 64, 1);
+    try {
+      config.kernel.tier = blas::parse_simd_tier(cli.get("simd-tier", "auto"));
+    } catch (const std::invalid_argument& e) {
+      throw util::CliError(std::string("--simd-tier: ") + e.what());
+    }
     if (cli.has("fault")) {
       config.faults = sgmpi::parse_fault_plan(cli.get("fault", ""));
       config.fault_detect_s = cli.get_double("fault-detect", 0.05);
@@ -172,6 +181,9 @@ int main(int argc, char** argv) {
       t.add_row({"copy calls", util::Table::num(res.alloc.copy_calls)});
       t.add_row({"pool hit rate",
                  util::Table::num(res.alloc.pool_hit_rate(), 3)});
+      t.add_row({"B-pack lookups", util::Table::num(res.alloc.pack_lookups)});
+      t.add_row({"B-pack hit rate",
+                 util::Table::num(res.alloc.pack_hit_rate(), 3)});
       t.add_row({"pool peak resident (MiB)",
                  util::Table::num(
                      static_cast<double>(res.alloc.pool_peak_resident_bytes) /
@@ -205,6 +217,10 @@ int main(int argc, char** argv) {
       std::cout << "\nlayout written to " << cli.get("save-spec", "") << "\n";
     }
     return (config.numeric && !res.verified) ? 1 : 0;
+  } catch (const util::CliError& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
+    usage();
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -5,6 +5,9 @@
 #include <string>
 #include <thread>
 
+#include "src/blas/microkernel.hpp"
+#include "src/blas/pack_cache.hpp"
+#include "src/blas/tune.hpp"
 #include "src/pool/pool.hpp"
 #include "src/util/buffer_pool.hpp"
 
@@ -70,119 +73,97 @@ void gemm_blocked_rows(std::int64_t row_begin, std::int64_t row_end,
 }
 
 // ---------------------------------------------------------------------------
-// kPacked: BLIS-lineage packed kernel ("Anatomy of High-Performance Matrix
-// Multiplication" shape). The k dimension is processed in KC-deep blocks;
-// per block, B is packed once into NR-column panels (contiguous, shared by
-// all row bands) and each row band packs its alpha-folded A rows into
-// MR-row quads, then a register-tiled MR x NR microkernel accumulates.
+// kPacked: full five-loop BLIS blocking ("Anatomy of High-Performance
+// Matrix Multiplication" shape):
 //
-// Bit-identity with kBlocked/kThreaded: every C element's value is the
-// chain  beta*c, then += (alpha*a[i][l]) * b[l][j] for l ascending — the
-// packed layout and register accumulators change where operands live, not
-// the operation sequence (stores/loads of doubles are exact).
+//   jc over NC columns of B      — packed-B block resident in L3
+//     pc over KC depth           — one packed block per (jc, pc)
+//       ic over MC rows of A     — alpha-folded A band resident in L2
+//         jr over NR panels, ir over MR quads
+//           -> register-tiled MR x NR microkernel
+//
+// The microkernel (MR/NR shape and instruction set) is chosen at runtime
+// by CPUID among AVX2+FMA 6x8 / SSE2 4x4 / scalar 4x8 (src/blas/simd.hpp);
+// MC/NC/KC come from GemmOptions overrides, the persisted tune cache, or
+// per-tier defaults (src/blas/tune.hpp).
+//
+// Bit-identity: every C element's value is the chain  beta*c, then
+// += (alpha*a[i][l]) * b[l][j] for l ascending — packing, blocking and the
+// band split change where operands live and which worker computes what,
+// never the per-element operation sequence (stores/loads of doubles
+// between k-blocks are exact). Hence any MC/NC/KC and any thread width
+// give the same bits for a given tier, the scalar tier reproduces the
+// pre-dispatch kPacked exactly, and only the AVX2 tier (fused
+// multiply-add, one rounding) differs across tiers.
+//
+// When GemmOptions::b_pack_key != 0 the packed-B blocks are leased from
+// the process-wide PackCache keyed by (key, jc, pc, NR), so SUMMA-family
+// callers that multiply the same B panel repeatedly pack it once.
 // ---------------------------------------------------------------------------
-
-constexpr std::int64_t kMr = 4;    ///< microkernel rows
-constexpr std::int64_t kNr = 8;    ///< microkernel cols
-constexpr std::int64_t kKc = 256;  ///< k-block depth (A quad: 8 KiB/row set)
 
 // Packs rows [row_begin, row_end) of alpha*A, k-slice [l0, l0+kc), into
 // MR-row quads: quad q holds interleaved rows at [q*kc*MR + l*MR + r].
 // Rows past row_end are zero (the microkernel discards those lanes).
 void pack_a_band(const double* a, std::int64_t lda, double alpha,
                  std::int64_t row_begin, std::int64_t row_end,
-                 std::int64_t l0, std::int64_t kc, double* pa) {
-  const std::int64_t quads = (row_end - row_begin + kMr - 1) / kMr;
+                 std::int64_t l0, std::int64_t kc, std::int64_t mr,
+                 double* pa) {
+  const std::int64_t quads = (row_end - row_begin + mr - 1) / mr;
   for (std::int64_t q = 0; q < quads; ++q) {
-    double* quad = pa + q * kc * kMr;
+    double* quad = pa + q * kc * mr;
     for (std::int64_t l = 0; l < kc; ++l) {
-      for (std::int64_t r = 0; r < kMr; ++r) {
-        const std::int64_t i = row_begin + q * kMr + r;
-        quad[l * kMr + r] =
+      for (std::int64_t r = 0; r < mr; ++r) {
+        const std::int64_t i = row_begin + q * mr + r;
+        quad[l * mr + r] =
             i < row_end ? alpha * a[i * lda + (l0 + l)] : 0.0;
       }
     }
   }
 }
 
-// Packs the k-slice [l0, l0+kc) of B into NR-column panels: panel p holds
-// columns [p*NR, p*NR+NR) at [p*kc*NR + l*NR + c], zero-padded past n.
-void pack_b_panels(const double* b, std::int64_t ldb, std::int64_t n,
-                   std::int64_t l0, std::int64_t kc,
-                   std::int64_t panel_begin, std::int64_t panel_end,
-                   double* pb) {
+// Packs columns [col0, col0+ncols) of B, k-slice [l0, l0+kc), into
+// NR-column panels: panel p holds columns [col0+p*NR, ...) at
+// [p*kc*NR + l*NR + c], zero-padded past the block edge.
+void pack_b_panels(const double* b, std::int64_t ldb, std::int64_t col0,
+                   std::int64_t ncols, std::int64_t l0, std::int64_t kc,
+                   std::int64_t nr, std::int64_t panel_begin,
+                   std::int64_t panel_end, double* pb) {
   for (std::int64_t p = panel_begin; p < panel_end; ++p) {
-    double* panel = pb + p * kc * kNr;
-    const std::int64_t j0 = p * kNr;
-    const std::int64_t w = std::min(kNr, n - j0);
+    double* panel = pb + p * kc * nr;
+    const std::int64_t j0 = p * nr;
+    const std::int64_t w = std::min(nr, ncols - j0);
     for (std::int64_t l = 0; l < kc; ++l) {
-      const double* brow = b + (l0 + l) * ldb + j0;
-      double* prow = panel + l * kNr;
+      const double* brow = b + (l0 + l) * ldb + col0 + j0;
+      double* prow = panel + l * nr;
       for (std::int64_t cix = 0; cix < w; ++cix) prow[cix] = brow[cix];
-      for (std::int64_t cix = w; cix < kNr; ++cix) prow[cix] = 0.0;
+      for (std::int64_t cix = w; cix < nr; ++cix) prow[cix] = 0.0;
     }
   }
 }
 
-// MR x NR register-tiled microkernel over one packed A quad and one packed
-// B panel. `first_block` fuses the beta pass into the accumulator init, so
-// beta == 0 never reads C (satisfies overwrite-NaN semantics) and no
-// separate zero-fill pass over C exists at all.
-void micro_kernel(const double* pa_quad, const double* pb_panel,
-                  std::int64_t kc, std::int64_t rows, std::int64_t cols,
-                  bool first_block, double beta, double* c,
-                  std::int64_t ldc) {
-  double acc[kMr][kNr];
-  for (std::int64_t r = 0; r < kMr; ++r) {
-    for (std::int64_t cix = 0; cix < kNr; ++cix) {
-      if (r < rows && cix < cols) {
-        const double cur = c[r * ldc + cix];
-        acc[r][cix] = first_block ? (beta == 0.0 ? 0.0 : beta * cur) : cur;
-      } else {
-        acc[r][cix] = 0.0;
-      }
-    }
-  }
-  for (std::int64_t l = 0; l < kc; ++l) {
-    const double* pa_l = pa_quad + l * kMr;
-    const double* pb_l = pb_panel + l * kNr;
-    for (std::int64_t r = 0; r < kMr; ++r) {
-      const double av = pa_l[r];
-      for (std::int64_t cix = 0; cix < kNr; ++cix) {
-        acc[r][cix] += av * pb_l[cix];
-      }
-    }
-  }
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t cix = 0; cix < cols; ++cix) {
-      c[r * ldc + cix] = acc[r][cix];
-    }
-  }
-}
-
-// One row band's share of one k-block: pack the band's A rows, then sweep
-// quads x panels of microkernels. Runs as a pool task; the A scratch is
-// leased from the shared buffer pool per band (steady state: a freelist
-// pop), so worker threads retain no high-water-mark storage between calls
-// the way the previous thread_local vector did.
+// One row band's share of one (jc, pc) block: pack the band's A rows, then
+// sweep quads x panels of microkernels over C[band, col0:col0+ncols]. Runs
+// as a pool task; the A scratch is leased from the shared buffer pool per
+// band (steady state: a freelist pop).
 void packed_band(const double* a, std::int64_t lda, double alpha,
                  std::int64_t row_begin, std::int64_t row_end,
                  std::int64_t l0, std::int64_t kc, const double* pb,
-                 std::int64_t n, bool first_block, double beta, double* c,
-                 std::int64_t ldc) {
-  const std::int64_t quads = (row_end - row_begin + kMr - 1) / kMr;
+                 std::int64_t col0, std::int64_t ncols, bool first_block,
+                 double beta, double* c, std::int64_t ldc,
+                 const detail::MicroKernel& mk) {
+  const std::int64_t quads = (row_end - row_begin + mk.mr - 1) / mk.mr;
   util::PooledBuffer pa =
-      util::BufferPool::instance().acquire(quads * kc * kMr);
-  pack_a_band(a, lda, alpha, row_begin, row_end, l0, kc, pa.data());
-  const std::int64_t panels = (n + kNr - 1) / kNr;
+      util::BufferPool::instance().acquire(quads * kc * mk.mr);
+  pack_a_band(a, lda, alpha, row_begin, row_end, l0, kc, mk.mr, pa.data());
+  const std::int64_t panels = (ncols + mk.nr - 1) / mk.nr;
   for (std::int64_t q = 0; q < quads; ++q) {
-    const std::int64_t i = row_begin + q * kMr;
-    const std::int64_t rows = std::min(kMr, row_end - i);
+    const std::int64_t i = row_begin + q * mk.mr;
+    const std::int64_t rows = std::min(mk.mr, row_end - i);
     for (std::int64_t p = 0; p < panels; ++p) {
-      const std::int64_t j = p * kNr;
-      micro_kernel(pa.data() + q * kc * kMr, pb + p * kc * kNr, kc, rows,
-                   std::min(kNr, n - j), first_block, beta,
-                   c + i * ldc + j, ldc);
+      const std::int64_t j = p * mk.nr;
+      mk.fn(pa.data() + q * kc * mk.mr, pb + p * kc * mk.nr, kc, rows,
+            std::min(mk.nr, ncols - j), first_block, beta,
+            c + i * ldc + col0 + j, ldc);
     }
   }
 }
@@ -190,39 +171,75 @@ void packed_band(const double* a, std::int64_t lda, double alpha,
 void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
                  const double* a, std::int64_t lda, const double* b,
                  std::int64_t ldb, double beta, double* c, std::int64_t ldc,
-                 int width) {
-  const std::int64_t panels = (n + kNr - 1) / kNr;
-  const std::int64_t quads = (m + kMr - 1) / kMr;
-  util::PooledBuffer pb =
-      util::BufferPool::instance().acquire(panels * kKc * kNr);
-  // Row bands are quad-aligned; the split depends only on (m, width), so
-  // results are independent of which worker runs which band.
+                 int width, const detail::MicroKernel& mk,
+                 const BlockSizes& bs, std::uint64_t pack_key) {
+  const std::int64_t quads = (m + mk.mr - 1) / mk.mr;
+  // Row bands are quad-aligned and capped at MC rows; the split depends
+  // only on (m, width, MC, MR), so results are independent of which worker
+  // runs which band.
+  const std::int64_t mc_quads =
+      std::max<std::int64_t>(1, bs.mc / mk.mr);
   const std::int64_t band_quads =
-      std::max<std::int64_t>(1, (quads + width - 1) / width);
-  for (std::int64_t l0 = 0; l0 < k; l0 += kKc) {
-    const std::int64_t kc = std::min(kKc, k - l0);
-    const bool first_block = l0 == 0;
-    if (width <= 1) {
-      pack_b_panels(b, ldb, n, l0, kc, 0, panels, pb.data());
-      packed_band(a, lda, alpha, 0, m, l0, kc, pb.data(), n, first_block,
-                  beta, c, ldc);
-      continue;
-    }
-    sgpool::parallel_for(
-        0, panels, std::max<std::int64_t>(1, (panels + width - 1) / width),
-        [&](std::int64_t p0, std::int64_t p1) {
-          pack_b_panels(b, ldb, n, l0, kc, p0, p1, pb.data());
+      width <= 1 ? mc_quads
+                 : std::min(mc_quads, std::max<std::int64_t>(
+                                          1, (quads + width - 1) / width));
+  for (std::int64_t jc = 0; jc < n; jc += bs.nc) {
+    const std::int64_t nc = std::min(bs.nc, n - jc);
+    const std::int64_t panels = (nc + mk.nr - 1) / mk.nr;
+    for (std::int64_t l0 = 0; l0 < k; l0 += bs.kc) {
+      const std::int64_t kc = std::min(bs.kc, k - l0);
+      const bool first_block = l0 == 0;
+
+      // Packed-B block for (jc, l0): leased from the shared pack cache
+      // when the caller tagged the operand, otherwise packed privately.
+      PackCache::Lease cached;
+      util::PooledBuffer local;
+      const double* pb = nullptr;
+      if (pack_key != 0) {
+        cached = PackCache::instance().lease(
+            PackKey{pack_key, jc, l0, mk.nr}, panels * kc * mk.nr,
+            [&](double* dst) {
+              pack_b_panels(b, ldb, jc, nc, l0, kc, mk.nr, 0, panels, dst);
+            });
+        pb = cached.data();
+      } else {
+        local = util::BufferPool::instance().acquire(panels * kc * mk.nr);
+        if (width <= 1) {
+          pack_b_panels(b, ldb, jc, nc, l0, kc, mk.nr, 0, panels,
+                        local.data());
+        } else {
+          sgpool::parallel_for(
+              0, panels,
+              std::max<std::int64_t>(1, (panels + width - 1) / width),
+              [&](std::int64_t p0, std::int64_t p1) {
+                pack_b_panels(b, ldb, jc, nc, l0, kc, mk.nr, p0, p1,
+                              local.data());
+              });
+        }
+        pb = local.data();
+      }
+
+      if (width <= 1) {
+        for (std::int64_t q0 = 0; q0 < quads; q0 += band_quads) {
+          const std::int64_t r0 = q0 * mk.mr;
+          const std::int64_t r1 =
+              std::min(m, (q0 + band_quads) * mk.mr);
+          packed_band(a, lda, alpha, r0, r1, l0, kc, pb, jc, nc,
+                      first_block, beta, c, ldc, mk);
+        }
+        continue;
+      }
+      sgpool::TaskGroup group;
+      for (std::int64_t q0 = 0; q0 < quads; q0 += band_quads) {
+        const std::int64_t r0 = q0 * mk.mr;
+        const std::int64_t r1 = std::min(m, (q0 + band_quads) * mk.mr);
+        group.run([=, &mk] {
+          packed_band(a, lda, alpha, r0, r1, l0, kc, pb, jc, nc,
+                      first_block, beta, c, ldc, mk);
         });
-    sgpool::TaskGroup group;
-    for (std::int64_t q0 = 0; q0 < quads; q0 += band_quads) {
-      const std::int64_t r0 = q0 * kMr;
-      const std::int64_t r1 = std::min(m, (q0 + band_quads) * kMr);
-      group.run([=, &pb] {
-        packed_band(a, lda, alpha, r0, r1, l0, kc, pb.data(), n, first_block,
-                    beta, c, ldc);
-      });
+      }
+      group.wait();
     }
-    group.wait();
   }
 }
 
@@ -250,6 +267,16 @@ void dgemm(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
       ldb < std::max<std::int64_t>(1, n) ||
       ldc < std::max<std::int64_t>(1, n)) {
     throw std::invalid_argument("dgemm: leading dimension too small");
+  }
+  if ((opts.kernel == GemmKernel::kBlocked ||
+       opts.kernel == GemmKernel::kThreaded) &&
+      opts.block <= 0) {
+    throw std::invalid_argument("dgemm: block must be positive, got " +
+                                std::to_string(opts.block));
+  }
+  if (opts.mc < 0 || opts.nc < 0 || opts.kc < 0) {
+    throw std::invalid_argument(
+        "dgemm: mc/nc/kc must be non-negative (0 = auto)");
   }
   if (m == 0 || n == 0) return;
 
@@ -308,10 +335,14 @@ void dgemm(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
       return;
     }
     case GemmKernel::kPacked: {
+      const SimdTier tier = resolve_simd_tier(opts.tier);
+      const detail::MicroKernel mk = detail::microkernel_for(tier);
+      const BlockSizes bs = resolve_block_sizes(opts, tier);
       const int want = resolve_gemm_threads(opts.threads);
       const int width = static_cast<int>(
-          std::min<std::int64_t>(want, (m + kMr - 1) / kMr));
-      gemm_packed(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, width);
+          std::min<std::int64_t>(want, (m + mk.mr - 1) / mk.mr));
+      gemm_packed(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, width, mk,
+                  bs, opts.b_pack_key);
       return;
     }
   }

@@ -11,10 +11,15 @@
 //  * kNaive   - triple loop, the oracle used in tests;
 //  * kBlocked - cache-blocked ikj kernel, serial;
 //  * kThreaded- kBlocked with row bands run on the shared sgpool executor;
-//  * kPacked  - BLIS-style packed panels (contiguous alpha*A quads and
-//               B column-panels) with a register-tiled microkernel, row
-//               bands on the shared pool (default; see DESIGN.md
-//               "Compute executor").
+//  * kPacked  - five-loop BLIS blocking (NC -> KC -> MC -> NR -> MR) over
+//               contiguous alpha*A quads and B column-panels, with the
+//               microkernel selected at runtime by CPUID among AVX2+FMA /
+//               SSE2 / scalar tiers (src/blas/simd.hpp), row bands on the
+//               shared pool (default; see DESIGN.md §5.11).
+//
+// kNaive/kBlocked/kThreaded and the scalar/SSE2 tiers of kPacked are
+// bit-identical to each other; the AVX2 tier fuses multiply-add (one
+// rounding) and is bit-identical only per tier.
 //
 // No kernel ever constructs a std::thread: all parallelism is task
 // submission into the persistent process-wide pool (sgpool::Pool), which
@@ -25,6 +30,7 @@
 
 #include <cstdint>
 
+#include "src/blas/simd.hpp"
 #include "src/util/matrix.hpp"
 #include "src/util/matrix_view.hpp"
 
@@ -32,7 +38,8 @@ namespace summagen::blas {
 
 enum class GemmKernel { kNaive, kBlocked, kThreaded, kPacked };
 
-/// Options for dgemm. `threads` applies to kThreaded/kPacked.
+/// Options for dgemm. `threads` applies to kThreaded/kPacked; the fields
+/// below `block` apply to kPacked only.
 struct GemmOptions {
   GemmKernel kernel = GemmKernel::kPacked;
   /// Parallel width for the pool-backed kernels. 0 (default) = auto: the
@@ -41,6 +48,22 @@ struct GemmOptions {
   /// request cannot oversubscribe the host, it only splits finer.
   int threads = 0;
   std::int64_t block = 64;  ///< cache-block edge for kBlocked/kThreaded
+  /// Microkernel dispatch tier. kAuto (default) picks the best tier this
+  /// CPU supports (capped to scalar by SUMMAGEN_FORCE_SCALAR); an explicit
+  /// unavailable tier throws std::invalid_argument.
+  SimdTier tier = SimdTier::kAuto;
+  /// Cache-blocking overrides for the five-loop scheme; 0 (default) = auto
+  /// (the persisted tune cache for this CPU, else per-tier defaults — see
+  /// src/blas/tune.hpp). Block sizes never change numeric results.
+  std::int64_t mc = 0;
+  std::int64_t nc = 0;
+  std::int64_t kc = 0;
+  /// Non-zero opts B-panel packing into the process-wide pack cache
+  /// (src/blas/pack_cache.hpp): the caller asserts that every dgemm call
+  /// passing the same key presents a bit-identical B operand (same k, n
+  /// and values), letting SUMMA-family schedules reuse packed panels
+  /// across k-steps and ranks. 0 (default) packs privately per call.
+  std::uint64_t b_pack_key = 0;
 };
 
 /// Resolves `threads` (see GemmOptions::threads): 0 maps to the shared

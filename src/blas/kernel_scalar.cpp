@@ -1,0 +1,46 @@
+// Portable 4x8 microkernel — the pre-dispatch kPacked kernel verbatim.
+//
+// Compiled with -ffp-contract=off (see src/blas/CMakeLists.txt), so the
+// multiply and add stay separately rounded even under -march=native; this
+// is what keeps the scalar tier bit-identical across build flag sets and
+// bitwise equal to the SSE2 tier (same per-element operation sequence).
+
+#include "src/blas/microkernel.hpp"
+
+namespace summagen::blas::detail {
+
+void micro_kernel_scalar_4x8(const double* pa_quad, const double* pb_panel,
+                             std::int64_t kc, std::int64_t rows,
+                             std::int64_t cols, bool first_block, double beta,
+                             double* c, std::int64_t ldc) {
+  constexpr std::int64_t kMr = 4;
+  constexpr std::int64_t kNr = 8;
+  double acc[kMr][kNr];
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    for (std::int64_t cix = 0; cix < kNr; ++cix) {
+      if (r < rows && cix < cols) {
+        const double cur = c[r * ldc + cix];
+        acc[r][cix] = first_block ? (beta == 0.0 ? 0.0 : beta * cur) : cur;
+      } else {
+        acc[r][cix] = 0.0;
+      }
+    }
+  }
+  for (std::int64_t l = 0; l < kc; ++l) {
+    const double* pa_l = pa_quad + l * kMr;
+    const double* pb_l = pb_panel + l * kNr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const double av = pa_l[r];
+      for (std::int64_t cix = 0; cix < kNr; ++cix) {
+        acc[r][cix] += av * pb_l[cix];
+      }
+    }
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t cix = 0; cix < cols; ++cix) {
+      c[r * ldc + cix] = acc[r][cix];
+    }
+  }
+}
+
+}  // namespace summagen::blas::detail

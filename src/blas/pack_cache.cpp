@@ -1,0 +1,180 @@
+#include "src/blas/pack_cache.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "src/pool/pool.hpp"
+#include "src/util/accounting.hpp"
+#include "src/util/buffer_pool.hpp"
+
+namespace summagen::blas {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ull;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+  return v ^ (v >> 31);
+}
+
+std::int64_t default_budget_bytes() {
+  if (const char* env = std::getenv("SUMMAGEN_PACK_CACHE_MB")) {
+    const long mb = std::strtol(env, nullptr, 10);
+    if (mb >= 0) return static_cast<std::int64_t>(mb) << 20;
+  }
+  return 64ll << 20;
+}
+
+struct PackKeyHash {
+  std::size_t operator()(const PackKey& k) const {
+    std::uint64_t h = splitmix64(k.tag);
+    h = splitmix64(h ^ static_cast<std::uint64_t>(k.jc));
+    h = splitmix64(h ^ static_cast<std::uint64_t>(k.pc));
+    h = splitmix64(h ^ static_cast<std::uint64_t>(k.nr));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+std::uint64_t pack_tag(std::initializer_list<std::uint64_t> parts) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t v : parts) h = splitmix64(h ^ splitmix64(v));
+  return h == 0 ? 1 : h;
+}
+
+struct PackCache::Entry {
+  util::PooledBuffer buf;
+  std::int64_t doubles = 0;
+  bool ready = false;
+  bool failed = false;
+  std::uint64_t lru = 0;
+};
+
+const double* PackCache::Lease::data() const {
+  return entry_ == nullptr ? nullptr : entry_->buf.data();
+}
+
+struct PackCache::Impl {
+  std::unordered_map<PackKey, std::shared_ptr<Entry>, PackKeyHash> map;
+  std::condition_variable cv;
+  std::uint64_t tick = 0;
+  std::int64_t resident = 0;
+  std::int64_t budget = default_budget_bytes();
+};
+
+PackCache::PackCache() : impl_(std::make_unique<Impl>()) {
+  // Drop the previous run's entries whenever the compute pool is
+  // reconfigured — the experiment runner's per-run quiescent point — so
+  // their buffers are back on the BufferPool freelists before the run's
+  // allocation-accounting window opens.
+  sgpool::Pool::add_quiescent_hook([] { PackCache::instance().trim(); });
+}
+
+PackCache& PackCache::instance() {
+  static PackCache cache;
+  return cache;
+}
+
+PackCache::Lease PackCache::lease(const PackKey& key, std::int64_t doubles,
+                                  const std::function<void(double*)>& pack) {
+  std::shared_ptr<Entry> e;
+  bool packer = false;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = impl_->map.find(key);
+    if (it != impl_->map.end() && it->second->doubles == doubles &&
+        !it->second->failed) {
+      e = it->second;
+      e->lru = ++impl_->tick;
+      util::record_pack_lookup(true);
+      impl_->cv.wait(lk, [&] { return e->ready || e->failed; });
+    } else {
+      e = std::make_shared<Entry>();
+      e->doubles = doubles;
+      impl_->map[key] = e;
+      packer = true;
+      util::record_pack_lookup(false);
+    }
+  }
+  if (packer) {
+    try {
+      e->buf = util::BufferPool::instance().acquire(doubles);
+      pack(e->buf.data());
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        e->failed = true;
+        auto it = impl_->map.find(key);
+        if (it != impl_->map.end() && it->second == e) impl_->map.erase(it);
+      }
+      impl_->cv.notify_all();
+      throw;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    e->ready = true;
+    e->lru = ++impl_->tick;
+    impl_->resident += doubles * static_cast<std::int64_t>(sizeof(double));
+    evict_to_budget_locked();
+    impl_->cv.notify_all();
+  } else if (e->failed) {
+    // The packer died (allocation failure mid-run); pack privately so this
+    // caller still makes progress, without re-inserting the key.
+    auto priv = std::make_shared<Entry>();
+    priv->doubles = doubles;
+    priv->buf = util::BufferPool::instance().acquire(doubles);
+    pack(priv->buf.data());
+    priv->ready = true;
+    e = std::move(priv);
+  }
+  Lease lease;
+  lease.entry_ = std::move(e);
+  return lease;
+}
+
+void PackCache::evict_to_budget_locked() {
+  while (impl_->resident > impl_->budget) {
+    auto victim = impl_->map.end();
+    for (auto it = impl_->map.begin(); it != impl_->map.end(); ++it) {
+      if (!it->second->ready || it->second.use_count() > 1) continue;
+      if (victim == impl_->map.end() || it->second->lru < victim->second->lru)
+        victim = it;
+    }
+    if (victim == impl_->map.end()) return;  // everything is in use
+    impl_->resident -=
+        victim->second->doubles * static_cast<std::int64_t>(sizeof(double));
+    impl_->map.erase(victim);
+  }
+}
+
+void PackCache::trim() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = impl_->map.begin(); it != impl_->map.end();) {
+    if (it->second->ready && it->second.use_count() == 1) {
+      impl_->resident -=
+          it->second->doubles * static_cast<std::int64_t>(sizeof(double));
+      it = impl_->map.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::int64_t PackCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return impl_->resident;
+}
+
+std::int64_t PackCache::budget_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return impl_->budget;
+}
+
+void PackCache::set_budget_bytes(std::int64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  impl_->budget = bytes < 0 ? 0 : bytes;
+  evict_to_budget_locked();
+}
+
+}  // namespace summagen::blas

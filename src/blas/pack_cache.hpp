@@ -1,0 +1,97 @@
+// Process-wide cache of packed-B panel blocks, shared across dgemm calls.
+//
+// SUMMA-family schedules multiply the *same* B panel many times: in SUMMA
+// on a pr x 1 grid every rank's WB holds identical contents each k-step,
+// and in SummaGen every sub-partition in spec column bj multiplies the
+// same WB column slice. Packing B into NR-column panels is O(k*n) work and
+// memory traffic per dgemm call; this cache packs each (operand, jc, pc)
+// block once per run and hands every later caller the finished panels.
+//
+// Keying is caller-asserted content identity: a caller that passes
+// GemmOptions::b_pack_key != 0 promises that any two dgemm calls using the
+// same key present bit-identical B operands (same k, n and element
+// values). The core schedulers build keys from pack_tag() over
+// (runtime uid, geometric coordinates) — see summa.cpp / summagen.cpp —
+// so keys never collide across runs (the uid is unique per sgmpi Context)
+// and never alias different panels within a run. Correctness does not
+// depend on *who* packs: contents are identical by the caller's contract,
+// so numeric results stay bit-identical regardless of thread arrival
+// order.
+//
+// Storage is leased from util::BufferPool, so evicted or trimmed entries
+// return to the pool's freelists and the next run's packs are pool hits,
+// not heap allocations (tests/core/alloc_test.cpp keeps holding). An LRU
+// byte budget (SUMMAGEN_PACK_CACHE_MB, default 64 MiB) bounds residency;
+// the shared compute pool invokes trim() at every reconfigure boundary
+// (run start), dropping the previous run's stale entries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+
+namespace summagen::blas {
+
+/// Order-sensitive 64-bit mix for building b_pack_key tags from the
+/// coordinates that identify identical B contents. Never returns 0
+/// (0 disables caching in GemmOptions).
+std::uint64_t pack_tag(std::initializer_list<std::uint64_t> parts);
+
+/// Identity of one packed block: the caller's content tag plus the block
+/// coordinates and packing layout inside that operand.
+struct PackKey {
+  std::uint64_t tag = 0;  ///< GemmOptions::b_pack_key (content identity)
+  std::int64_t jc = 0;    ///< column-block offset within the operand
+  std::int64_t pc = 0;    ///< k-block offset within the operand
+  std::int64_t nr = 0;    ///< packed panel width (layout discriminator)
+  bool operator==(const PackKey&) const = default;
+};
+
+class PackCache {
+ public:
+  struct Entry;
+
+  /// RAII lease keeping one packed block alive (shared; copyable moves of
+  /// the underlying shared_ptr). data() is valid until destruction even if
+  /// the entry is concurrently evicted from the cache index.
+  class Lease {
+   public:
+    Lease() = default;
+    const double* data() const;
+    explicit operator bool() const { return entry_ != nullptr; }
+
+   private:
+    friend class PackCache;
+    std::shared_ptr<Entry> entry_;
+  };
+
+  static PackCache& instance();
+
+  /// Returns a lease on the packed block for `key` (`doubles` elements).
+  /// On a miss the calling thread packs via `pack(dst)`; concurrent
+  /// callers of the same key wait for the packer instead of re-packing.
+  /// Lookups are counted in util::DataPlaneStats (pack_lookups/pack_hits).
+  Lease lease(const PackKey& key, std::int64_t doubles,
+              const std::function<void(double*)>& pack);
+
+  /// Drops every entry not currently leased, returning its storage to the
+  /// BufferPool. Invoked by sgpool::Pool reconfiguration (run boundaries).
+  void trim();
+
+  std::int64_t resident_bytes() const;
+  std::int64_t budget_bytes() const;
+  void set_budget_bytes(std::int64_t bytes);
+
+ private:
+  PackCache();
+
+  void evict_to_budget_locked();
+
+  mutable std::mutex mu_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace summagen::blas

@@ -1,0 +1,59 @@
+// Runtime SIMD dispatch for the packed DGEMM kernel.
+//
+// The paper's AbsCPU owes its speed to a vendor DGEMM (MKL); our substrate
+// gets there with BLIS-style microkernels selected at runtime by CPUID:
+//
+//   tier      microkernel      requires            result identity
+//   kAvx2     6x8, FMA         AVX2 + FMA          bit-identical per tier
+//   kSse2     4x4, mul+add     SSE2 (any x86-64)   bit-identical to kScalar
+//   kScalar   4x8, mul+add     nothing             bit-identical to the
+//                                                  pre-dispatch kPacked
+//
+// All tiers preserve the per-C-element l-ascending accumulation chain, so
+// each tier is deterministic and run-to-run bit-identical; kSse2 performs
+// the same round-to-nearest multiply and add per element as kScalar and is
+// therefore bitwise equal to it, while kAvx2 fuses them (FMA: one rounding)
+// and legitimately differs in low-order bits.
+//
+// The SIMD tiers only exist on x86-64 and only when the compiler accepts
+// the target flags (CMake probes; non-x86 builds fall back to kScalar).
+// Setting SUMMAGEN_FORCE_SCALAR=1 in the environment caps availability at
+// kScalar — the CI forced-scalar job uses this to run the whole numeric
+// plane on the portable kernel.
+#pragma once
+
+#include <string>
+
+namespace summagen::blas {
+
+/// Dispatch tier of the packed kernel. Order is ascending capability.
+enum class SimdTier { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAuto = 3 };
+
+/// True when the tier's translation unit was compiled into the library
+/// (kScalar always; the SIMD tiers only on x86-64 with flag support).
+bool simd_tier_compiled(SimdTier tier);
+
+/// True when the tier is usable right now: compiled, the CPU reports the
+/// required features, and SUMMAGEN_FORCE_SCALAR does not cap it away.
+/// kScalar is always available; kAuto is not a concrete tier (false).
+bool simd_tier_available(SimdTier tier);
+
+/// Highest available tier (reads SUMMAGEN_FORCE_SCALAR live, so tests can
+/// toggle the override around calls).
+SimdTier best_simd_tier();
+
+/// Maps kAuto to best_simd_tier() and validates explicit requests; throws
+/// std::invalid_argument for a tier that is not available on this host.
+SimdTier resolve_simd_tier(SimdTier requested);
+
+/// "scalar" | "sse2" | "avx2" | "auto".
+const char* simd_tier_name(SimdTier tier);
+
+/// Inverse of simd_tier_name; throws std::invalid_argument on anything
+/// else (the CLI wraps this into a CliError).
+SimdTier parse_simd_tier(const std::string& name);
+
+/// Live read of the SUMMAGEN_FORCE_SCALAR override (set and not "0").
+bool force_scalar_requested();
+
+}  // namespace summagen::blas

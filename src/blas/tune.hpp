@@ -1,0 +1,97 @@
+// Cache-blocking autotuner for the packed DGEMM kernel.
+//
+// The five-loop scheme (DESIGN.md §5.11) has three free block sizes:
+//   MC — A-block rows resident in L2 per band,
+//   NC — B-block columns packed per outer block (L3 residency),
+//   KC — k-depth of one packed block (shared with the pre-dispatch loop).
+// Good values are CPU-specific, so `summagen_tune` (tools/) sweeps a small
+// candidate grid per dispatch tier, measures single-caller GFLOP/s, and
+// persists the winners to a JSON cache keyed by the CPU model string:
+//
+//   {"version": 1,
+//    "cpus": {"<model name>": {
+//       "avx2":   {"mc": 96, "nc": 2048, "kc": 256, "gflops": 31.4},
+//       "scalar": {"mc": 128, "nc": 4096, "kc": 256, "gflops": 10.8}}}}
+//
+// The cache lives at $SUMMAGEN_TUNE_CACHE, falling back to
+// $HOME/.cache/summagen/tune.json. dgemm's auto path (GemmOptions with
+// mc/nc/kc == 0, the runner's threads=0 default configuration) consults
+// the cache once per process; absent or unparsable caches fall back to the
+// per-tier defaults. Tuning never runs implicitly — tests and runs stay
+// deterministic-latency; only the explicit tool triggers the sweep.
+//
+// Block sizes never change numeric results: every tier's accumulation is
+// the per-element l-ascending chain with exact double stores/loads between
+// k-blocks, so MC/NC/KC only move work between cache levels.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/blas/simd.hpp"
+
+namespace summagen::blas {
+
+struct GemmOptions;
+
+/// Resolved cache-blocking parameters (all positive).
+struct BlockSizes {
+  std::int64_t mc = 0;  ///< A-block rows per band (L2)
+  std::int64_t nc = 0;  ///< B-block columns per outer block (L3)
+  std::int64_t kc = 0;  ///< k-depth per packed block
+};
+
+/// Built-in per-tier defaults (used when no tuned entry exists).
+BlockSizes default_block_sizes(SimdTier tier);
+
+/// Blocking for one dgemm call: positive GemmOptions fields override,
+/// otherwise the tuned cache entry for this CPU + tier (loaded once per
+/// process), otherwise default_block_sizes. Always returns sane positive
+/// values.
+BlockSizes resolve_block_sizes(const GemmOptions& opts, SimdTier tier);
+
+/// Tune-cache location: $SUMMAGEN_TUNE_CACHE if set, else
+/// $HOME/.cache/summagen/tune.json (empty string when $HOME is unset).
+std::string tune_cache_path();
+
+/// "model name" from /proc/cpuinfo (trimmed), or "unknown-cpu".
+std::string cpu_model_key();
+
+/// One tuned record (the JSON leaf).
+struct TuneRecord {
+  BlockSizes bs;
+  double gflops = 0.0;
+};
+
+/// Full cache file contents: cpu key -> tier name -> record.
+using TuneFile = std::map<std::string, std::map<std::string, TuneRecord>>;
+
+/// Parses a tune-cache JSON document; returns false (out untouched) on
+/// malformed input. Tolerates unknown fields being absent, not junk syntax.
+bool parse_tune_file(const std::string& text, TuneFile* out);
+
+/// Serialises a TuneFile to the JSON format above.
+std::string format_tune_file(const TuneFile& file);
+
+/// Loads `path` into `out`; false when the file is missing or malformed.
+bool load_tune_file(const std::string& path, TuneFile* out);
+
+/// Writes `file` to `path` (creating parent directories best-effort);
+/// false on I/O failure.
+bool save_tune_file(const std::string& path, const TuneFile& file);
+
+struct TuneResult {
+  SimdTier tier = SimdTier::kScalar;
+  BlockSizes bs;
+  double gflops = 0.0;
+};
+
+/// Sweeps the candidate MC/NC/KC grid for each listed *available* tier at
+/// problem size n (median of `repeats` timed multiplications per
+/// candidate) and returns the per-tier winners, best tier first.
+std::vector<TuneResult> autotune_block_sizes(std::int64_t n, int repeats,
+                                             const std::vector<SimdTier>& tiers);
+
+}  // namespace summagen::blas

@@ -4,12 +4,17 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/blas/pack_cache.hpp"
 #include "src/core/panel_bcast.hpp"
 #include "src/util/buffer_pool.hpp"
 #include "src/util/matrix_view.hpp"
 
 namespace summagen::core {
 namespace {
+
+/// Scheduler constant folded into pack tags so different schedulers never
+/// collide on a key even for identical geometry.
+constexpr std::uint64_t kSummaPackTag = 0x53554d4d41ull;  // "SUMMA"
 
 void validate_config(std::int64_t n, const SummaConfig& config) {
   if (n <= 0) throw std::invalid_argument("summa: n <= 0");
@@ -120,8 +125,18 @@ SummaReport summa_rank(sgmpi::Comm& world, std::int64_t n,
     if (data == nullptr) {
       cost = ap.kernel_cost(my_rows, my_cols, bcur, contended);
     } else {
+      // WB holds B[k0:k0+bcur, col0:col0+my_cols] — identical on every
+      // rank of my processor column, so tag it for the blas pack cache
+      // (coordinates + runtime uid fully determine the content).
+      const std::int64_t col0 = balanced_part_offset(n, config.pc, gj);
+      const std::uint64_t wb_key = blas::pack_tag(
+          {world.context_uid(), kSummaPackTag, static_cast<std::uint64_t>(n),
+           static_cast<std::uint64_t>(k0), static_cast<std::uint64_t>(bcur),
+           static_cast<std::uint64_t>(col0),
+           static_cast<std::uint64_t>(my_cols)});
       cost = ap.run_gemm(my_rows, my_cols, bcur, wa.data(), bcur, wb.data(),
-                         my_cols, data->c_block().data(), my_cols, contended);
+                         my_cols, data->c_block().data(), my_cols, contended,
+                         wb_key);
     }
     auto& clk = world.clock();
     const double t0 = clk.now();

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/blas/pack_cache.hpp"
 #include "src/core/plan.hpp"
 #include "src/util/buffer_pool.hpp"
 #include "src/util/matrix_view.hpp"
@@ -25,6 +26,10 @@ const char* to_string(Scheduler scheduler) {
 }
 
 namespace {
+
+/// Scheduler constant folded into pack tags (disjoint from the SUMMA and
+/// 2.5D key spaces even for identical geometry).
+constexpr std::uint64_t kSummagenPackTag = 0x5347454eull;  // "SGEN"
 
 /// Rank-invariant geometry shared by every plan step executor.
 struct Frame {
@@ -121,9 +126,20 @@ void exec_gemm(sgmpi::Comm& world, const Frame& frame,
                    (frame.roff[static_cast<std::size_t>(g.bi)] - cr.row0) *
                        cv.ld() +
                    (frame.coff[static_cast<std::size_t>(g.bj)] - cr.col0);
+    // The B operand is columns [coff[bj], coff[bj]+w) of global B over the
+    // full k axis — bit-identical on every rank computing a cell of
+    // sub-partition column bj (different WB buffers and ld, same values),
+    // so tag it for the blas pack cache.
+    const std::uint64_t wb_key = blas::pack_tag(
+        {world.context_uid(), kSummagenPackTag,
+         static_cast<std::uint64_t>(spec.n), 0,
+         static_cast<std::uint64_t>(spec.n),
+         static_cast<std::uint64_t>(
+             frame.coff[static_cast<std::size_t>(g.bj)]),
+         static_cast<std::uint64_t>(w)});
     cost = ap.run_gemm(h, w, spec.n, frame.wa.row(wa_row0), frame.wa.ld(),
                        frame.wb.data() + wb_col0, frame.wb.ld(), cptr,
-                       cv.ld(), contended);
+                       cv.ld(), contended, wb_key);
   }
 
   // A planned rank-slowdown fault scales the device's modeled time; the
@@ -261,9 +277,19 @@ void exec_gemm_chunk(sgmpi::Comm& world, const Frame& frame,
     // run_gemm accumulates (beta = 1); its returned cost describes a
     // standalone (h, w, kc) kernel and is discarded in favour of `full`'s
     // pro-rata share.
+    // Same cross-rank identity as exec_gemm, restricted to the chunk's
+    // k-range [k0, k1) — which the tag must therefore include.
+    const std::uint64_t wb_key = blas::pack_tag(
+        {world.context_uid(), kSummagenPackTag,
+         static_cast<std::uint64_t>(spec.n),
+         static_cast<std::uint64_t>(ch.k0),
+         static_cast<std::uint64_t>(kc),
+         static_cast<std::uint64_t>(
+             frame.coff[static_cast<std::size_t>(g.bj)]),
+         static_cast<std::uint64_t>(w)});
     ap.run_gemm(h, w, kc, frame.wa.row(wa_row0) + ch.k0, frame.wa.ld(),
                 frame.wb.row(ch.k0) + wb_col0, frame.wb.ld(), cptr, cv.ld(),
-                contended);
+                contended, wb_key);
   }
 
   const double share =

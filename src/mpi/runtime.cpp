@@ -8,6 +8,13 @@
 
 namespace summagen::sgmpi {
 
+namespace detail {
+std::uint64_t next_context_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
 Runtime::Runtime(Config config) : config_(config) {
   if (config_.nranks < 1) {
     throw std::invalid_argument("sgmpi: nranks must be >= 1");

@@ -11,6 +11,13 @@ std::atomic<std::int64_t> g_process_spawned{0};
 std::atomic<int> g_reserved_threads{0};
 std::mutex g_configure_mu;
 
+std::mutex g_hooks_mu;
+std::vector<std::function<void()>>& quiescent_hooks() {
+  static std::vector<std::function<void()>>* hooks =
+      new std::vector<std::function<void()>>();
+  return *hooks;
+}
+
 // Which pool (if any) the current thread is a worker of, and its index —
 // lets submit() use the cache-warm local deque and try_run_one() prefer it.
 thread_local Pool* tl_worker_pool = nullptr;
@@ -48,11 +55,25 @@ Pool& Pool::instance() {
 
 void Pool::configure(int threads) {
   std::lock_guard<std::mutex> lk(g_configure_mu);
+  // Quiescent point: configure() is documented no-tasks-in-flight, so
+  // caches can safely drop storage here (copy the hooks out so a hook may
+  // itself register hooks without deadlocking).
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> hlk(g_hooks_mu);
+    hooks = quiescent_hooks();
+  }
+  for (const auto& hook : hooks) hook();
   Pool& pool = instance();
   const int want = std::max(0, threads);
   if (pool.size() == want) return;
   pool.shutdown();
   pool.start(want);
+}
+
+void Pool::add_quiescent_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lk(g_hooks_mu);
+  quiescent_hooks().push_back(std::move(hook));
 }
 
 int Pool::recommended_size(int reserved_threads) {

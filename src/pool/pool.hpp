@@ -74,6 +74,13 @@ class Pool {
   static void set_reserved_threads(int reserved);
   static int reserved_threads();
 
+  /// Registers a callback run at every quiescent point — currently the top
+  /// of configure(), i.e. once per experiment run, before any tasks of the
+  /// new run are in flight. Used by process-wide caches (the blas pack
+  /// cache) to release storage between runs. Hooks are never removed and
+  /// must be safe to call with no tasks in flight.
+  static void add_quiescent_hook(std::function<void()> hook);
+
   /// Total worker threads ever spawned by any Pool in this process — the
   /// test hook proving dgemm does not construct threads per call.
   static std::int64_t process_threads_spawned();

@@ -13,6 +13,8 @@ std::atomic<std::int64_t> g_pool_acquires{0};
 std::atomic<std::int64_t> g_pool_hits{0};
 std::atomic<std::int64_t> g_pool_resident{0};
 std::atomic<std::int64_t> g_pool_peak_resident{0};
+std::atomic<std::int64_t> g_pack_lookups{0};
+std::atomic<std::int64_t> g_pack_hits{0};
 
 constexpr auto kRelaxed = std::memory_order_relaxed;
 
@@ -26,6 +28,8 @@ DataPlaneStats DataPlaneStats::since(const DataPlaneStats& base) const {
   d.copy_bytes -= base.copy_bytes;
   d.pool_acquires -= base.pool_acquires;
   d.pool_hits -= base.pool_hits;
+  d.pack_lookups -= base.pack_lookups;
+  d.pack_hits -= base.pack_hits;
   return d;
 }
 
@@ -39,6 +43,8 @@ DataPlaneStats data_plane_stats() {
   s.pool_hits = g_pool_hits.load(kRelaxed);
   s.pool_resident_bytes = g_pool_resident.load(kRelaxed);
   s.pool_peak_resident_bytes = g_pool_peak_resident.load(kRelaxed);
+  s.pack_lookups = g_pack_lookups.load(kRelaxed);
+  s.pack_hits = g_pack_hits.load(kRelaxed);
   return s;
 }
 
@@ -56,6 +62,11 @@ void record_copy(std::int64_t bytes) {
 void record_pool_acquire(bool hit) {
   g_pool_acquires.fetch_add(1, kRelaxed);
   if (hit) g_pool_hits.fetch_add(1, kRelaxed);
+}
+
+void record_pack_lookup(bool hit) {
+  g_pack_lookups.fetch_add(1, kRelaxed);
+  if (hit) g_pack_hits.fetch_add(1, kRelaxed);
 }
 
 void record_pool_resident_delta(std::int64_t delta) {

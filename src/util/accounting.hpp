@@ -26,6 +26,8 @@ struct DataPlaneStats {
   std::int64_t pool_hits = 0;      ///< acquires served from a freelist
   std::int64_t pool_resident_bytes = 0;  ///< pooled bytes currently alive
   std::int64_t pool_peak_resident_bytes = 0;  ///< high-water mark of above
+  std::int64_t pack_lookups = 0;  ///< blas PackCache lease lookups
+  std::int64_t pack_hits = 0;     ///< lookups served by an existing panel
 
   /// Fraction of pool acquires served without a heap allocation.
   double pool_hit_rate() const {
@@ -33,6 +35,14 @@ struct DataPlaneStats {
                ? 0.0
                : static_cast<double>(pool_hits) /
                      static_cast<double>(pool_acquires);
+  }
+
+  /// Fraction of pack-cache lookups that reused an already-packed B block.
+  double pack_hit_rate() const {
+    return pack_lookups == 0
+               ? 0.0
+               : static_cast<double>(pack_hits) /
+                     static_cast<double>(pack_lookups);
   }
 
   /// Counter-wise difference (peaks and residency keep this snapshot's
@@ -53,6 +63,9 @@ void record_copy(std::int64_t bytes);
 
 /// Records one BufferPool::acquire (`hit` = served from a freelist).
 void record_pool_acquire(bool hit);
+
+/// Records one blas PackCache lookup (`hit` = reused a packed B block).
+void record_pack_lookup(bool hit);
 
 /// Adjusts the live pooled footprint by `delta` bytes (positive on a fresh
 /// pool allocation, negative when the pool releases memory) and maintains

@@ -54,6 +54,29 @@ std::int64_t Cli::get_int(const std::string& name,
   return std::stoll(it->second);
 }
 
+std::int64_t Cli::get_int_min(const std::string& name, std::int64_t fallback,
+                              std::int64_t min_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  std::int64_t value = 0;
+  try {
+    std::size_t used = 0;
+    value = std::stoll(it->second, &used);
+    if (used != it->second.size()) {
+      throw std::invalid_argument(it->second);
+    }
+  } catch (const std::exception&) {
+    throw CliError("--" + name + ": expected an integer, got '" +
+                   it->second + "'");
+  }
+  if (value < min_value) {
+    throw CliError("--" + name + ": value must be >= " +
+                   std::to_string(min_value) + ", got " +
+                   std::to_string(value));
+  }
+  return value;
+}
+
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;

@@ -7,10 +7,19 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace summagen::util {
+
+/// A user-facing command-line error: the flag name and what was wrong with
+/// its value. Binaries catch this separately from internal errors and print
+/// the message plus usage.
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Parsed command-line flags with typed, defaulted accessors.
 class Cli {
@@ -23,6 +32,10 @@ class Cli {
 
   std::string get(const std::string& name, const std::string& fallback) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  /// get_int with a lower bound: throws CliError naming the flag when the
+  /// value is malformed or below `min_value`.
+  std::int64_t get_int_min(const std::string& name, std::int64_t fallback,
+                           std::int64_t min_value) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 

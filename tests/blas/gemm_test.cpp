@@ -157,8 +157,11 @@ TEST(Gemm, ThreadedMatchesBlockedExactly) {
   // Note: threading splits rows, which does not change the per-row
   // reduction order of the ikj kernel, so results are bit-identical.
   EXPECT_EQ(multiply(a, b, blocked), multiply(a, b, threaded));
-  // The packed kernel preserves the same l-ascending accumulation chain.
-  GemmOptions packed{.kernel = GemmKernel::kPacked, .threads = 3};
+  // The packed kernel's scalar tier preserves the same l-ascending
+  // accumulation chain (the AVX2 tier fuses multiply-add and is checked
+  // against the oracle by tolerance elsewhere).
+  GemmOptions packed{.kernel = GemmKernel::kPacked, .threads = 3,
+                     .tier = SimdTier::kScalar};
   EXPECT_EQ(multiply(a, b, blocked), multiply(a, b, packed));
 }
 

@@ -236,14 +236,22 @@ TEST(Pool, PackedMatchesNaiveOnRandomShapes) {
 
 TEST(Pool, PackedBitIdenticalToBlockedAndThreaded) {
   // The packed layout must not change the per-element accumulation chain.
+  // The scalar (and SSE2) dispatch tiers keep that guarantee; the AVX2 tier
+  // fuses multiply-add and is covered by tolerance tests instead.
   Matrix a(53, 210), b(210, 37);
   util::fill_random(a, 5);
   util::fill_random(b, 6);
   const Matrix blocked = multiply(a, b, {.kernel = GemmKernel::kBlocked});
   const Matrix threaded = multiply(a, b, {.kernel = GemmKernel::kThreaded});
-  const Matrix packed = multiply(a, b, {.kernel = GemmKernel::kPacked});
+  const Matrix packed = multiply(
+      a, b,
+      {.kernel = GemmKernel::kPacked, .tier = blas::SimdTier::kScalar});
   EXPECT_EQ(blocked, threaded);
   EXPECT_EQ(blocked, packed);
+  // The auto tier (whatever this host dispatches to) stays within the
+  // usual componentwise error bound of the same chain.
+  const Matrix dispatched = multiply(a, b, {.kernel = GemmKernel::kPacked});
+  EXPECT_LE(Matrix::max_abs_diff(blocked, dispatched), 1e-11 * (210 + 1));
 }
 
 TEST(Pool, PipelinedSchedulerOnPoolVerifies) {

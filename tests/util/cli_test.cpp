@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace summagen::util {
 namespace {
 
@@ -76,6 +79,38 @@ TEST(Cli, PositionalArguments) {
 TEST(Cli, NegativeNumericValue) {
   const auto cli = make({"--offset=-3"});
   EXPECT_EQ(cli.get_int("offset", 0), -3);
+}
+
+TEST(Cli, GetIntMinAcceptsValidValues) {
+  const auto cli = make({"--kernel-block", "16", "--kernel-threads=0"});
+  EXPECT_EQ(cli.get_int_min("kernel-block", 64, 1), 16);
+  EXPECT_EQ(cli.get_int_min("kernel-threads", 0, 0), 0);
+  EXPECT_EQ(cli.get_int_min("absent", 42, 1), 42);  // fallback bypasses min
+}
+
+TEST(Cli, GetIntMinRejectsBelowMinimum) {
+  const auto cli = make({"--kernel-block=0", "--kernel-threads=-2"});
+  try {
+    cli.get_int_min("kernel-block", 64, 1);
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    EXPECT_NE(std::string(e.what()).find("--kernel-block"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(">= 1"), std::string::npos);
+  }
+  EXPECT_THROW(cli.get_int_min("kernel-threads", 0, 0), CliError);
+}
+
+TEST(Cli, GetIntMinRejectsMalformedValues) {
+  const auto cli = make({"--kernel-block=fast", "--kernel-threads=3x"});
+  try {
+    cli.get_int_min("kernel-block", 64, 1);
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    EXPECT_NE(std::string(e.what()).find("'fast'"), std::string::npos);
+  }
+  // Trailing junk after digits must not silently parse as 3.
+  EXPECT_THROW(cli.get_int_min("kernel-threads", 0, 0), CliError);
 }
 
 }  // namespace

@@ -18,6 +18,20 @@ require regenerating the baseline in the same commit).
 Benchmarks without items_per_second fall back to comparing real_time
 (higher is worse), with the same ratio threshold.
 
+Repetitions: when a file was produced with --repeats (benchmark
+repetitions), the per-repetition rows are noisy; the gate uses the
+`_median` aggregate rows instead, keyed by the benchmark's run_name.
+Files mixing styles are fine — a median row always wins over the
+iteration rows of the same benchmark, and single-run files behave as
+before.
+
+Per-kernel baselines: benchmark families may grow per-variant entries
+(e.g. BM_GemmPackedTierAvx2/1024 next to BM_GemmPacked/1024). A current
+entry with no exact baseline match falls back to its family baseline —
+the name with the `TierX` token stripped — so adding tiered entries does
+not require regenerating the old baseline schema; tiered entries are
+then gated against the family's recorded throughput.
+
 Allocation gate: benchmarks exporting the `alloc_bytes_per_iter` counter
 (micro_dgemm does, via the data-plane accounting) are additionally checked
 against the baseline's counter. The current build fails if it allocates
@@ -37,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -48,15 +63,41 @@ def load_benchmarks(path: str) -> dict[str, dict]:
         print(f"error: cannot read {path}: {exc}", file=sys.stderr)
         sys.exit(2)
     out: dict[str, dict] = {}
+    medians: set[str] = set()
     for bench in doc.get("benchmarks", []):
-        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
         if bench.get("run_type") == "aggregate":
+            # Prefer the median aggregate of a repeated run; ignore
+            # mean/stddev/cv rows.
+            if bench.get("aggregate_name") != "median":
+                continue
+            name = bench.get("run_name", bench["name"])
+            out[name] = bench
+            medians.add(name)
             continue
-        out[bench["name"]] = bench
+        # Per-repetition (or single-run) row: never overrides a median.
+        name = bench.get("run_name", bench["name"])
+        if name not in medians:
+            out[name] = bench
     if not out:
         print(f"error: no benchmarks found in {path}", file=sys.stderr)
         sys.exit(2)
     return out
+
+
+def family_name(name: str) -> str:
+    """Strip a per-variant `TierX` token: BM_GemmPackedTierAvx2/1024 ->
+    BM_GemmPacked/1024."""
+    return re.sub(r"Tier[A-Za-z0-9]+", "", name)
+
+
+def baseline_for(name: str, base: dict[str, dict]) -> tuple[str, dict] | None:
+    """Exact baseline entry, else the family baseline for tiered entries."""
+    if name in base:
+        return name, base[name]
+    family = family_name(name)
+    if family != name and family in base:
+        return family, base[family]
+    return None
 
 
 def slowdown(base: dict, cur: dict) -> float:
@@ -99,26 +140,34 @@ def main() -> int:
 
     failures = []
     alloc_failures = []
-    for name in sorted(base):
-        if name not in cur:
-            print(f"  (baseline-only, skipped) {name}")
+    matched_baselines = set()
+    unmatched_new = []
+    for name in sorted(cur):
+        resolved = baseline_for(name, base)
+        if resolved is None:
+            unmatched_new.append(name)
             continue
-        ratio = slowdown(base[name], cur[name])
+        base_name, base_entry = resolved
+        matched_baselines.add(base_name)
+        label = name if base_name == name else f"{name} (vs {base_name})"
+        ratio = slowdown(base_entry, cur[name])
         status = "FAIL" if ratio > args.max_ratio else "ok"
-        print(f"  [{status}] {name}: {ratio:.2f}x baseline time")
+        print(f"  [{status}] {label}: {ratio:.2f}x baseline time")
         if ratio > args.max_ratio:
-            failures.append((name, ratio))
-        b_alloc = base[name].get("alloc_bytes_per_iter")
+            failures.append((label, ratio))
+        b_alloc = base_entry.get("alloc_bytes_per_iter")
         c_alloc = cur[name].get("alloc_bytes_per_iter")
         if b_alloc is not None and c_alloc is not None:
             budget = max(b_alloc * args.max_alloc_ratio, args.alloc_floor)
             if c_alloc > budget:
                 print(
-                    f"  [FAIL] {name}: allocates {c_alloc:.0f} B/iter "
+                    f"  [FAIL] {label}: allocates {c_alloc:.0f} B/iter "
                     f"(baseline {b_alloc:.0f}, budget {budget:.0f})"
                 )
-                alloc_failures.append((name, b_alloc, c_alloc))
-    for name in sorted(set(cur) - set(base)):
+                alloc_failures.append((label, b_alloc, c_alloc))
+    for name in sorted(set(base) - matched_baselines):
+        print(f"  (baseline-only, skipped) {name}")
+    for name in unmatched_new:
         print(f"  (new, no baseline) {name}")
 
     if failures:
