@@ -1,21 +1,30 @@
-// Ablation: communication/computation overlap of the pipelined scheduler.
+// Ablation: communication/computation overlap of the pipelined and
+// task-graph schedulers.
 //
 // The paper's SummaGen runs its phases strictly in sequence, so every
 // rank's time is comm + comp. The kPipelined scheduler posts the panel
 // broadcasts non-blocking and completes them just before the first DGEMM
-// k-chunk that reads them, hiding broadcast cost behind computation. This
-// ablation sweeps the four paper shapes x broadcast panel rows x overlap
-// depth on a communication-bound fabric (beta scaled up so the broadcasts
-// are worth hiding) and reports the eager baseline, the pipelined time,
-// the hidden communication cost, and the saving.
+// k-chunk that reads them; the kTaskGraph scheduler executes the same
+// dependency graph dataflow-style, running whichever chunk is ready while
+// broadcasts complete in collective order. This ablation sweeps the four
+// paper shapes x broadcast panel rows x overlap depth on a
+// communication-bound fabric (beta scaled up so the broadcasts are worth
+// hiding) and reports the eager baseline, both overlapped times, the
+// hidden communication cost, and the saving.
 //
-// A small numeric run (--verify-n) cross-checks that the pipelined
-// scheduler still verifies against the serial reference and moves exactly
-// the same broadcast bytes as eager.
+// Gates (exit 1 on violation):
+//  * every shape has >= 1 configuration where pipelining strictly beats
+//    eager while moving exactly the same broadcast bytes;
+//  * the task-graph schedule is never slower than the in-order pipeline
+//    on any configuration (it only ever moves compute earlier);
+//  * a small numeric run (--verify-n) cross-checks that both overlapped
+//    schedulers still verify against the serial reference.
 //
 // Flags: --n 2048  --beta-scale 200  --panel-rows 0,64,512
-//        --depths 1,2,0  --verify-n 128
+//        --depths 1,2,0  --verify-n 128  --json FILE (Google-Benchmark
+//        JSON for tools/compare_bench.py, see bench/BENCH_overlap.json)
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -46,6 +55,32 @@ std::int64_t total_bcast_bytes(const summagen::core::ExperimentResult& res) {
   return bytes;
 }
 
+/// One Google-Benchmark-style entry: virtual execution seconds as
+/// real_time (lower is better; compare_bench.py gates on the ratio).
+struct JsonEntry {
+  std::string name;
+  double seconds = 0.0;
+};
+
+void write_json(const std::string& path, const std::vector<JsonEntry>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open --json file '" << path << "'\n";
+    std::exit(2);
+  }
+  out << "{\n  \"context\": {\"executable\": \"ablation_overlap\"},\n"
+      << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "    {\"name\": \"" << rows[i].name
+        << "\", \"run_type\": \"iteration\", \"iterations\": 1, "
+        << "\"real_time\": " << rows[i].seconds
+        << ", \"cpu_time\": " << rows[i].seconds
+        << ", \"time_unit\": \"s\"}" << (i + 1 < rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,12 +98,15 @@ int main(int argc, char** argv) {
   util::Table t("Overlap ablation, CPM, N=" + std::to_string(n) +
                 ", beta x" + util::Table::num(beta_scale, 0));
   t.set_header({"shape", "panel", "depth", "eager_s", "pipelined_s",
-                "hidden_s", "saving_%"});
+                "taskgraph_s", "hidden_s", "saving_%"});
 
-  // The acceptance bar: on this communication-bound fabric every paper
+  // The acceptance bars: on this communication-bound fabric every paper
   // shape must have at least one configuration where pipelining is
-  // strictly faster while moving exactly the same broadcast bytes.
+  // strictly faster while moving exactly the same broadcast bytes, and
+  // the dataflow schedule must dominate the in-order pipeline everywhere.
   std::map<partition::Shape, bool> shape_wins;
+  bool taskgraph_dominates = true;
+  std::vector<JsonEntry> json_rows;
   for (auto shape : shapes) {
     shape_wins[shape] = false;
     for (std::int64_t panel : panel_rows) {
@@ -77,22 +115,42 @@ int main(int argc, char** argv) {
       const auto eager = core::run_pmm(config);
 
       for (std::int64_t depth : depths) {
-        config.summagen_options.scheduler = core::Scheduler::kPipelined;
         config.summagen_options.overlap_depth = static_cast<int>(depth);
+        config.summagen_options.scheduler = core::Scheduler::kPipelined;
         const auto pipelined = core::run_pmm(config);
+        config.summagen_options.scheduler = core::Scheduler::kTaskGraph;
+        const auto taskgraph = core::run_pmm(config);
+        config.summagen_options.scheduler = core::Scheduler::kEager;
+
         const double saving =
-            100.0 * (eager.exec_time_s - pipelined.exec_time_s) /
+            100.0 * (eager.exec_time_s - taskgraph.exec_time_s) /
             eager.exec_time_s;
         if (pipelined.exec_time_s < eager.exec_time_s &&
             total_bcast_bytes(pipelined) == total_bcast_bytes(eager)) {
           shape_wins[shape] = true;
         }
+        if (taskgraph.exec_time_s >
+            pipelined.exec_time_s * (1.0 + 1e-9)) {
+          taskgraph_dominates = false;
+          std::cerr << "taskgraph slower than pipelined: "
+                    << partition::shape_name(shape) << " panel=" << panel
+                    << " depth=" << depth << " (" << taskgraph.exec_time_s
+                    << " vs " << pipelined.exec_time_s << ")\n";
+        }
+        const std::string key =
+            std::string("overlap/") + partition::shape_name(shape) +
+            "/panel" + std::to_string(panel) + "/depth" +
+            std::to_string(depth);
+        json_rows.push_back({key + "/eager", eager.exec_time_s});
+        json_rows.push_back({key + "/pipelined", pipelined.exec_time_s});
+        json_rows.push_back({key + "/taskgraph", taskgraph.exec_time_s});
         t.add_row({partition::shape_name(shape),
                    panel == 0 ? "whole" : std::to_string(panel),
                    depth == 0 ? "inf" : std::to_string(depth),
                    util::Table::num(eager.exec_time_s, 3),
                    util::Table::num(pipelined.exec_time_s, 3),
-                   util::Table::num(pipelined.hidden_comm_time_s, 3),
+                   util::Table::num(taskgraph.exec_time_s, 3),
+                   util::Table::num(taskgraph.hidden_comm_time_s, 3),
                    util::Table::num(saving, 1)});
       }
     }
@@ -110,6 +168,8 @@ int main(int argc, char** argv) {
     std::cout << "  " << partition::shape_name(shape) << ": "
               << (shape_wins[shape] ? "yes" : "NO") << "\n";
   }
+  std::cout << "taskgraph <= pipelined on every configuration: "
+            << (taskgraph_dominates ? "yes" : "NO") << "\n";
 
   // Numeric cross-check at small n: the overlap must not change C.
   std::cout << "\nNumeric verification (N=" << verify_n << "):\n";
@@ -121,12 +181,18 @@ int main(int argc, char** argv) {
     const auto eager = core::run_pmm(config);
     config.summagen_options.scheduler = core::Scheduler::kPipelined;
     const auto pipelined = core::run_pmm(config);
+    config.summagen_options.scheduler = core::Scheduler::kTaskGraph;
+    const auto taskgraph = core::run_pmm(config);
     const bool ok = eager.verified && pipelined.verified &&
-                    total_bcast_bytes(pipelined) == total_bcast_bytes(eager);
+                    taskgraph.verified &&
+                    total_bcast_bytes(pipelined) == total_bcast_bytes(eager) &&
+                    total_bcast_bytes(taskgraph) == total_bcast_bytes(eager);
     all_verified = all_verified && ok;
     std::cout << "  " << partition::shape_name(shape)
               << ": verified=" << (ok ? "yes" : "NO")
-              << " max_abs_error=" << pipelined.max_abs_error << "\n";
+              << " max_abs_error=" << taskgraph.max_abs_error << "\n";
   }
-  return all_shapes_win && all_verified ? 0 : 1;
+
+  if (cli.has("json")) write_json(cli.get("json", ""), json_rows);
+  return all_shapes_win && taskgraph_dominates && all_verified ? 0 : 1;
 }

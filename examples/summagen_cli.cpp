@@ -39,8 +39,11 @@ void usage() {
       "  --simd-tier T      packed microkernel tier: auto (default) |\n"
       "                     scalar | sse2 | avx2 (explicit unavailable\n"
       "                     tiers fail; SUMMAGEN_FORCE_SCALAR=1 caps auto)\n"
-      "  --scheduler NAME   eager | pipelined (default eager)\n"
-      "  --overlap-depth D  pipelined prefetch window, 0 = unbounded\n"
+      "  --scheduler NAME   eager | pipelined | taskgraph (default eager)\n"
+      "  --overlap-depth D  in-flight broadcast window (>= 0, 0 = unbounded):\n"
+      "                     the pipelined prefetch depth, equivalently the\n"
+      "                     task graph's posted-ahead window (--window is an\n"
+      "                     alias)\n"
       "  --panel-rows R     broadcast panel rows, 0 = whole sub-partitions\n"
       "  --fault LIST       inject faults: <kind>@<t>:<rank>[x<arg>], e.g.\n"
       "                     crash@0.5:1 | slow@0.5:1x4 | link@0.2:0x8 |\n"
@@ -74,13 +77,22 @@ int main(int argc, char** argv) {
     const std::string scheduler = cli.get("scheduler", "eager");
     if (scheduler == "pipelined") {
       config.summagen_options.scheduler = core::Scheduler::kPipelined;
+    } else if (scheduler == "taskgraph") {
+      config.summagen_options.scheduler = core::Scheduler::kTaskGraph;
     } else if (scheduler != "eager") {
-      std::cerr << "unknown scheduler '" << scheduler << "'\n";
-      usage();
-      return 2;
+      throw util::CliError("--scheduler: unknown scheduler '" + scheduler +
+                           "' (expected eager | pipelined | taskgraph)");
     }
-    config.summagen_options.overlap_depth =
-        static_cast<int>(cli.get_int("overlap-depth", 2));
+    // --overlap-depth and --window name the same quantity: the bound on
+    // posted-but-uncompleted broadcasts (pipelined prefetch depth == the
+    // task graph's in-flight window).
+    if (cli.has("overlap-depth") && cli.has("window")) {
+      throw util::CliError("--window is an alias of --overlap-depth; "
+                           "pass only one");
+    }
+    config.summagen_options.overlap_depth = static_cast<int>(
+        cli.has("window") ? cli.get_int_min("window", 2, 0)
+                          : cli.get_int_min("overlap-depth", 2, 0));
     config.summagen_options.bcast_panel_rows = cli.get_int("panel-rows", 0);
     const std::string kernel = cli.get("kernel", "packed");
     if (kernel == "packed") {
@@ -147,7 +159,7 @@ int main(int argc, char** argv) {
     t.add_row({"execution time (s)", util::Table::num(res.exec_time_s, 4)});
     t.add_row({"computation time (s)", util::Table::num(res.comp_time_s, 4)});
     t.add_row({"MPI time (s)", util::Table::num(res.comm_time_s, 4)});
-    if (config.summagen_options.scheduler == core::Scheduler::kPipelined) {
+    if (config.summagen_options.scheduler != core::Scheduler::kEager) {
       t.add_row({"hidden comm (s)",
                  util::Table::num(res.hidden_comm_time_s, 4)});
     }

@@ -6,6 +6,8 @@
 
 #include "src/blas/pack_cache.hpp"
 #include "src/core/panel_bcast.hpp"
+#include "src/core/taskgraph/executor.hpp"
+#include "src/core/taskgraph/taskgraph.hpp"
 #include "src/util/buffer_pool.hpp"
 #include "src/util/matrix_view.hpp"
 
@@ -95,36 +97,59 @@ SummaReport summa_rank(sgmpi::Comm& world, std::int64_t n,
   }
 
   SummaReport report;
-  for (std::int64_t k0 = 0; k0 < n; k0 += config.panel) {
+
+  // The step chain as a task graph: per step an A panel node, a B panel
+  // node, and the GEMM reading both, with write-after-read edges back to
+  // the shared WA/WB workspaces. Every rank builds its own (deterministic)
+  // graph, so the comm nodes on the row/column communicators appear in the
+  // same order on all members.
+  const int nsteps = static_cast<int>((n + config.panel - 1) / config.panel);
+  const taskgraph::TaskGraph graph = taskgraph::build_summa_graph(
+      nsteps, rank, row_members, col_members);
+
+  // A panel (aux 0) or B panel (aux 1) of step `payload` — a kBcast node
+  // on a non-trivial axis, a kPack (pure local landing) when the axis has
+  // one rank. bcast_k_panel handles both: parts == 1 degenerates to the
+  // local copy with no broadcasts counted.
+  auto exec_panel = [&](const taskgraph::TaskNode& node) {
+    const std::int64_t k0 = node.payload * config.panel;
+    const std::int64_t bcur = std::min(config.panel, n - k0);
+    PanelBcastStats stats;
+    if (node.aux == 0) {
+      util::MatrixView wa;
+      util::ConstMatrixView a_block;
+      if (data != nullptr) {
+        wa = util::MatrixView(wa_store.data(), my_rows, bcur, bcur);
+        a_block = data->a_block();
+      }
+      stats = bcast_k_panel(row, PanelAxis::kA, n, config.pc, gj, my_rows,
+                            k0, bcur, a_block, wa);
+    } else {
+      util::MatrixView wb;
+      util::ConstMatrixView b_block;
+      if (data != nullptr) {
+        wb = util::MatrixView(wb_store.data(), bcur, my_cols, my_cols);
+        b_block = data->b_block();
+      }
+      stats = bcast_k_panel(col, PanelAxis::kB, n, config.pr, gi, my_cols,
+                            k0, bcur, b_block, wb);
+    }
+    report.mpi_time_s += stats.mpi_time_s;
+    report.bcasts += stats.bcasts;
+    report.bcast_bytes += stats.bytes;
+  };
+
+  // Rank-b update of my C block (step `payload`).
+  auto exec_step_gemm = [&](const taskgraph::TaskNode& node) {
+    const std::int64_t k0 = node.payload * config.panel;
     const std::int64_t bcur = std::min(config.panel, n - k0);
     ++report.steps;
-
-    util::MatrixView wa, wb;
-    util::ConstMatrixView a_block, b_block;
-    if (data != nullptr) {
-      wa = util::MatrixView(wa_store.data(), my_rows, bcur, bcur);
-      wb = util::MatrixView(wb_store.data(), bcur, my_cols, my_cols);
-      a_block = data->a_block();
-      b_block = data->b_block();
-    }
-
-    // A panel across my processor row, B panel down my processor column;
-    // segments split at the grid's block-ownership boundaries.
-    const PanelBcastStats sa = bcast_k_panel(row, PanelAxis::kA, n, config.pc,
-                                             gj, my_rows, k0, bcur, a_block,
-                                             wa);
-    const PanelBcastStats sb = bcast_k_panel(col, PanelAxis::kB, n, config.pr,
-                                             gi, my_cols, k0, bcur, b_block,
-                                             wb);
-    report.mpi_time_s += sa.mpi_time_s + sb.mpi_time_s;
-    report.bcasts += sa.bcasts + sb.bcasts;
-    report.bcast_bytes += sa.bytes + sb.bytes;
-
-    // --- rank-b update of my C block ---
     device::KernelCost cost;
     if (data == nullptr) {
       cost = ap.kernel_cost(my_rows, my_cols, bcur, contended);
     } else {
+      const util::MatrixView wa(wa_store.data(), my_rows, bcur, bcur);
+      const util::MatrixView wb(wb_store.data(), bcur, my_cols, my_cols);
       // WB holds B[k0:k0+bcur, col0:col0+my_cols] — identical on every
       // rank of my processor column, so tag it for the blas pack cache
       // (coordinates + runtime uid fully determine the content).
@@ -151,7 +176,19 @@ SummaReport summa_rank(sgmpi::Comm& world, std::int64_t n,
       clk.advance_compute(cost.transfer_s);
     }
     report.flops += blas::gemm_flops(my_rows, my_cols, bcur);
-  }
+  };
+
+  taskgraph::ExecHooks hooks;
+  hooks.run_comm = exec_panel;
+  hooks.run_local = [&](const taskgraph::TaskNode& node) {
+    if (node.kind == taskgraph::NodeKind::kPack) {
+      exec_panel(node);
+    } else {
+      exec_step_gemm(node);
+    }
+  };
+  taskgraph::run_graph(graph, rank, taskgraph::schedule_for(config.scheduler),
+                       /*window=*/0, hooks);
   return report;
 }
 

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "src/core/summagen.hpp"
 #include "src/device/device.hpp"
 #include "src/mpi/mpi.hpp"
 #include "src/util/matrix.hpp"
@@ -30,6 +31,11 @@ struct SummaConfig {
   int pr = 2;               ///< processor grid rows
   int pc = 2;               ///< processor grid columns
   std::int64_t panel = 256; ///< k-panel width b
+  /// Which schedule executes the step task graph. SUMMA's graph is a
+  /// chain (panel workspaces are reused across steps), so every schedule
+  /// degenerates to the program order: results, counters, and virtual
+  /// timing are identical across schedulers — asserted by tests.
+  Scheduler scheduler = Scheduler::kEager;
 };
 
 /// Block extents of rank (i, j) in an n x n matrix over a pr x pc grid

@@ -32,6 +32,10 @@ struct Summa25dConfig {
   int q = 2;                ///< square grid edge per layer
   int c = 1;                ///< replication factor (layers)
   std::int64_t panel = 256; ///< k-panel width within a layer's share
+  /// Schedule of the step task graph (see SummaConfig::scheduler): the
+  /// replication -> step chain -> reduction graph is a chain, so all
+  /// schedules execute it identically.
+  Scheduler scheduler = Scheduler::kEager;
 };
 
 /// Numeric per-rank storage. Layer 0 ranks hold real A/B blocks; other

@@ -10,6 +10,8 @@
 
 #include "src/blas/pack_cache.hpp"
 #include "src/core/plan.hpp"
+#include "src/core/taskgraph/executor.hpp"
+#include "src/core/taskgraph/taskgraph.hpp"
 #include "src/util/buffer_pool.hpp"
 #include "src/util/matrix_view.hpp"
 
@@ -21,6 +23,8 @@ const char* to_string(Scheduler scheduler) {
       return "eager";
     case Scheduler::kPipelined:
       return "pipelined";
+    case Scheduler::kTaskGraph:
+      return "taskgraph";
   }
   return "?";
 }
@@ -176,79 +180,7 @@ void exec_gemm(sgmpi::Comm& world, const Frame& frame,
   report.kernel_transfer_s += cost.transfer_s;
 }
 
-/// Drops the plan steps whose outputs are already in `done` (recovery
-/// phases re-execute only lost work). A DGEMM for C(bi, bj) reads the whole
-/// sub-partition row bi of A and column bj of B, so a broadcast/copy
-/// survives iff some remaining DGEMM still reads its row (A ops) or column
-/// (B ops). Every rank filters the identical global plan, so collectives
-/// stay matched.
-void filter_done(ExecutionPlan& plan,
-                 const std::set<std::pair<int, int>>& done) {
-  std::erase_if(plan.gemm_ops, [&](const GemmOp& g) {
-    return done.count({g.bi, g.bj}) != 0;
-  });
-  std::set<int> live_rows, live_cols;
-  for (const GemmOp& g : plan.gemm_ops) {
-    live_rows.insert(g.bi);
-    live_cols.insert(g.bj);
-  }
-  const auto dead = [&](bool is_a, int bi, int bj) {
-    return is_a ? live_rows.count(bi) == 0 : live_cols.count(bj) == 0;
-  };
-  std::erase_if(plan.comm_ops, [&](const CommOp& op) {
-    return dead(op.is_a, op.bi, op.bj);
-  });
-  std::erase_if(plan.copy_ops, [&](const CopyOp& op) {
-    return dead(op.is_a, op.bi, op.bj);
-  });
-}
-
-/// The paper's strict phase order (Figs. 2-4) over the plan: every
-/// communication blocking, all of A, then all of B, then the DGEMMs.
-void run_eager(sgmpi::Comm& world, const Frame& frame,
-               const device::AbstractProcessor& ap,
-               const ExecutionPlan& plan, bool contended, const FtContext* ft,
-               RankReport& report) {
-  const int rank = world.rank();
-
-  for (const CopyOp& op : plan.copy_ops) {
-    const int owner = frame.spec.owner(op.bi, op.bj);
-    if (owner == rank) exec_copy(frame, op);
-  }
-
-  for (const CommOp& op : plan.comm_ops) {
-    if (std::find(op.owners.begin(), op.owners.end(), rank) ==
-        op.owners.end()) {
-      continue;
-    }
-    sgmpi::Comm group = world.subgroup(op.owners);
-    if (frame.data == nullptr) {
-      report.mpi_time_s += group.bcast_bytes(nullptr, op.bytes, op.root);
-    } else if (op.owner == rank) {
-      // The owner broadcasts its sub-partition viewed in place inside the
-      // global operand; the transport lands its own copy in WA/WB too.
-      report.mpi_time_s +=
-          group.bcast_panel(frame.owned_src(op), frame.dest(op), op.root);
-    } else {
-      // Receivers copy straight from the root's view into WA/WB — no
-      // contiguous staging buffer on either side.
-      report.mpi_time_s += group.bcast_panel({}, frame.dest(op), op.root);
-    }
-    ++report.bcasts;
-    report.bcast_bytes += op.bytes;
-  }
-
-  for (const GemmOp& g : plan.gemm_ops) {
-    if (g.owner != rank) continue;
-    exec_gemm(world, frame, ap, g, contended, report);
-    // The cell is complete: snapshot it before polling for faults, so a
-    // crash surfacing at this boundary never re-executes finished work.
-    if (ft != nullptr && ft->on_gemm_done) ft->on_gemm_done(g.bi, g.bj);
-    world.fault_check();
-  }
-}
-
-/// Executes one k-chunk of a plan DGEMM (pipelined scheduler only):
+/// Executes one k-chunk of a plan DGEMM (chunk-granular schedulers):
 /// numerically C += A[:, k0:k1) * B[k0:k1, :]. The chunk is charged its
 /// pro-rata share of the *whole* kernel invocation's modeled cost `full` —
 /// the chunks are slices of one kernel call, so their total matches the
@@ -326,112 +258,6 @@ void exec_gemm_chunk(sgmpi::Comm& world, const Frame& frame,
   report.kernel_transfer_s += transfer_s;
 }
 
-/// Overlapped schedule: broadcasts are posted non-blocking (in the same
-/// eager global order, so subgroup members agree) and completed lazily,
-/// just before the first DGEMM chunk that reads their payload. Everything
-/// posted but not yet completed rides the virtual communication lane under
-/// the running chunks — the overlap win.
-///
-/// Deadlock freedom: every rank posts its operations in the same global
-/// order and completes them in that same order. Consider the smallest
-/// plan index any rank blocks on: every other member of that operation has
-/// either already completed it (so it posted it) or is blocked at an index
-/// >= it (so it posted everything through it) or is still computing and
-/// will reach it — so the wait always terminates.
-void run_pipelined(sgmpi::Comm& world, const Frame& frame,
-                   const device::AbstractProcessor& ap,
-                   const ExecutionPlan& plan, bool contended,
-                   const SummaGenOptions& options, const FtContext* ft,
-                   RankReport& report) {
-  const int rank = world.rank();
-
-  for (const CopyOp& op : plan.copy_ops) {
-    const int owner = frame.spec.owner(op.bi, op.bj);
-    if (owner == rank) exec_copy(frame, op);
-  }
-
-  // My operations, tagged with their global plan index (what GemmChunk::dep
-  // refers to). Posting keeps the eager global order.
-  struct MyOp {
-    const CommOp* op;
-    int seq;
-  };
-  std::vector<MyOp> ops;
-  for (std::size_t i = 0; i < plan.comm_ops.size(); ++i) {
-    const CommOp& op = plan.comm_ops[i];
-    if (std::find(op.owners.begin(), op.owners.end(), rank) !=
-        op.owners.end()) {
-      ops.push_back({&op, static_cast<int>(i)});
-    }
-  }
-
-  // One outstanding entry per posted broadcast. The panel payload needs no
-  // local staging: completion copies straight from the root's in-place view
-  // of the global operand into this rank's WA/WB window, so the steady
-  // state of the pipeline allocates nothing.
-  struct Pending {
-    sgmpi::Request request;
-    sgmpi::Comm group;
-    const CommOp* op;
-  };
-  std::deque<Pending> pending;
-  const std::size_t depth =
-      options.overlap_depth <= 0
-          ? std::numeric_limits<std::size_t>::max()
-          : static_cast<std::size_t>(options.overlap_depth);
-  std::size_t next_post = 0;
-
-  auto post_one = [&] {
-    const CommOp& op = *ops[next_post++].op;
-    sgmpi::Comm group = world.subgroup(op.owners);
-    Pending p{sgmpi::Request{}, group, &op};
-    if (frame.data == nullptr) {
-      p.request = group.ibcast_bytes(nullptr, op.bytes, op.root);
-    } else if (op.owner == rank) {
-      p.request =
-          group.ibcast_panel(frame.owned_src(op), frame.dest(op), op.root);
-    } else {
-      p.request = group.ibcast_panel({}, frame.dest(op), op.root);
-    }
-    ++report.bcasts;
-    report.bcast_bytes += op.bytes;
-    pending.push_back(std::move(p));
-  };
-
-  auto complete_one = [&] {
-    Pending p = std::move(pending.front());
-    pending.pop_front();
-    // The wait itself lands the panel in WA/WB (receivers gather from the
-    // root's view, the root stores its own window).
-    report.mpi_time_s += p.group.wait(p.request);
-  };
-
-  std::size_t next_complete = 0;
-  auto complete_through = [&](int dep) {
-    while (next_complete < ops.size() && ops[next_complete].seq <= dep) {
-      while (next_post <= next_complete) post_one();
-      complete_one();
-      ++next_complete;
-    }
-    while (next_post < ops.size() && pending.size() < depth) post_one();
-  };
-
-  for (const GemmOp& g : plan.gemm_ops) {
-    if (g.owner != rank) continue;
-    const std::int64_t h = frame.spec.subph[static_cast<std::size_t>(g.bi)];
-    const std::int64_t w = frame.spec.subpw[static_cast<std::size_t>(g.bj)];
-    const device::KernelCost full =
-        ap.kernel_cost(h, w, frame.spec.n, contended);
-    for (const GemmChunk& ch : g.chunks) {
-      complete_through(ch.dep);
-      exec_gemm_chunk(world, frame, ap, g, ch, full, contended, report);
-      world.fault_check();
-    }
-    if (ft != nullptr && ft->on_gemm_done) ft->on_gemm_done(g.bi, g.bj);
-  }
-  complete_through(std::numeric_limits<int>::max());  // drain stragglers
-}
-
 }  // namespace
 
 RankReport summagen_rank(sgmpi::Comm& world,
@@ -473,27 +299,113 @@ RankReport summagen_rank(sgmpi::Comm& world,
     wb = util::MatrixView(wb_store.data(), spec.n, wb_cols, wb_cols);
   }
 
-  // Recovery phases with completed cells force the eager scheduler:
-  // filtering the plan invalidates the pipelined chunk->broadcast
-  // dependency indices, and recovery correctness is scheduler-independent.
-  SummaGenOptions effective = options;
-  const bool filtering =
-      ft != nullptr && ft->done != nullptr && !ft->done->empty();
-  if (filtering) effective.scheduler = Scheduler::kEager;
+  // Derive the per-rank identical plan, lift it into the dependency task
+  // graph, and — on recovery phases — prune the subgraph that already ran.
+  // Node ids survive pruning, so every scheduler remains a legal schedule
+  // of the un-run subgraph; recovery is re-scheduling, not a retry path.
+  const ExecutionPlan plan = build_plan(spec, options);
+  taskgraph::TaskGraph graph = taskgraph::build_summagen_graph(spec, plan);
+  if (ft != nullptr && ft->done != nullptr && !ft->done->empty()) {
+    taskgraph::prune_completed(graph, plan, *ft->done);
+  }
 
-  ExecutionPlan plan = build_plan(spec, effective);
-  if (filtering) filter_done(plan, *ft->done);
   const Frame frame(spec, rank, data, wa, wb);
   const double hidden0 = world.clock().hidden_comm_seconds();
 
-  switch (effective.scheduler) {
-    case Scheduler::kEager:
-      run_eager(world, frame, ap, plan, contended, ft, report);
-      break;
-    case Scheduler::kPipelined:
-      run_pipelined(world, frame, ap, plan, contended, effective, ft, report);
-      break;
-  }
+  // Whole-kernel costs per GemmOp, computed on first use: chunk nodes are
+  // charged pro-rata shares of the single kernel invocation the eager
+  // schedule would make, so the total computation time is
+  // schedule-invariant.
+  std::vector<device::KernelCost> full(plan.gemm_ops.size());
+  std::vector<char> full_ready(plan.gemm_ops.size(), 0);
+  auto full_cost = [&](std::size_t gi) -> const device::KernelCost& {
+    if (!full_ready[gi]) {
+      const GemmOp& g = plan.gemm_ops[gi];
+      full[gi] = ap.kernel_cost(spec.subph[static_cast<std::size_t>(g.bi)],
+                                spec.subpw[static_cast<std::size_t>(g.bj)],
+                                spec.n, contended);
+      full_ready[gi] = 1;
+    }
+    return full[gi];
+  };
+
+  // Subgroup communicators of posted-but-uncompleted broadcasts, FIFO in
+  // posting order — the executor completes in that same order.
+  std::deque<sgmpi::Comm> posted_groups;
+
+  taskgraph::ExecHooks hooks;
+  hooks.run_local = [&](const taskgraph::TaskNode& node) {
+    if (node.kind == taskgraph::NodeKind::kCopy) {
+      exec_copy(frame, plan.copy_ops[static_cast<std::size_t>(node.payload)]);
+      return;
+    }
+    const GemmOp& g = plan.gemm_ops[static_cast<std::size_t>(node.payload)];
+    const GemmChunk& ch = g.chunks[static_cast<std::size_t>(node.aux)];
+    exec_gemm_chunk(world, frame, ap, g, ch,
+                    full_cost(static_cast<std::size_t>(node.payload)),
+                    contended, report);
+    world.fault_check();
+    if (node.aux + 1 == static_cast<int>(g.chunks.size()) && ft != nullptr &&
+        ft->on_gemm_done) {
+      ft->on_gemm_done(g.bi, g.bj);
+    }
+  };
+  // kProgram fuses each chunk chain into the historical single whole-op
+  // kernel call — eager numeric results and virtual timing stay exact.
+  hooks.run_fused = [&](const taskgraph::TaskNode& node, int /*nchunks*/) {
+    const GemmOp& g = plan.gemm_ops[static_cast<std::size_t>(node.payload)];
+    exec_gemm(world, frame, ap, g, contended, report);
+    // The cell is complete: snapshot it before polling for faults, so a
+    // crash surfacing at this boundary never re-executes finished work.
+    if (ft != nullptr && ft->on_gemm_done) ft->on_gemm_done(g.bi, g.bj);
+    world.fault_check();
+  };
+  hooks.run_comm = [&](const taskgraph::TaskNode& node) {
+    const CommOp& op = plan.comm_ops[static_cast<std::size_t>(node.payload)];
+    sgmpi::Comm group = world.subgroup(op.owners);
+    if (frame.data == nullptr) {
+      report.mpi_time_s += group.bcast_bytes(nullptr, op.bytes, op.root);
+    } else if (op.owner == rank) {
+      // The owner broadcasts its sub-partition viewed in place inside the
+      // global operand; the transport lands its own copy in WA/WB too.
+      report.mpi_time_s +=
+          group.bcast_panel(frame.owned_src(op), frame.dest(op), op.root);
+    } else {
+      // Receivers copy straight from the root's view into WA/WB — no
+      // contiguous staging buffer on either side.
+      report.mpi_time_s += group.bcast_panel({}, frame.dest(op), op.root);
+    }
+    ++report.bcasts;
+    report.bcast_bytes += op.bytes;
+  };
+  hooks.post_comm = [&](const taskgraph::TaskNode& node) {
+    const CommOp& op = plan.comm_ops[static_cast<std::size_t>(node.payload)];
+    sgmpi::Comm group = world.subgroup(op.owners);
+    sgmpi::Request request;
+    if (frame.data == nullptr) {
+      request = group.ibcast_bytes(nullptr, op.bytes, op.root);
+    } else if (op.owner == rank) {
+      request =
+          group.ibcast_panel(frame.owned_src(op), frame.dest(op), op.root);
+    } else {
+      request = group.ibcast_panel({}, frame.dest(op), op.root);
+    }
+    ++report.bcasts;
+    report.bcast_bytes += op.bytes;
+    posted_groups.push_back(std::move(group));
+    return request;
+  };
+  hooks.complete_comm = [&](const taskgraph::TaskNode& /*node*/,
+                            sgmpi::Request& request) {
+    sgmpi::Comm group = std::move(posted_groups.front());
+    posted_groups.pop_front();
+    // The wait itself lands the panel in WA/WB (receivers gather from the
+    // root's view, the root stores its own window).
+    report.mpi_time_s += group.wait(request);
+  };
+
+  taskgraph::run_graph(graph, rank, taskgraph::schedule_for(options.scheduler),
+                       options.overlap_depth, hooks);
 
   report.hidden_comm_s = world.clock().hidden_comm_seconds() - hidden0;
   return report;

@@ -52,6 +52,15 @@ enum class Scheduler {
   /// touch every element in the same ascending-k order; only the modeled
   /// timeline changes.
   kPipelined,
+  /// Dataflow execution of the dependency task graph
+  /// (src/core/taskgraph/): broadcasts are posted ahead up to the
+  /// `overlap_depth` window and completed in the plan's collective order,
+  /// but DGEMM chunks run as soon as *their* dependencies are satisfied —
+  /// the rank blocks in a broadcast completion only when no chunk is
+  /// ready, so compute never idles behind a panel another chunk could
+  /// hide. Bit-identical to the other schedulers: chunks of one cell
+  /// still chain in ascending-k order and distinct cells touch disjoint C.
+  kTaskGraph,
 };
 
 const char* to_string(Scheduler scheduler);
@@ -67,9 +76,11 @@ struct SummaGenOptions {
 
   Scheduler scheduler = Scheduler::kEager;
 
-  /// kPipelined only: maximum number of posted-but-uncompleted broadcasts
-  /// per rank (the prefetch window; each outstanding receive holds one
-  /// panel-sized buffer on the numeric plane). <= 0 means unbounded.
+  /// kPipelined and kTaskGraph: maximum number of posted-but-uncompleted
+  /// broadcasts per rank. For kPipelined this is the prefetch window of
+  /// the in-order pipeline; for kTaskGraph it is the same quantity seen
+  /// through the graph — the DAG's in-flight-broadcast window (how far the
+  /// executor posts ahead of the completion front). <= 0 means unbounded.
   int overlap_depth = 2;
 };
 
@@ -92,10 +103,12 @@ struct RankReport {
 /// default) leaves the execution path untouched.
 struct FtContext {
   /// C sub-partitions already completed by earlier recovery phases. When
-  /// non-empty the plan is filtered: their DGEMMs are dropped, and with
-  /// them every broadcast/copy feeding only finished cells. Filtering
-  /// invalidates the pipelined chunk dependencies, so a non-empty set
-  /// forces the eager scheduler.
+  /// non-empty the task graph is pruned (taskgraph::prune_completed):
+  /// their DGEMM chunks are dropped, and with them every broadcast/copy
+  /// feeding only finished cells. Node ids — and with them the
+  /// chunk->broadcast dependencies — survive pruning, so recovery phases
+  /// run under whichever scheduler the caller configured: recovery is
+  /// re-scheduling the un-run subgraph, not a bespoke retry path.
   const std::set<std::pair<int, int>>* done = nullptr;
 
   /// Invoked after each owned C sub-partition (bi, bj) finishes — the

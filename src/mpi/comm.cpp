@@ -158,24 +158,38 @@ double Comm::allreduce_sum_buffer(double* data, std::int64_t count) {
   const double cost = trace::allreduce_cost(
       link(), count * static_cast<std::int64_t>(sizeof(double)), q);
 
-  // Phase 1: element-wise accumulation into the shared buffer (first
-  // contributor seeds it).
+  // Phase 1: every rank stages its contribution in a per-rank slot; the
+  // last arrival sums the slots in ascending communicator-rank order.
+  // Arrival order is scheduling noise — summing in rank order keeps the
+  // reduction bit-deterministic across runs and schedulers.
+  const std::size_t ucount = static_cast<std::size_t>(count);
+  const int cr = rank();
   st.meeting.rendezvous(
       unwind, ctx_->config.poll_interval_s, q,
       [&] {
         st.entry_max = std::max(st.entry_max, entry);
         if (data != nullptr) {
-          if (!st.reduce_started) {
-            st.reduce_buf.assign(data, data + count);
-          } else {
-            for (std::int64_t i = 0; i < count; ++i) {
-              st.reduce_buf[static_cast<std::size_t>(i)] += data[i];
-            }
+          if (st.reduce_ranks.empty()) {
+            st.gather_buf.assign(static_cast<std::size_t>(q) * ucount, 0.0);
+          }
+          std::copy(data, data + count,
+                    st.gather_buf.begin() +
+                        static_cast<std::size_t>(cr) * ucount);
+          st.reduce_ranks.push_back(cr);
+        }
+      },
+      [&] {
+        if (st.reduce_ranks.empty()) return;
+        std::sort(st.reduce_ranks.begin(), st.reduce_ranks.end());
+        st.reduce_buf.assign(ucount, 0.0);
+        for (const int r : st.reduce_ranks) {
+          const double* slot =
+              st.gather_buf.data() + static_cast<std::size_t>(r) * ucount;
+          for (std::size_t i = 0; i < ucount; ++i) {
+            st.reduce_buf[i] += slot[i];
           }
         }
-        st.reduce_started = true;
-      },
-      [] {});
+      });
 
   // Copy the result out before the trailing rendezvous releases the state.
   if (data != nullptr && !st.reduce_buf.empty()) {
@@ -188,7 +202,8 @@ double Comm::allreduce_sum_buffer(double* data, std::int64_t count) {
       [&] { entry_max = st.entry_max; },
       [&] {
         st.entry_max = 0.0;
-        st.reduce_started = false;
+        st.reduce_ranks.clear();
+        st.gather_buf.clear();
         st.reduce_buf.clear();
       });
   clock().wait_until(entry_max);

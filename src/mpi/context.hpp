@@ -122,6 +122,8 @@ struct CommState {
   bool reduce_started = false;  ///< first contributor seeds the accumulator
   std::vector<double> gather_buf;
   std::vector<double> reduce_buf;  ///< buffer allreduce accumulator
+  std::vector<int> reduce_ranks;   ///< buffer allreduce contributors (comm
+                                   ///< ranks; summed in ascending order)
 };
 
 /// Eagerly-buffered point-to-point message.
@@ -268,6 +270,7 @@ class Context {
           st.reduce_started = false;
           st.gather_buf.clear();
           st.reduce_buf.clear();
+          st.reduce_ranks.clear();
         }
         st.meeting.reset();
       }

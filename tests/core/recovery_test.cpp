@@ -159,6 +159,20 @@ TEST(FaultRecovery, CrashUnderPipelinedSchedulerVerifies) {
   EXPECT_GE(res.recoveries, 1);
 }
 
+// Recovery is re-scheduling the pruned task graph, so it works under the
+// dataflow scheduler too — the surviving chunk->broadcast dependencies and
+// the comm completion order are unchanged by pruning.
+TEST(FaultRecovery, CrashUnderTaskGraphSchedulerVerifies) {
+  auto config = numeric_config();
+  config.summagen_options.scheduler = Scheduler::kTaskGraph;
+  const double t0 = fault_free_time(config);
+  config.faults.events.push_back(
+      {sgmpi::FaultKind::kCrash, /*rank=*/2, /*at_vtime=*/0.5 * t0});
+  const auto res = run_pmm(config);
+  EXPECT_TRUE(res.verified) << "max_abs_error=" << res.max_abs_error;
+  EXPECT_GE(res.recoveries, 1);
+}
+
 TEST(FaultRecovery, TransientDropIsAbsorbedWithoutRecovery) {
   auto config = numeric_config();
   config.summagen_options.scheduler = Scheduler::kPipelined;
