@@ -26,7 +26,8 @@ void usage() {
       "summagen_cli — run one PMM on the simulated heterogeneous node\n"
       "  --n N              matrix size (default 1024; ignored with --spec)\n"
       "  --shape NAME       square_corner | square_rectangle |\n"
-      "                     block_rectangle | one_dimensional | l_rectangle\n"
+      "                     block_rectangle | one_dimensional | l_rectangle |\n"
+      "                     layered\n"
       "  --spec FILE        run a partition file instead of building a shape\n"
       "  --regime cpm|fpm   workload partitioning regime (default cpm)\n"
       "  --speeds a,b,c     CPM speeds (default 1.0,2.0,0.9)\n"
@@ -49,6 +50,13 @@ void usage() {
       "                     crash@0.5:1 | slow@0.5:1x4 | link@0.2:0x8 |\n"
       "                     drop@0.1:2x3 (comma-separated list)\n"
       "  --fault-detect S   failure-detection latency in seconds (0.05)\n"
+      "  --drift LIST       time-varying device speeds:\n"
+      "                     <kind>@<t>:<rank>[x<factor>][/<arg>], e.g.\n"
+      "                     step@0.5:1x2.5 | ramp@0.5:1x3/0.2 |\n"
+      "                     periodic@0:2x2/0.1 (comma-separated list)\n"
+      "  --repartition OPT  online drift re-partitioning: on | off (default)\n"
+      "                     or key=value list over threshold, hysteresis,\n"
+      "                     alpha, warmup, budget (implies on)\n"
       "  --energy           record events and report dynamic energy\n"
       "  --gantt            print the schedule as a Gantt chart\n"
       "  --chrome-trace F   write the schedule as Chrome trace JSON\n"
@@ -118,7 +126,27 @@ int main(int argc, char** argv) {
     }
     if (cli.has("fault")) {
       config.faults = sgmpi::parse_fault_plan(cli.get("fault", ""));
-      config.fault_detect_s = cli.get_double("fault-detect", 0.05);
+    }
+    // Detection latency also prices how fast a confirmed drift surfaces to
+    // the peers, so it applies to --repartition runs without --fault.
+    config.fault_detect_s = cli.get_double("fault-detect", 0.05);
+    if (cli.has("drift")) {
+      try {
+        config.drift = core::parse_drift_plan(cli.get("drift", ""));
+      } catch (const partition::SpecParseError& e) {
+        throw util::CliError("--drift: event " + std::to_string(e.line()) +
+                             ", field '" + e.key() + "': " + e.what());
+      }
+    }
+    if (cli.has("repartition")) {
+      try {
+        config.repartition =
+            core::parse_repartition_options(cli.get("repartition", ""));
+      } catch (const partition::SpecParseError& e) {
+        throw util::CliError("--repartition: item " +
+                             std::to_string(e.line()) + ", key '" + e.key() +
+                             "': " + e.what());
+      }
     }
 
     if (cli.has("spec")) {
@@ -179,6 +207,9 @@ int main(int argc, char** argv) {
       t.add_row({"redistributed C area",
                  util::Table::num(res.redistributed_area)});
     }
+    if (config.repartition.enabled) {
+      t.add_row({"re-partitions", std::to_string(res.repartitions.size())});
+    }
     if (config.numeric) {
       t.add_row({"verified vs reference", res.verified ? "yes" : "NO"});
       t.add_row({"data-plane alloc (MiB)",
@@ -212,6 +243,19 @@ int main(int argc, char** argv) {
                         ? "handled"
                         : rec.triggered ? "triggered" : "never triggered")
                 << "\n";
+    }
+    for (const auto& ev : res.repartitions) {
+      std::cout << "repartition: epoch " << ev.epoch << " ("
+                << core::repartition_family_name(ev.family)
+                << ") — confirmed by rank " << ev.trigger_rank << " @"
+                << util::Table::num(ev.trigger_vtime, 4) << "s, "
+                << ev.redone_cells << " cells / " << ev.redone_area
+                << " area redistributed, measured speeds {";
+      for (std::size_t s = 0; s < ev.measured_speeds.size(); ++s) {
+        std::cout << (s ? ", " : "")
+                  << util::Table::num(ev.measured_speeds[s], 3);
+      }
+      std::cout << "}\n";
     }
 
     if (cli.get_bool("gantt", false)) {

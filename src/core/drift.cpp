@@ -1,0 +1,212 @@
+#include "src/core/drift.hpp"
+
+#include <stdexcept>
+
+#include "src/partition/spec_io.hpp"
+
+namespace summagen::core {
+
+DriftController::DriftController(const RepartitionOptions& options,
+                                 int drift_round)
+    : options_(options),
+      warmup_(options.warmup_steps),
+      ewma_(options.ewma_alpha) {
+  if (options_.threshold <= 0.0) {
+    throw std::invalid_argument("DriftController: threshold must be > 0");
+  }
+  if (options_.hysteresis < 1) {
+    throw std::invalid_argument("DriftController: hysteresis must be >= 1");
+  }
+  if (options_.ewma_alpha <= 0.0 || options_.ewma_alpha > 1.0) {
+    throw std::invalid_argument(
+        "DriftController: ewma_alpha must be in (0, 1]");
+  }
+  // Exponential backoff: each drift-triggered re-partition doubles the next
+  // phase's warmup, so a thrashing load pattern converges to the static
+  // plan instead of looping.
+  for (int r = 0; r < drift_round && warmup_ < (1 << 20); ++r) warmup_ *= 2;
+}
+
+bool DriftController::observe(const trace::StepSample& sample) {
+  ++steps_;
+  ewma_.update(trace::step_ratio(sample));
+  if (confirmed_ || steps_ <= warmup_) return false;
+  const double hi = 1.0 + options_.threshold;
+  const double ratio = ewma_.value();
+  // Both directions are drift: a slowed device starves the plan, a sped-up
+  // one (e.g. background load ending) leaves capability idle.
+  if (ratio > hi || ratio < 1.0 / hi) {
+    ++streak_;
+  } else {
+    streak_ = 0;
+  }
+  if (streak_ >= options_.hysteresis) {
+    confirmed_ = true;
+    return true;
+  }
+  return false;
+}
+
+device::DriftPlan parse_drift_plan(const std::string& text) {
+  device::DriftPlan plan;
+  int item_index = 0;
+  const auto fail = [&](const std::string& key, const std::string& item,
+                        const std::string& why) {
+    throw partition::SpecParseError(
+        item_index, key,
+        "parse_drift_plan: '" + item + "': " + why +
+            " (expected <kind>@<t>:<rank>[x<factor>][/<arg>], "
+            "kind = step|ramp|periodic)");
+  };
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    ++item_index;
+    if (item.empty()) {
+      if (text.empty()) break;
+      fail("", text, "empty event");
+    }
+
+    const std::size_t at = item.find('@');
+    const std::size_t colon = item.find(':', at == std::string::npos ? 0 : at);
+    if (at == std::string::npos || colon == std::string::npos) {
+      fail("", item, "missing '@' or ':'");
+    }
+    const std::string kind = item.substr(0, at);
+    const std::string when = item.substr(at + 1, colon - at - 1);
+    std::string rank = item.substr(colon + 1);
+    std::string arg;
+    const std::size_t slash = rank.find('/');
+    if (slash != std::string::npos) {
+      arg = rank.substr(slash + 1);
+      rank = rank.substr(0, slash);
+    }
+    std::string factor;
+    const std::size_t x = rank.find('x');
+    if (x != std::string::npos) {
+      factor = rank.substr(x + 1);
+      rank = rank.substr(0, x);
+    }
+
+    device::DriftEvent ev;
+    if (kind == "step") {
+      ev.kind = device::DriftKind::kStep;
+      if (!arg.empty()) fail("kind", item, "step takes no '/' argument");
+    } else if (kind == "ramp") {
+      ev.kind = device::DriftKind::kRamp;
+      if (arg.empty()) fail("duration", item, "ramp needs '/<duration_s>'");
+    } else if (kind == "periodic") {
+      ev.kind = device::DriftKind::kPeriodic;
+      if (arg.empty()) fail("period", item, "periodic needs '/<period_s>'");
+    } else {
+      fail("kind", item, "unknown kind '" + kind + "'");
+    }
+
+    const auto number = [&](const std::string& key, const std::string& s,
+                            double lo) {
+      double v = 0.0;
+      try {
+        std::size_t used = 0;
+        v = std::stod(s, &used);
+        if (used != s.size()) throw std::invalid_argument(s);
+      } catch (const std::exception&) {
+        fail(key, item, "bad number '" + s + "'");
+      }
+      if (v < lo) {
+        fail(key, item, "'" + s + "' must be >= " + std::to_string(lo));
+      }
+      return v;
+    };
+    ev.at_vtime = number("at", when, 0.0);
+    const double r = number("rank", rank, 0.0);
+    ev.rank = static_cast<int>(r);
+    if (static_cast<double>(ev.rank) != r) {
+      fail("rank", item, "rank must be an integer");
+    }
+    if (!factor.empty()) {
+      ev.factor = number("factor", factor, 0.0);
+      if (ev.factor <= 0.0) fail("factor", item, "factor must be > 0");
+    }
+    if (ev.kind == device::DriftKind::kRamp) {
+      ev.duration_s = number("duration", arg, 0.0);
+      if (ev.duration_s <= 0.0) fail("duration", item, "duration must be > 0");
+    } else if (ev.kind == device::DriftKind::kPeriodic) {
+      ev.period_s = number("period", arg, 0.0);
+      if (ev.period_s <= 0.0) fail("period", item, "period must be > 0");
+    }
+    plan.events.push_back(ev);
+    if (comma == text.size()) break;
+  }
+  return plan;
+}
+
+RepartitionOptions parse_repartition_options(const std::string& text) {
+  RepartitionOptions options;
+  if (text.empty() || text == "on") {
+    options.enabled = true;
+    return options;
+  }
+  if (text == "off") return options;
+
+  options.enabled = true;
+  int item_index = 0;
+  const auto fail = [&](const std::string& key, const std::string& item,
+                        const std::string& why) {
+    throw partition::SpecParseError(
+        item_index, key,
+        "parse_repartition_options: '" + item + "': " + why +
+            " (expected on|off or key=value list over threshold, "
+            "hysteresis, alpha, warmup, budget)");
+  };
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    ++item_index;
+    if (item.empty()) fail("", text, "empty item");
+
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) fail("", item, "missing '='");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    const auto number = [&](double lo) {
+      double v = 0.0;
+      try {
+        std::size_t used = 0;
+        v = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        fail(key, item, "bad number '" + value + "'");
+      }
+      if (v < lo) {
+        fail(key, item,
+             "'" + value + "' must be >= " + std::to_string(lo));
+      }
+      return v;
+    };
+    if (key == "threshold") {
+      options.threshold = number(0.0);
+      if (options.threshold <= 0.0) fail(key, item, "threshold must be > 0");
+    } else if (key == "hysteresis") {
+      options.hysteresis = static_cast<int>(number(1.0));
+    } else if (key == "alpha") {
+      options.ewma_alpha = number(0.0);
+      if (options.ewma_alpha <= 0.0 || options.ewma_alpha > 1.0) {
+        fail(key, item, "alpha must be in (0, 1]");
+      }
+    } else if (key == "warmup") {
+      options.warmup_steps = static_cast<int>(number(0.0));
+    } else if (key == "budget") {
+      options.max_repartitions = static_cast<int>(number(0.0));
+    } else {
+      fail(key, item, "unknown key '" + key + "'");
+    }
+    if (comma == text.size()) break;
+  }
+  return options;
+}
+
+}  // namespace summagen::core

@@ -1,0 +1,109 @@
+// Online drift detection and re-partitioning policy (DESIGN.md §5.13).
+//
+// The self-adaptable line of Lastovetsky/Reddy/Rychkov/Clarke argues that a
+// partition must be re-derived from *live-measured* speeds when the
+// platform drifts away from its static model. The pieces here are the pure,
+// deterministic policy layer:
+//
+//   * DriftController — a per-rank detector over the stream of compute-step
+//     observations (trace::StepSample). Each step's observed/predicted
+//     ratio feeds an EWMA; after a warmup the controller confirms drift
+//     when the EWMA stays past the relative threshold for `hysteresis`
+//     consecutive steps, so transient noise never triggers. Confirmation
+//     is a pure function of the rank's own observation stream — every run
+//     of the same schedule confirms at the same step.
+//   * RepartitionOptions — the thresholds, the bounded re-partition budget
+//     (max_repartitions) and the exponential warmup backoff that makes a
+//     thrashing load pattern degrade gracefully to the static plan.
+//   * parse_drift_plan / parse_repartition_options — the `--drift` /
+//     `--repartition` CLI grammars, raising partition::SpecParseError with
+//     item/key attribution (the spec_io error discipline).
+#pragma once
+
+#include <string>
+
+#include "src/device/drift.hpp"
+#include "src/trace/step_timing.hpp"
+
+namespace summagen::core {
+
+/// Policy knobs of the online re-partitioning loop.
+struct RepartitionOptions {
+  bool enabled = false;
+
+  /// Relative imbalance that counts as drift: a step counts against the
+  /// hysteresis when the smoothed observed/predicted ratio exceeds
+  /// 1 + threshold (or falls below 1 / (1 + threshold) — a device speeding
+  /// up is drift too).
+  double threshold = 0.25;
+
+  /// Consecutive over-threshold steps required to confirm (debounce).
+  int hysteresis = 3;
+
+  /// EWMA smoothing factor over the per-step ratio, in (0, 1].
+  double ewma_alpha = 0.25;
+
+  /// Steps ignored at the start of every phase before the detector arms.
+  /// Later drift-triggered phases double it each round (backoff), so a
+  /// thrashing pattern re-partitions geometrically less often.
+  int warmup_steps = 4;
+
+  /// Bounded budget: total drift-triggered re-partitions per run. Once
+  /// spent, the run degrades to the (last) static plan.
+  int max_repartitions = 2;
+};
+
+/// Per-rank drift detector for one execution phase. Deterministic: state
+/// depends only on the observation sequence.
+class DriftController {
+ public:
+  /// `drift_round` is the number of drift-triggered re-partitions already
+  /// performed; warmup doubles with each (exponential backoff).
+  DriftController(const RepartitionOptions& options, int drift_round);
+
+  /// Feeds one compute-step observation. Returns true exactly once, on the
+  /// step that confirms sustained drift; afterwards the controller stays
+  /// confirmed and returns false.
+  bool observe(const trace::StepSample& sample);
+
+  /// Smoothed observed/predicted ratio (1.0 before any observation) — the
+  /// live slowdown factor of this rank, used to correct its weight at
+  /// re-partition time.
+  double smoothed_ratio() const noexcept { return ewma_.value(); }
+
+  bool confirmed() const noexcept { return confirmed_; }
+  int steps() const noexcept { return steps_; }
+
+ private:
+  RepartitionOptions options_;
+  int warmup_;
+  trace::EwmaTracker ewma_;
+  int steps_ = 0;
+  int streak_ = 0;
+  bool confirmed_ = false;
+};
+
+/// Parses the `--drift` CLI syntax into a device::DriftPlan. Grammar: a
+/// comma-separated list of events, each `<kind>@<t>:<rank>[x<factor>][/<arg>]`:
+///
+///   step@0.5:1x2.5        rank 1 slows 2.5x from virtual time 0.5 s
+///   ramp@0.5:1x3/0.2      rank 1 ramps linearly to 3x over 0.2 s
+///   periodic@0:2x2/0.1    rank 2 alternates 2x / 1x with period 0.1 s
+///
+/// `x<factor>` defaults to 2.0. `/<arg>` is the ramp duration or the
+/// periodic period (seconds) and is required for those kinds, rejected for
+/// step. Throws partition::SpecParseError with the 1-based event index as
+/// the line and the offending field as the key. Rank-range validation
+/// happens at run time.
+device::DriftPlan parse_drift_plan(const std::string& text);
+
+/// Parses the `--repartition` CLI syntax: "on" / "off", or a
+/// comma-separated `key=value` list (which implies "on") over
+///   threshold=<rel>  hysteresis=<steps>  alpha=<ewma>  warmup=<steps>
+///   budget=<count>
+/// e.g. "threshold=0.3,hysteresis=4,budget=1". Throws
+/// partition::SpecParseError with the 1-based item index as the line and
+/// the key name as the key.
+RepartitionOptions parse_repartition_options(const std::string& text);
+
+}  // namespace summagen::core

@@ -125,6 +125,143 @@ partition::PartitionSpec repartition_unfinished(
   return spec;
 }
 
+partition::PartitionSpec repartition_layered(
+    const partition::PartitionSpec& old_spec, const CellSet& done,
+    const std::vector<int>& survivors,
+    const std::vector<double>& survivor_weights,
+    std::int64_t* redistributed_area) {
+  if (survivors.empty()) {
+    throw std::invalid_argument("recovery: no survivors to repartition over");
+  }
+  if (survivor_weights.size() != survivors.size()) {
+    throw std::invalid_argument(
+        "recovery: survivor_weights size mismatch (" +
+        std::to_string(survivor_weights.size()) + " weights for " +
+        std::to_string(survivors.size()) + " survivors)");
+  }
+  double weight_sum = 0.0;
+  for (double w : survivor_weights) {
+    if (w <= 0.0) {
+      throw std::invalid_argument("recovery: survivor weight must be > 0");
+    }
+    weight_sum += w;
+  }
+
+  partition::PartitionSpec spec = old_spec;  // grid (subph/subpw) preserved
+  std::vector<Cell> unfinished;  // row-major (bi, bj) walk order
+  std::int64_t total_unfinished = 0;
+  for (int bi = 0; bi < old_spec.subplda; ++bi) {
+    for (int bj = 0; bj < old_spec.subpldb; ++bj) {
+      const int old_owner = old_spec.owner(bi, bj);
+      const std::size_t at = static_cast<std::size_t>(bi) *
+                                 static_cast<std::size_t>(old_spec.subpldb) +
+                             static_cast<std::size_t>(bj);
+      if (done.count({bi, bj}) != 0) {
+        spec.subp[at] = survivor_index(survivors, old_owner) >= 0
+                            ? old_owner
+                            : survivors[0];
+        continue;
+      }
+      const std::int64_t area =
+          old_spec.subph[static_cast<std::size_t>(bi)] *
+          old_spec.subpw[static_cast<std::size_t>(bj)];
+      unfinished.push_back({bi, bj, area, old_owner});
+      total_unfinished += area;
+    }
+  }
+
+  // Deal contiguous runs: survivor s takes cells until the cumulative area
+  // reaches its weight-proportional prefix target — the 1D layered cut of
+  // the row-major cell sequence. A run may be empty when a cell straddles
+  // two targets; the last survivor always absorbs the tail.
+  std::vector<double> prefix_target(survivors.size());
+  double acc = 0.0;
+  for (std::size_t s = 0; s < survivors.size(); ++s) {
+    acc += survivor_weights[s];
+    prefix_target[s] =
+        static_cast<double>(total_unfinished) * acc / weight_sum;
+  }
+  std::int64_t redistributed = 0;
+  std::int64_t placed = 0;
+  std::size_t s = 0;
+  for (const Cell& cell : unfinished) {
+    // Advance past survivors whose prefix target is already met; assigning
+    // the cell to the first open survivor keeps runs contiguous.
+    while (s + 1 < survivors.size() &&
+           static_cast<double>(placed) + 0.5 * static_cast<double>(cell.area) >
+               prefix_target[s]) {
+      ++s;
+    }
+    spec.subp[static_cast<std::size_t>(cell.bi) *
+                  static_cast<std::size_t>(old_spec.subpldb) +
+              static_cast<std::size_t>(cell.bj)] = survivors[s];
+    if (survivors[s] != cell.old_owner) redistributed += cell.area;
+    placed += cell.area;
+  }
+
+  if (redistributed_area != nullptr) *redistributed_area = redistributed;
+  spec.validate();
+  return spec;
+}
+
+const char* repartition_family_name(RepartitionFamily family) {
+  switch (family) {
+    case RepartitionFamily::kGrid:
+      return "grid";
+    case RepartitionFamily::kLayered:
+      return "layered";
+  }
+  return "?";
+}
+
+double predicted_makespan(const partition::PartitionSpec& spec,
+                          const CellSet& done,
+                          const std::vector<int>& survivors,
+                          const std::vector<double>& survivor_weights) {
+  std::vector<std::int64_t> assigned(survivors.size(), 0);
+  for (int bi = 0; bi < spec.subplda; ++bi) {
+    for (int bj = 0; bj < spec.subpldb; ++bj) {
+      if (done.count({bi, bj}) != 0) continue;
+      const int s = survivor_index(survivors, spec.owner(bi, bj));
+      if (s < 0) continue;  // unfinished cell of a dead rank: no charge yet
+      assigned[static_cast<std::size_t>(s)] +=
+          spec.subph[static_cast<std::size_t>(bi)] *
+          spec.subpw[static_cast<std::size_t>(bj)];
+    }
+  }
+  double makespan = 0.0;
+  for (std::size_t s = 0; s < survivors.size(); ++s) {
+    makespan = std::max(makespan, static_cast<double>(assigned[s]) /
+                                      survivor_weights[s]);
+  }
+  return makespan;
+}
+
+partition::PartitionSpec choose_repartition(
+    const partition::PartitionSpec& old_spec, const CellSet& done,
+    const std::vector<int>& survivors,
+    const std::vector<double>& survivor_weights,
+    std::int64_t* redistributed_area, RepartitionFamily* chosen) {
+  std::int64_t grid_moved = 0, layered_moved = 0;
+  partition::PartitionSpec grid = repartition_unfinished(
+      old_spec, done, survivors, survivor_weights, &grid_moved);
+  partition::PartitionSpec layered = repartition_layered(
+      old_spec, done, survivors, survivor_weights, &layered_moved);
+  const double grid_ms =
+      predicted_makespan(grid, done, survivors, survivor_weights);
+  const double layered_ms =
+      predicted_makespan(layered, done, survivors, survivor_weights);
+  const bool take_layered = layered_ms < grid_ms;
+  if (chosen != nullptr) {
+    *chosen = take_layered ? RepartitionFamily::kLayered
+                           : RepartitionFamily::kGrid;
+  }
+  if (redistributed_area != nullptr) {
+    *redistributed_area = take_layered ? layered_moved : grid_moved;
+  }
+  return take_layered ? layered : grid;
+}
+
 void copy_cell_c(const partition::PartitionSpec& spec,
                  const LocalData& owner_data, int bi, int bj,
                  util::Matrix& c_global) {

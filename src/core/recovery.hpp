@@ -47,6 +47,44 @@ partition::PartitionSpec repartition_unfinished(
     const std::vector<double>& survivor_weights,
     std::int64_t* redistributed_area);
 
+/// Layered re-owning over the preserved grid (the Liu/Shi/Zhang/Robertazzi
+/// layer idea applied at cell granularity): unfinished cells are walked in
+/// row-major (bi, bj) order and dealt to survivors as contiguous runs whose
+/// areas are weight-proportional — each survivor ends up owning a band of
+/// consecutive cells. Trades the locality preference of
+/// repartition_unfinished for run contiguity (fewer, wider broadcasts when
+/// the old ownership is badly scrambled). Done-cell parking and all
+/// preconditions match repartition_unfinished. Deterministic.
+partition::PartitionSpec repartition_layered(
+    const partition::PartitionSpec& old_spec, const CellSet& done,
+    const std::vector<int>& survivors,
+    const std::vector<double>& survivor_weights,
+    std::int64_t* redistributed_area);
+
+/// Which re-partitioner produced a recovery phase's spec.
+enum class RepartitionFamily { kGrid, kLayered };
+
+const char* repartition_family_name(RepartitionFamily family);
+
+/// Predicted makespan of `spec`'s unfinished work under per-survivor
+/// relative speeds: max over survivors of (assigned unfinished area /
+/// weight). The selection metric of choose_repartition.
+double predicted_makespan(const partition::PartitionSpec& spec,
+                          const CellSet& done,
+                          const std::vector<int>& survivors,
+                          const std::vector<double>& survivor_weights);
+
+/// Builds both candidate re-ownings (grid-locality and layered) and returns
+/// the one with the smaller predicted makespan over `survivor_weights`
+/// (ties prefer grid locality). Used by drift-triggered re-partitioning,
+/// where live-measured speeds can invert the static order and the layered
+/// deal wins; crash recovery keeps calling repartition_unfinished directly.
+partition::PartitionSpec choose_repartition(
+    const partition::PartitionSpec& old_spec, const CellSet& done,
+    const std::vector<int>& survivors,
+    const std::vector<double>& survivor_weights,
+    std::int64_t* redistributed_area, RepartitionFamily* chosen);
+
 /// Copies the C sub-partition (bi, bj) out of `owner_data` — the local
 /// store, under `spec`, of the rank that computed the cell — into the
 /// global C matrix.

@@ -36,6 +36,9 @@ struct Phase {
   std::vector<std::unique_ptr<LocalData>> locals;
   CellSet done_at_start;
   std::int64_t redistributed = 0;
+  /// Drift-triggered re-partitions already performed when this phase
+  /// started: arms the detectors (budget) and sets their warmup backoff.
+  int drift_rounds = 0;
 };
 
 }  // namespace
@@ -144,8 +147,20 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
   mpi_config.record_events = config.record_events;
   mpi_config.faults = config.faults;
   mpi_config.fault_detect_s = config.fault_detect_s;
+  mpi_config.adaptive = config.repartition.enabled;
   sgmpi::Runtime runtime(mpi_config);
-  const bool fault_tolerant = !config.faults.empty();
+  const bool adaptive = config.repartition.enabled;
+  const bool fault_tolerant = !config.faults.empty() || adaptive;
+
+  // Per-rank live drift multiplier over the configured plan; null with no
+  // plan so the static path stays exactly as before.
+  const device::DriftPlan* drift_plan = &config.drift;
+  const auto drift_for = [drift_plan](int r) -> std::function<double(double)> {
+    if (drift_plan->empty()) return nullptr;
+    return [drift_plan, r](double t) {
+      return device::drift_factor(*drift_plan, r, t);
+    };
+  };
 
   // Numeric plane: build the global inputs (and the gather target) and each
   // rank's local store.
@@ -232,13 +247,27 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
     return weights;
   };
 
+  // Live-measured slowdown ratios (the confirming step's observed/predicted
+  // — the EWMA debounces the *decision* but lags the true factor at confirm
+  // time, so the weight correction uses the instantaneous ratio the
+  // hysteresis just validated) and pending detector confirmations of the
+  // current phase; both guarded by rec_mutex, read only inside the shrink
+  // agreement.
+  std::vector<double> measured_ratio(static_cast<std::size_t>(p), 1.0);
+  std::vector<std::pair<int, double>> confirms;  // (rank, vtime)
+
   if (!fault_tolerant) {
     runtime.run([&](sgmpi::Comm& world) {
       const int r = world.rank();
+      // Drift without re-partitioning: the static plan limps along under
+      // the time-varying speeds (the ablation baseline).
+      FtContext ftctx;
+      ftctx.drift_factor = drift_for(r);
       result.reports[static_cast<std::size_t>(r)] = summagen_rank(
           world, result.spec, processors[static_cast<std::size_t>(r)],
           locals[static_cast<std::size_t>(r)].get(), config.contended,
-          config.summagen_options);
+          config.summagen_options,
+          config.drift.empty() ? nullptr : &ftctx);
     });
   } else {
     auto ph0 = std::make_unique<Phase>();
@@ -264,6 +293,23 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
             std::lock_guard<std::mutex> lk(rec_mutex);
             done.insert({bi, bj});
           };
+          ftctx.partition_epoch = static_cast<std::uint64_t>(round);
+          ftctx.drift_factor = drift_for(wr);
+          // The detector arms only while re-partition budget remains; its
+          // confirmation is a pure function of this rank's own observation
+          // stream, so identical runs confirm at the identical step.
+          DriftController detector(config.repartition, ph->drift_rounds);
+          if (adaptive &&
+              ph->drift_rounds < config.repartition.max_repartitions) {
+            ftctx.on_step = [&](const trace::StepSample& sample) {
+              if (!detector.observe(sample)) return false;
+              std::lock_guard<std::mutex> lk(rec_mutex);
+              measured_ratio[static_cast<std::size_t>(wr)] =
+                  trace::step_ratio(sample);
+              confirms.emplace_back(wr, sample.vtime);
+              return true;
+            };
+          }
           LocalData* ld = config.numeric
                               ? ph->locals[static_cast<std::size_t>(wr)].get()
                               : nullptr;
@@ -291,12 +337,59 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
               // First survivor out of the shrink builds the next phase; the
               // completed-cell set is stable here because every live rank
               // has unwound into the shrink gate.
+              bool drift_round = false;
+              for (const sgmpi::FaultEvent& ev : res.handled) {
+                if (ev.kind == sgmpi::FaultKind::kDrift) drift_round = true;
+              }
               auto np = std::make_unique<Phase>();
               np->members = res.survivors;
               np->done_at_start = done;
-              np->spec = repartition_unfinished(
-                  phases[round]->spec, done, res.survivors,
-                  survivor_weights(res.survivors), &np->redistributed);
+              np->drift_rounds = phases[round]->drift_rounds;
+              std::vector<double> weights = survivor_weights(res.survivors);
+              if (drift_round) {
+                // Correct the static weights by the live-measured slowdown
+                // ratios (clamped: a near-stalled device keeps a sliver so
+                // the partitioners stay well-posed), then let the grid and
+                // layered re-owners compete on predicted makespan.
+                for (std::size_t s = 0; s < res.survivors.size(); ++s) {
+                  weights[s] /= std::max(
+                      0.05, measured_ratio[static_cast<std::size_t>(
+                                res.survivors[s])]);
+                }
+                RepartitionFamily family = RepartitionFamily::kGrid;
+                np->spec = choose_repartition(phases[round]->spec, done,
+                                              res.survivors, weights,
+                                              &np->redistributed, &family);
+                ++np->drift_rounds;
+
+                RepartitionEvent event;
+                event.epoch = static_cast<int>(round) + 1;
+                event.family = family;
+                event.measured_speeds = weights;
+                event.redone_area = np->redistributed;
+                const partition::PartitionSpec& old_spec = phases[round]->spec;
+                for (int bi = 0; bi < old_spec.subplda; ++bi) {
+                  for (int bj = 0; bj < old_spec.subpldb; ++bj) {
+                    if (done.count({bi, bj}) != 0) continue;
+                    if (np->spec.owner(bi, bj) != old_spec.owner(bi, bj)) {
+                      ++event.redone_cells;
+                    }
+                  }
+                }
+                for (const auto& [cr, ct] : confirms) {
+                  if (event.trigger_rank < 0 || ct < event.trigger_vtime ||
+                      (ct == event.trigger_vtime && cr < event.trigger_rank)) {
+                    event.trigger_rank = cr;
+                    event.trigger_vtime = ct;
+                  }
+                }
+                confirms.clear();
+                result.repartitions.push_back(std::move(event));
+              } else {
+                np->spec = repartition_unfinished(phases[round]->spec, done,
+                                                  res.survivors, weights,
+                                                  &np->redistributed);
+              }
               np->locals.resize(static_cast<std::size_t>(p));
               phases.push_back(std::move(np));
             }

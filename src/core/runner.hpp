@@ -13,7 +13,10 @@
 #include <vector>
 
 #include "src/blas/gemm.hpp"
+#include "src/core/drift.hpp"
+#include "src/core/recovery.hpp"
 #include "src/core/summagen.hpp"
+#include "src/device/drift.hpp"
 #include "src/device/platform.hpp"
 #include "src/energy/energy.hpp"
 #include "src/partition/areas.hpp"
@@ -78,6 +81,35 @@ struct ExperimentConfig {
   /// ranks at reduced speed), and only the lost work is re-executed.
   sgmpi::FaultPlan faults;
   double fault_detect_s = 0.05;  ///< modeled failure-detection latency
+
+  /// Time-varying device-speed profile (DESIGN.md §5.13). Empty = the exact
+  /// static model. Non-empty: each rank's modeled compute time is scaled by
+  /// device::drift_factor at every quantum's start — fully deterministic in
+  /// virtual time, numeric kernels unaffected.
+  device::DriftPlan drift;
+
+  /// Online drift detection and mid-run re-partitioning. Disabled (default)
+  /// = a drifting run limps along under the static plan. Enabled: every
+  /// rank runs a DriftController over its per-step observed/predicted
+  /// ratios; a confirmed drift sheds the victim's remaining compute,
+  /// surfaces as a kDrift event at the commit gate, and the run re-partitions
+  /// the unfinished cells over live-measured speeds (bounded by
+  /// repartition.max_repartitions, warmup backoff per round).
+  RepartitionOptions repartition;
+};
+
+/// One drift-triggered mid-run re-partition (repartition.enabled runs).
+struct RepartitionEvent {
+  int epoch = 0;               ///< partition epoch entered (1 = first)
+  double trigger_vtime = 0.0;  ///< virtual time the detector confirmed
+  int trigger_rank = -1;       ///< earliest confirming rank of the round
+  /// Live-measured relative speeds the new partition was derived from, per
+  /// surviving member (static weight / the confirming step's
+  /// observed-over-predicted ratio).
+  std::vector<double> measured_speeds;
+  std::int64_t redone_cells = 0;  ///< unfinished cells that changed owner
+  std::int64_t redone_area = 0;   ///< area of those cells (elements)
+  RepartitionFamily family = RepartitionFamily::kGrid;  ///< chosen layout
 };
 
 /// Everything measured in one execution.
@@ -127,6 +159,10 @@ struct ExperimentResult {
   /// Unfinished C area (elements) that changed owner during recoveries.
   std::int64_t redistributed_area = 0;
   std::vector<sgmpi::FaultRecord> fault_records;  ///< per injected event
+
+  /// Drift-triggered re-partitions, in occurrence order (empty unless
+  /// config.repartition.enabled and a drift was confirmed).
+  std::vector<RepartitionEvent> repartitions;
 };
 
 /// Runs one PMM. Throws on configuration errors (shape/processor-count

@@ -108,10 +108,14 @@ void exec_copy(const Frame& frame, const CopyOp& op) {
   }
 }
 
-/// Executes one local DGEMM of the plan.
+/// Executes one local DGEMM of the plan. When `ft` carries a drift profile
+/// the modeled time additionally scales by the drift factor sampled at the
+/// quantum's start; `obs` (optional) receives the step's predicted
+/// (pre-drift) and observed durations for the drift detector.
 void exec_gemm(sgmpi::Comm& world, const Frame& frame,
                const device::AbstractProcessor& ap, const GemmOp& g,
-               bool contended, RankReport& report) {
+               bool contended, RankReport& report, const FtContext* ft,
+               trace::StepSample* obs) {
   const partition::PartitionSpec& spec = frame.spec;
   const std::int64_t h = spec.subph[static_cast<std::size_t>(g.bi)];
   const std::int64_t w = spec.subpw[static_cast<std::size_t>(g.bj)];
@@ -133,9 +137,12 @@ void exec_gemm(sgmpi::Comm& world, const Frame& frame,
     // The B operand is columns [coff[bj], coff[bj]+w) of global B over the
     // full k axis — bit-identical on every rank computing a cell of
     // sub-partition column bj (different WB buffers and ld, same values),
-    // so tag it for the blas pack cache.
+    // so tag it for the blas pack cache. The partition epoch namespaces the
+    // tag per re-partition phase: a pre-re-partition pack can never serve a
+    // post-re-partition lookup.
     const std::uint64_t wb_key = blas::pack_tag(
         {world.context_uid(), kSummagenPackTag,
+         ft != nullptr ? ft->partition_epoch : 0,
          static_cast<std::uint64_t>(spec.n), 0,
          static_cast<std::uint64_t>(spec.n),
          static_cast<std::uint64_t>(
@@ -155,6 +162,18 @@ void exec_gemm(sgmpi::Comm& world, const Frame& frame,
 
   auto& clk = world.clock();
   const double t0 = clk.now();
+  // Live drift stretches the modeled quantum on top of the static model
+  // (slowdown faults included); the detector compares the two.
+  const double drift = ft != nullptr && ft->drift_factor
+                           ? ft->drift_factor(t0)
+                           : 1.0;
+  if (obs != nullptr) {
+    obs->predicted_s = cost.total_s();
+    obs->observed_s = cost.total_s() * drift;
+    obs->vtime = t0;
+  }
+  cost.compute_s *= drift;
+  cost.transfer_s *= drift;
   clk.advance_compute(cost.compute_s);
   if (world.events().enabled()) {
     world.events().record({world.world_rank(), trace::EventKind::kCompute,
@@ -189,7 +208,8 @@ void exec_gemm(sgmpi::Comm& world, const Frame& frame,
 void exec_gemm_chunk(sgmpi::Comm& world, const Frame& frame,
                      const device::AbstractProcessor& ap, const GemmOp& g,
                      const GemmChunk& ch, const device::KernelCost& full,
-                     bool contended, RankReport& report) {
+                     bool contended, RankReport& report, const FtContext* ft,
+                     trace::StepSample* obs) {
   const partition::PartitionSpec& spec = frame.spec;
   const std::int64_t h = spec.subph[static_cast<std::size_t>(g.bi)];
   const std::int64_t w = spec.subpw[static_cast<std::size_t>(g.bj)];
@@ -213,6 +233,7 @@ void exec_gemm_chunk(sgmpi::Comm& world, const Frame& frame,
     // k-range [k0, k1) — which the tag must therefore include.
     const std::uint64_t wb_key = blas::pack_tag(
         {world.context_uid(), kSummagenPackTag,
+         ft != nullptr ? ft->partition_epoch : 0,
          static_cast<std::uint64_t>(spec.n),
          static_cast<std::uint64_t>(ch.k0),
          static_cast<std::uint64_t>(kc),
@@ -227,11 +248,18 @@ void exec_gemm_chunk(sgmpi::Comm& world, const Frame& frame,
   const double share =
       static_cast<double>(kc) / static_cast<double>(spec.n);
   const double slow = world.compute_slowdown();
-  const double compute_s = full.compute_s * share * slow;
-  const double transfer_s = full.transfer_s * share * slow;
-
   auto& clk = world.clock();
   const double t0 = clk.now();
+  const double drift = ft != nullptr && ft->drift_factor
+                           ? ft->drift_factor(t0)
+                           : 1.0;
+  if (obs != nullptr) {
+    obs->predicted_s = (full.compute_s + full.transfer_s) * share * slow;
+    obs->observed_s = obs->predicted_s * drift;
+    obs->vtime = t0;
+  }
+  const double compute_s = full.compute_s * share * slow * drift;
+  const double transfer_s = full.transfer_s * share * slow * drift;
   clk.advance_compute(compute_s);
   if (world.events().enabled()) {
     world.events().record(
@@ -333,32 +361,46 @@ RankReport summagen_rank(sgmpi::Comm& world,
   // posting order — the executor completes in that same order.
   std::deque<sgmpi::Comm> posted_groups;
 
+  // Set when the drift detector (ft->on_step) confirms: the rank sheds its
+  // remaining compute — no kernel, no clock charge, no completion snapshot
+  // — but still executes its full communication schedule, so every peer's
+  // collectives complete against live payloads. The kDrift event is raised
+  // only after the graph finishes and surfaces to peers at the ft_commit
+  // gate; the shed cells redistribute in the next phase.
+  bool shed = false;
+
   taskgraph::ExecHooks hooks;
   hooks.run_local = [&](const taskgraph::TaskNode& node) {
     if (node.kind == taskgraph::NodeKind::kCopy) {
       exec_copy(frame, plan.copy_ops[static_cast<std::size_t>(node.payload)]);
       return;
     }
+    if (shed) return;
     const GemmOp& g = plan.gemm_ops[static_cast<std::size_t>(node.payload)];
     const GemmChunk& ch = g.chunks[static_cast<std::size_t>(node.aux)];
+    trace::StepSample obs;
     exec_gemm_chunk(world, frame, ap, g, ch,
                     full_cost(static_cast<std::size_t>(node.payload)),
-                    contended, report);
+                    contended, report, ft, &obs);
     world.fault_check();
     if (node.aux + 1 == static_cast<int>(g.chunks.size()) && ft != nullptr &&
         ft->on_gemm_done) {
       ft->on_gemm_done(g.bi, g.bj);
     }
+    if (ft != nullptr && ft->on_step && ft->on_step(obs)) shed = true;
   };
   // kProgram fuses each chunk chain into the historical single whole-op
   // kernel call — eager numeric results and virtual timing stay exact.
   hooks.run_fused = [&](const taskgraph::TaskNode& node, int /*nchunks*/) {
+    if (shed) return;
     const GemmOp& g = plan.gemm_ops[static_cast<std::size_t>(node.payload)];
-    exec_gemm(world, frame, ap, g, contended, report);
+    trace::StepSample obs;
+    exec_gemm(world, frame, ap, g, contended, report, ft, &obs);
     // The cell is complete: snapshot it before polling for faults, so a
     // crash surfacing at this boundary never re-executes finished work.
     if (ft != nullptr && ft->on_gemm_done) ft->on_gemm_done(g.bi, g.bj);
     world.fault_check();
+    if (ft != nullptr && ft->on_step && ft->on_step(obs)) shed = true;
   };
   hooks.run_comm = [&](const taskgraph::TaskNode& node) {
     const CommOp& op = plan.comm_ops[static_cast<std::size_t>(node.payload)];
@@ -406,6 +448,11 @@ RankReport summagen_rank(sgmpi::Comm& world,
 
   taskgraph::run_graph(graph, rank, taskgraph::schedule_for(options.scheduler),
                        options.overlap_depth, hooks);
+
+  // With the communication schedule fully executed (no peer is mid-
+  // collective against this rank's buffers), a confirmed drift unwinds via
+  // the standard fault path: peers see kDrift at the ft_commit gate.
+  if (shed) world.raise_drift();
 
   report.hidden_comm_s = world.clock().hidden_comm_seconds() - hidden0;
   return report;

@@ -31,6 +31,7 @@
 #include "src/device/device.hpp"
 #include "src/mpi/mpi.hpp"
 #include "src/partition/spec.hpp"
+#include "src/trace/step_timing.hpp"
 
 namespace summagen::core {
 
@@ -115,6 +116,29 @@ struct FtContext {
   /// completion tracker recovery snapshots. Must be thread-safe across
   /// ranks (called from every rank thread).
   std::function<void(int, int)> on_gemm_done;
+
+  /// Live drift multiplier for this rank's modeled compute time at a given
+  /// virtual time (device::drift_factor over the run's DriftPlan). Null =
+  /// 1.0 everywhere — the exact static model. Applied at each compute
+  /// quantum's start time; numeric kernels are unaffected (the simulated
+  /// background load stretches modeled time only).
+  std::function<double(double)> drift_factor;
+
+  /// Partition epoch of this execution phase (0 for the initial plan, the
+  /// recovery round otherwise). Folded into the blas pack-cache B-panel
+  /// tags so a packed panel from a pre-re-partition layout can never be
+  /// reused after operand coordinates change meaning.
+  std::uint64_t partition_epoch = 0;
+
+  /// Drift detector hook, invoked after every owned compute step with the
+  /// step's predicted (static model incl. fault slowdowns) and observed
+  /// (incl. drift) modeled durations. Returns true to confirm drift: the
+  /// rank then *sheds* its remaining compute (skipping kernels and their
+  /// clock charges) while still executing its full communication schedule,
+  /// and raises sgmpi kDrift after the graph completes — peers finish
+  /// undisturbed and the re-partition happens at the commit gate. Called
+  /// from this rank's thread only.
+  std::function<bool(const trace::StepSample&)> on_step;
 };
 
 /// Executes SummaGen on the calling rank.

@@ -1,0 +1,49 @@
+#include "src/device/drift.hpp"
+
+#include <cmath>
+
+namespace summagen::device {
+
+const char* drift_kind_name(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kStep:
+      return "step";
+    case DriftKind::kRamp:
+      return "ramp";
+    case DriftKind::kPeriodic:
+      return "periodic";
+  }
+  return "unknown";
+}
+
+double drift_event_factor(const DriftEvent& event, double vtime) {
+  const double t = vtime - event.at_vtime;
+  if (t < 0.0) return 1.0;
+  switch (event.kind) {
+    case DriftKind::kStep:
+      return event.factor;
+    case DriftKind::kRamp: {
+      if (event.duration_s <= 0.0) return event.factor;
+      if (t >= event.duration_s) return event.factor;
+      return 1.0 + (event.factor - 1.0) * (t / event.duration_s);
+    }
+    case DriftKind::kPeriodic: {
+      if (event.period_s <= 0.0) return event.factor;
+      const double phase = std::fmod(t, event.period_s);
+      // Slow half first: the drift is observable immediately at at_vtime.
+      return phase < 0.5 * event.period_s ? event.factor : 1.0;
+    }
+  }
+  return 1.0;
+}
+
+double drift_factor(const DriftPlan& plan, int rank, double vtime) {
+  double factor = 1.0;
+  for (const DriftEvent& e : plan.events) {
+    if (e.rank != rank) continue;
+    factor *= drift_event_factor(e, vtime);
+  }
+  return factor;
+}
+
+}  // namespace summagen::device

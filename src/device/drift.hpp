@@ -1,0 +1,61 @@
+// Time-varying device speed profiles (dynamic load drift).
+//
+// Production nodes drift away from the static speeds of the paper's CPM/FPM
+// models: background load, thermal throttling, tenant interference. A
+// DriftPlan schedules deterministic slowdown curves per rank, driven by the
+// rank's *virtual* clock — the same plan on the same workload always
+// produces the same factor at the same point of the virtual execution, so
+// drifting runs stay exactly reproducible.
+//
+// The plan only scales *modeled* kernel time (the simulated device slows
+// down); numeric kernels are untouched, so results remain bit-identical to
+// the drift-free run and only the virtual timeline stretches. An empty plan
+// is exactly the static model: drift_factor() == 1.0 everywhere.
+//
+// Three curve kinds (DESIGN.md §5.13):
+//   * step     — factor jumps from 1 to `factor` at `at_vtime` and holds
+//                (a co-located job starts and stays);
+//   * ramp     — factor rises linearly from 1 to `factor` over
+//                `duration_s`, then holds (thermal throttle ramping in);
+//   * periodic — square wave alternating `factor` and 1 with period
+//                `period_s`, slow half first (periodic background work).
+#pragma once
+
+#include <vector>
+
+namespace summagen::device {
+
+enum class DriftKind {
+  kStep,      ///< jump to `factor` at `at_vtime`, hold forever
+  kRamp,      ///< linear 1 -> `factor` over `duration_s`, then hold
+  kPeriodic,  ///< square wave: `factor` for period_s/2, then 1, repeating
+};
+
+const char* drift_kind_name(DriftKind kind);
+
+/// One scheduled drift curve. `rank` is a world rank; `factor` > 1 slows
+/// the device down (compute time multiplies by the factor), < 1 speeds it
+/// up. Before `at_vtime` the curve contributes 1.0.
+struct DriftEvent {
+  DriftKind kind = DriftKind::kStep;
+  int rank = 0;
+  double at_vtime = 0.0;
+  double factor = 2.0;
+  double duration_s = 0.0;  ///< kRamp: rise time from 1 to `factor`
+  double period_s = 0.0;    ///< kPeriodic: full square-wave period
+};
+
+struct DriftPlan {
+  std::vector<DriftEvent> events;
+  bool empty() const noexcept { return events.empty(); }
+};
+
+/// Multiplier applied to `rank`'s modeled compute time at virtual time
+/// `vtime`: the product of every matching event's curve value (1.0 when no
+/// event matches — in particular for an empty plan). Pure and deterministic.
+double drift_factor(const DriftPlan& plan, int rank, double vtime);
+
+/// Curve value of a single event at `vtime` (1.0 before `at_vtime`).
+double drift_event_factor(const DriftEvent& event, double vtime);
+
+}  // namespace summagen::device

@@ -260,9 +260,20 @@ double Comm::compute_slowdown() const {
   return ctx_->faults->compute_factor(world_rank());
 }
 
+void Comm::raise_drift() {
+  if (!ctx_->faults) {
+    throw std::logic_error(
+        "sgmpi: raise_drift() requires a fault plan or adaptive mode");
+  }
+  const double now = clock().now();
+  ctx_->faults->raise_drift(world_rank(), now);
+  throw PeerFailedError(world_rank(), FaultKind::kDrift, now);
+}
+
 ShrinkResult Comm::shrink() {
   if (!ctx_->faults) {
-    throw std::logic_error("sgmpi: shrink() requires a non-empty fault plan");
+    throw std::logic_error(
+        "sgmpi: shrink() requires a fault plan or adaptive mode");
   }
   ShrinkResult result = ctx_->faults->shrink_arrive(
       world_rank(), clock().now(), ctx_->config.poll_interval_s);
@@ -282,7 +293,7 @@ ShrinkResult Comm::shrink() {
 double Comm::ft_commit() {
   if (!ctx_->faults) {
     throw std::logic_error(
-        "sgmpi: ft_commit() requires a non-empty fault plan");
+        "sgmpi: ft_commit() requires a fault plan or adaptive mode");
   }
   const auto [entry_max, live] = ctx_->faults->commit_arrive(
       world_rank(), clock(), ctx_->config.poll_interval_s);

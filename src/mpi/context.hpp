@@ -176,7 +176,7 @@ class Context {
     states.emplace_back(world);
     states.back().link = link_for(world);
     subgroup_cache.emplace(std::move(world), 0);
-    if (!config.faults.empty()) {
+    if (!config.faults.empty() || config.adaptive) {
       faults = std::make_unique<detail::FaultRuntime>(
           config.faults, config.nranks, config.fault_detect_s,
           config.max_send_attempts, config.send_retry_backoff_s);

@@ -26,6 +26,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "link-slowdown";
     case FaultKind::kMessageDrop:
       return "message-drop";
+    case FaultKind::kDrift:
+      return "drift";
   }
   return "unknown";
 }
@@ -161,6 +163,13 @@ bool FaultRuntime::trigger_due_locked(int rank, double vtime) {
         s.handled_vtime = vtime;
         s.drops_left = s.event.drop_count;
         break;
+      case FaultKind::kDrift:
+        // Normally raised dynamically (raise_drift); a planned kDrift event
+        // behaves like a slowdown whose detection is deferred to the commit
+        // gate.
+        s.phase = EventState::Phase::kTriggered;
+        newly_interrupting = true;
+        break;
     }
   }
   if (newly_interrupting) {
@@ -170,11 +179,33 @@ bool FaultRuntime::trigger_due_locked(int rank, double vtime) {
   return newly_interrupting;
 }
 
-FaultRuntime::EventState* FaultRuntime::live_failure_locked() {
+FaultRuntime::EventState* FaultRuntime::live_failure_locked(
+    bool include_drift) {
   for (EventState& s : events_) {
-    if (s.phase == EventState::Phase::kTriggered && interrupting(s)) return &s;
+    if (s.phase != EventState::Phase::kTriggered || !interrupting(s)) continue;
+    if (!include_drift && s.event.kind == FaultKind::kDrift) continue;
+    return &s;
   }
   return nullptr;
+}
+
+void FaultRuntime::raise_drift(int rank, double vtime) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EventState s;
+    s.event.kind = FaultKind::kDrift;
+    s.event.rank = rank;
+    s.event.at_vtime = vtime;
+    s.phase = EventState::Phase::kTriggered;
+    s.trigger_vtime = vtime;
+    s.first_detect_vtime = vtime;  // the raiser detected it itself
+    events_.push_back(s);
+    epoch_.fetch_add(1, std::memory_order_release);
+    cv_.notify_all();
+  }
+  // Waking the context's blocked waits is harmless (poll ignores kDrift);
+  // it just keeps the wakeup discipline uniform with planned triggers.
+  if (on_trigger) on_trigger();
 }
 
 bool FaultRuntime::all_live_arrived_locked(
@@ -210,7 +241,10 @@ void FaultRuntime::poll(int rank, trace::VirtualClock& clk) {
     lock.lock();
   }
   if (self_dead) throw RankCrashedError(rank);
-  if (EventState* failure = live_failure_locked()) {
+  // kDrift excluded: a drift raiser finishes its communication schedule
+  // before raising, so peers complete their graphs undisturbed and observe
+  // the drift at the commit gate instead.
+  if (EventState* failure = live_failure_locked(/*include_drift=*/false)) {
     throw_detected_locked(*failure, clk);
   }
 }
@@ -349,7 +383,9 @@ std::pair<double, int> FaultRuntime::commit_arrive(int rank,
   while (commit_gen_ == my_gen) {
     // Failure first: if an interrupting event is live, every arriver must
     // unwind to recovery, so withdraw and throw rather than completing.
-    if (EventState* failure = live_failure_locked()) {
+    // kDrift included: the commit gate is exactly where confirmed drift
+    // surfaces to the peers.
+    if (EventState* failure = live_failure_locked(/*include_drift=*/true)) {
       commit_arrived_[static_cast<std::size_t>(rank)] = false;
       --commit_arrived_count_;
       throw_detected_locked(*failure, clk);

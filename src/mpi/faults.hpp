@@ -38,6 +38,15 @@ enum class FaultKind {
   kSlowdown,      ///< rank's compute slows by `factor`; re-partition, no shrink
   kLinkSlowdown,  ///< rank's link costs scale by `factor`; no unwind
   kMessageDrop,   ///< rank's next `drop_count` sends are dropped and retried
+  /// Dynamic event raised at runtime by `Comm::raise_drift()` when a rank's
+  /// drift detector confirms sustained load drift (never scheduled by a
+  /// plan). Unlike crash/slowdown it does NOT interrupt peers mid-graph:
+  /// `poll` ignores it, so peers run their full schedule and only observe
+  /// the drift at the all-live `ft_commit` gate — the raiser finishes its
+  /// communication schedule before raising, so no collective ever stalls on
+  /// an unwound rank and every transition lands at a deterministic virtual
+  /// time.
+  kDrift,
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -161,6 +170,13 @@ class FaultRuntime {
   /// attempt cap is exceeded.
   double send_attempt_penalty(int rank, double vtime, double base_cost);
 
+  /// Registers a confirmed-drift event for `rank` at virtual time `vtime`
+  /// (already triggered — there is no pending phase) and wakes blocked
+  /// waits. The caller then throws PeerFailedError(kDrift) on the raising
+  /// rank; peers observe the event at the next commit gate, never from
+  /// `poll`.
+  void raise_drift(int rank, double vtime);
+
   /// Blocks until every live rank has arrived, then settles all triggered
   /// events as handled and resets the communication fabric (first observer
   /// of completion finalises). Ranks that die while others wait shrink the
@@ -190,13 +206,17 @@ class FaultRuntime {
 
   bool interrupting(const EventState& s) const {
     return s.event.kind == FaultKind::kCrash ||
-           s.event.kind == FaultKind::kSlowdown;
+           s.event.kind == FaultKind::kSlowdown ||
+           s.event.kind == FaultKind::kDrift;
   }
   /// Triggers `rank`'s due events under the lock; returns true if an
   /// interrupting event newly triggered (caller must notify after unlock).
   bool trigger_due_locked(int rank, double vtime);
-  /// First triggered-but-unhandled interrupting event, or nullptr.
-  EventState* live_failure_locked();
+  /// First triggered-but-unhandled interrupting event, or nullptr. kDrift
+  /// events only count when `include_drift`: drift never unwinds peers from
+  /// poll/waits (the raiser completes its communication schedule first), it
+  /// surfaces at the commit gate.
+  EventState* live_failure_locked(bool include_drift);
   bool all_live_arrived_locked(const std::vector<bool>& arrived) const;
   /// Settles detection on `clk` and throws PeerFailedError for `failure`.
   [[noreturn]] void throw_detected_locked(EventState& failure,

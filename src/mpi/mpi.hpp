@@ -60,6 +60,11 @@ struct Config {
   /// Modeled failure-detector latency: a peer failure at virtual time t is
   /// observed by a blocked rank no earlier than t + fault_detect_s.
   double fault_detect_s = 0.05;
+  /// Adaptive execution: create the fault runtime even with an empty plan,
+  /// so ranks may raise dynamic events (Comm::raise_drift) and use the
+  /// shrink/ft_commit agreement gates for online re-partitioning. False
+  /// with an empty plan = the exact fault-free execution path.
+  bool adaptive = false;
   /// Send retry policy under injected message drops.
   int max_send_attempts = 5;
   double send_retry_backoff_s = 1.0e-4;  ///< first-retry virtual backoff
@@ -264,6 +269,14 @@ class Comm {
   /// Multiplier (>= 1 in practice) applied to this rank's compute costs by
   /// triggered slowdown faults; exactly 1.0 when the fault plan is empty.
   double compute_slowdown() const;
+
+  /// Raises a confirmed-drift event for this rank at its current virtual
+  /// time and throws PeerFailedError(kDrift) on the caller. Call only after
+  /// this rank has completed its communication schedule for the phase: the
+  /// peers keep running undisturbed (poll ignores kDrift) and observe the
+  /// event at the ft_commit gate, then everyone shrinks and re-partitions.
+  /// Requires a fault plan or Config::adaptive.
+  [[noreturn]] void raise_drift();
 
   /// ULFM-style agreement after a failure: every live rank that caught
   /// PeerFailedError calls shrink(); it blocks until all live ranks arrive,

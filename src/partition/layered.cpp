@@ -1,0 +1,38 @@
+#include "src/partition/layered.hpp"
+
+#include "src/partition/column_based.hpp"
+
+namespace summagen::partition {
+
+PartitionSpec transpose_spec(const PartitionSpec& spec) {
+  PartitionSpec t;
+  t.n = spec.n;
+  t.subplda = spec.subpldb;
+  t.subpldb = spec.subplda;
+  t.subph = spec.subpw;
+  t.subpw = spec.subph;
+  t.subp.resize(spec.subp.size());
+  for (int i = 0; i < t.subplda; ++i) {
+    for (int j = 0; j < t.subpldb; ++j) {
+      t.subp[static_cast<std::size_t>(i) *
+                 static_cast<std::size_t>(t.subpldb) +
+             static_cast<std::size_t>(j)] =
+          spec.subp[static_cast<std::size_t>(j) *
+                        static_cast<std::size_t>(spec.subpldb) +
+                    static_cast<std::size_t>(i)];
+    }
+  }
+  return t;
+}
+
+PartitionSpec layered_partition(std::int64_t n,
+                                const std::vector<std::int64_t>& areas) {
+  // The optimal layered arrangement of `areas` is the transpose of the
+  // optimal column-based arrangement (the DP cost — sum of half-perimeters
+  // — is symmetric under transposition).
+  PartitionSpec spec = transpose_spec(column_based_partition(n, areas));
+  spec.validate(static_cast<int>(areas.size()));
+  return spec;
+}
+
+}  // namespace summagen::partition

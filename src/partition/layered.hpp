@@ -1,0 +1,32 @@
+// Layer-based rectangular partitioning (Liu, Shi, Zhang, Robertazzi line):
+// the unit square is cut into full-width horizontal layers, each layer
+// split vertically among a consecutive group of processors. This is the
+// row-major transpose of the Beaumont et al. column-based family, and the
+// same dynamic program finds the optimal layer structure — we reuse it on
+// the transposed problem and transpose the resulting spec.
+//
+// The family joins the re-partitioning choice set of the adaptive runner
+// (DESIGN.md §5.13): at drift time the runner picks the candidate layout
+// with the smallest predicted makespan over the live-measured speeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/partition/spec.hpp"
+
+namespace summagen::partition {
+
+/// Builds a rectangular PartitionSpec of an n x n matrix from integer areas
+/// using the optimal layer-based (horizontal layers, vertical splits)
+/// arrangement — the transpose of column_based_partition. Same rounding
+/// caveats: achieved areas approximate the requests.
+PartitionSpec layered_partition(std::int64_t n,
+                                const std::vector<std::int64_t>& areas);
+
+/// Transposes a PartitionSpec across the main diagonal: rows become
+/// columns, subp(i, j) becomes subp(j, i). The transpose of a valid spec
+/// is valid (exact cover and rectangular-per-rank structure are preserved).
+PartitionSpec transpose_spec(const PartitionSpec& spec);
+
+}  // namespace summagen::partition

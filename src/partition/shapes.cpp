@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/partition/layered.hpp"
+
 namespace summagen::partition {
 namespace {
 
@@ -213,7 +215,7 @@ const std::vector<Shape>& all_shapes() {
 const std::vector<Shape>& extended_shapes() {
   static const std::vector<Shape> kAll = {
       Shape::kSquareCorner, Shape::kSquareRectangle, Shape::kBlockRectangle,
-      Shape::kOneDimensional, Shape::kLRectangle};
+      Shape::kOneDimensional, Shape::kLRectangle, Shape::kLayered};
   return kAll;
 }
 
@@ -229,6 +231,8 @@ const char* shape_name(Shape shape) {
       return "one_dimensional";
     case Shape::kLRectangle:
       return "l_rectangle";
+    case Shape::kLayered:
+      return "layered";
   }
   return "?";
 }
@@ -285,6 +289,32 @@ PartitionSpec build_shape(Shape shape, std::int64_t n,
       }
       spec = l_rectangle(n, areas, granularity);
       break;
+    case Shape::kLayered: {
+      if (p < 1) throw std::invalid_argument("build_shape: p < 1");
+      // Run the layered DP on the (n/g) x (n/g) block grid and scale back
+      // up: every layer height and slice width is then a multiple of g.
+      const std::int64_t m = n / granularity;
+      const std::int64_t g2 = granularity * granularity;
+      std::vector<std::int64_t> coarse(areas.size(), 0);
+      std::int64_t sum = 0;
+      for (std::size_t i = 0; i < areas.size(); ++i) {
+        coarse[i] = std::llround(static_cast<double>(areas[i]) /
+                                 static_cast<double>(g2));
+        sum += coarse[i];
+      }
+      // The largest rank absorbs the block-rounding error.
+      const auto order = ranks_by_area(areas);
+      coarse[static_cast<std::size_t>(order[0])] += m * m - sum;
+      if (coarse[static_cast<std::size_t>(order[0])] < 0) {
+        throw std::invalid_argument(
+            "build_shape: granularity too coarse for layered areas");
+      }
+      spec = layered_partition(m, coarse);
+      spec.n = n;
+      for (auto& h : spec.subph) h *= granularity;
+      for (auto& w : spec.subpw) w *= granularity;
+      break;
+    }
   }
   spec.validate(p);
   return spec;

@@ -39,6 +39,11 @@ enum class Shape {
   /// zone is an L wrapping a right-edge block that the other two split
   /// horizontally. Not part of the paper's four-shape evaluation.
   kLRectangle,
+  /// Extension: layer-based rectangular partitioning (the Liu/Shi/Zhang/
+  /// Robertazzi line) — full-width horizontal layers split vertically,
+  /// the transpose of the Beaumont column-based optimum. Any p >= 1; also
+  /// one of the candidate layouts of drift-triggered re-partitioning.
+  kLayered,
 };
 
 /// The paper's four evaluated shapes, in its presentation order.

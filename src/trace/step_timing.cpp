@@ -1,0 +1,20 @@
+#include "src/trace/step_timing.hpp"
+
+namespace summagen::trace {
+
+double step_ratio(const StepSample& sample) {
+  if (sample.predicted_s <= 0.0) return 1.0;
+  return sample.observed_s / sample.predicted_s;
+}
+
+std::vector<double> compute_step_durations(const std::vector<Event>& events,
+                                           int rank) {
+  std::vector<double> out;
+  for (const Event& e : events) {
+    if (e.rank != rank || e.kind != EventKind::kCompute) continue;
+    out.push_back(e.vend - e.vstart);
+  }
+  return out;
+}
+
+}  // namespace summagen::trace

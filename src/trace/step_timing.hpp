@@ -1,0 +1,60 @@
+// Per-step timing extraction and smoothing for online drift detection.
+//
+// The drift detector (src/core/drift.hpp) compares each compute step's
+// *observed* modeled duration against the duration the partition's
+// performance model *predicted* for it. This module holds the trace-layer
+// pieces: the observation record, an exponentially-weighted moving average
+// over the observed/predicted ratio (EWMA — robust to single-step noise),
+// and the extraction of per-rank compute-step durations from an EventLog
+// for post-mortem analysis.
+#pragma once
+
+#include <vector>
+
+#include "src/trace/events.hpp"
+
+namespace summagen::trace {
+
+/// One compute step as the detector sees it: what the model predicted the
+/// step would cost (static speeds, including any handled fault slowdown)
+/// and what it actually cost under the live (possibly drifting) speed.
+/// observed_s / predicted_s is exactly the live slowdown factor.
+struct StepSample {
+  double predicted_s = 0.0;
+  double observed_s = 0.0;
+  double vtime = 0.0;  ///< virtual time at the start of the step
+};
+
+/// Exponentially-weighted moving average of a ratio stream:
+///   value = alpha * x + (1 - alpha) * value
+/// seeded by the first sample. `alpha` in (0, 1]; larger = more reactive,
+/// smaller = smoother. Deterministic, O(1) state.
+class EwmaTracker {
+ public:
+  explicit EwmaTracker(double alpha) : alpha_(alpha) {}
+
+  void update(double x) {
+    value_ = count_ == 0 ? x : alpha_ * x + (1.0 - alpha_) * value_;
+    ++count_;
+  }
+
+  double value() const noexcept { return value_; }
+  int count() const noexcept { return count_; }
+
+ private:
+  double alpha_;
+  double value_ = 1.0;
+  int count_ = 0;
+};
+
+/// Ratio of a sample, guarded against degenerate predictions: returns 1.0
+/// when predicted_s is not positive (a free step carries no drift signal).
+double step_ratio(const StepSample& sample);
+
+/// Extracts the durations (vend - vstart) of `rank`'s kCompute events from
+/// a sorted event snapshot, in timeline order — the per-k-step timing a
+/// post-mortem drift analysis chews on.
+std::vector<double> compute_step_durations(const std::vector<Event>& events,
+                                           int rank);
+
+}  // namespace summagen::trace

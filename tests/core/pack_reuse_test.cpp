@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/blas/pack_cache.hpp"
 #include "src/core/reference.hpp"
 #include "src/core/runner.hpp"
 #include "src/core/summa.hpp"
@@ -75,6 +76,45 @@ TEST(PackReuse, RunnerReportsPackCountersInResult) {
   EXPECT_GT(res.alloc.pack_lookups, 0);
   EXPECT_GE(res.alloc.pack_hits, 0);
   EXPECT_GE(res.alloc.pack_hit_rate(), 0.0);
+}
+
+TEST(PackReuse, PartitionEpochNamespacesPackTags) {
+  // A drift-triggered re-partition changes cell geometry mid-run; the
+  // schedulers append the partition epoch to every B-panel tag so a packed
+  // panel from a pre-re-partition layout can never satisfy a post-
+  // re-partition lookup. Tags differing only in the epoch must not collide.
+  const std::uint64_t uid = 7;
+  const std::uint64_t tag_epoch0 = blas::pack_tag({uid, 3, 1, 2, 0});
+  const std::uint64_t tag_epoch1 = blas::pack_tag({uid, 3, 1, 2, 1});
+  EXPECT_NE(tag_epoch0, tag_epoch1);
+  EXPECT_NE(tag_epoch0, 0u);
+  EXPECT_NE(tag_epoch1, 0u);
+}
+
+TEST(PackReuse, RepartitionedRunStillVerifiesWithPackedKernels) {
+  // End-to-end guard for the epoch keying: a run that re-partitions mid-way
+  // (two partition epochs sharing one pack cache) must still verify — a
+  // stale cross-epoch pack hit would corrupt C.
+  ExperimentConfig config;
+  config.platform = device::Platform::hclserver1();
+  config.n = 192;
+  config.shape = partition::Shape::kSquareCorner;
+  config.cpm_speeds = {1.0, 2.0, 0.9};
+  config.numeric = true;
+  config.summagen_options.scheduler = Scheduler::kTaskGraph;
+  config.summagen_options.bcast_panel_rows = 48;
+  config.fault_detect_s = 1e-4;
+  device::DriftEvent drift;
+  drift.kind = device::DriftKind::kStep;
+  drift.rank = 1;
+  drift.at_vtime = 0.0;
+  drift.factor = 3.0;
+  config.drift.events.push_back(drift);
+  config.repartition.enabled = true;
+  const ExperimentResult res = run_pmm(config);
+  EXPECT_TRUE(res.verified) << "max_abs_error=" << res.max_abs_error;
+  EXPECT_GE(res.repartitions.size(), 1u);
+  EXPECT_GT(res.alloc.pack_lookups, 0);
 }
 
 }  // namespace

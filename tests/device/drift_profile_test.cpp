@@ -1,0 +1,85 @@
+// Time-varying device-speed profiles (src/device/drift.hpp): the curves
+// are pure functions of virtual time, so every property here is exact.
+#include <gtest/gtest.h>
+
+#include "src/device/drift.hpp"
+
+namespace summagen::device {
+namespace {
+
+DriftEvent event(DriftKind kind, int rank, double at, double factor,
+                 double arg = 0.0) {
+  DriftEvent e;
+  e.kind = kind;
+  e.rank = rank;
+  e.at_vtime = at;
+  e.factor = factor;
+  if (kind == DriftKind::kRamp) e.duration_s = arg;
+  if (kind == DriftKind::kPeriodic) e.period_s = arg;
+  return e;
+}
+
+TEST(DriftProfile, EmptyPlanIsUnity) {
+  DriftPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 2, 123.0), 1.0);
+}
+
+TEST(DriftProfile, StepIsOneBeforeAndFactorAfter) {
+  DriftPlan plan;
+  plan.events.push_back(event(DriftKind::kStep, 1, 0.5, 3.0));
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 1, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 1, 0.499), 1.0);
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 1, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 1, 100.0), 3.0);
+  // Other ranks are untouched.
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 0, 100.0), 1.0);
+}
+
+TEST(DriftProfile, RampInterpolatesLinearlyThenHolds) {
+  DriftPlan plan;
+  plan.events.push_back(event(DriftKind::kRamp, 0, 1.0, 3.0, 2.0));
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 0, 0.9), 1.0);
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 0, 1.0), 1.0);   // ramp start
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 0, 2.0), 2.0);   // halfway
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 0, 3.0), 3.0);   // ramp end
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 0, 50.0), 3.0);  // holds
+}
+
+TEST(DriftProfile, PeriodicAlternatesSlowHalfFirst) {
+  DriftPlan plan;
+  plan.events.push_back(event(DriftKind::kPeriodic, 2, 0.0, 2.0, 1.0));
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 2, 0.0), 2.0);   // slow half
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 2, 0.49), 2.0);
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 2, 0.5), 1.0);   // fast half
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 2, 0.99), 1.0);
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 2, 1.0), 2.0);   // next period
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 2, 1.75), 1.0);
+}
+
+TEST(DriftProfile, OverlappingEventsMultiply) {
+  DriftPlan plan;
+  plan.events.push_back(event(DriftKind::kStep, 0, 0.0, 2.0));
+  plan.events.push_back(event(DriftKind::kStep, 0, 1.0, 1.5));
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 0, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(drift_factor(plan, 0, 1.5), 3.0);
+}
+
+TEST(DriftProfile, DeterministicAcrossCalls) {
+  DriftPlan plan;
+  plan.events.push_back(event(DriftKind::kPeriodic, 0, 0.25, 2.5, 0.4));
+  plan.events.push_back(event(DriftKind::kRamp, 0, 0.1, 1.7, 0.9));
+  for (double t : {0.0, 0.3, 0.77, 1.4142, 9.0}) {
+    EXPECT_DOUBLE_EQ(drift_factor(plan, 0, t), drift_factor(plan, 0, t));
+  }
+}
+
+TEST(DriftProfile, KindNamesStable) {
+  EXPECT_STREQ(drift_kind_name(DriftKind::kStep), "step");
+  EXPECT_STREQ(drift_kind_name(DriftKind::kRamp), "ramp");
+  EXPECT_STREQ(drift_kind_name(DriftKind::kPeriodic), "periodic");
+}
+
+}  // namespace
+}  // namespace summagen::device

@@ -1,0 +1,106 @@
+// Layer-based partitioning (src/partition/layered.hpp): transpose duality
+// with the column-based optimum, validity, and the build_shape integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/partition/column_based.hpp"
+#include "src/partition/layered.hpp"
+#include "src/partition/shapes.hpp"
+
+namespace summagen::partition {
+namespace {
+
+std::vector<std::int64_t> areas_for(std::int64_t n,
+                                    const std::vector<double>& speeds) {
+  double total = 0.0;
+  for (double s : speeds) total += s;
+  std::vector<std::int64_t> areas;
+  std::int64_t used = 0;
+  for (std::size_t i = 0; i + 1 < speeds.size(); ++i) {
+    areas.push_back(static_cast<std::int64_t>(
+        std::llround(static_cast<double>(n * n) * speeds[i] / total)));
+    used += areas.back();
+  }
+  areas.push_back(n * n - used);
+  return areas;
+}
+
+TEST(TransposeSpec, IsAnInvolutionAndPreservesAreas) {
+  const std::int64_t n = 192;
+  const auto areas = areas_for(n, {1.0, 2.0, 0.9});
+  const auto spec = column_based_partition(n, areas);
+  const auto t = transpose_spec(spec);
+  EXPECT_EQ(t.n, spec.n);
+  EXPECT_EQ(t.subplda, spec.subpldb);
+  EXPECT_EQ(t.subpldb, spec.subplda);
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(t.area_of(r), spec.area_of(r));
+  const auto tt = transpose_spec(t);
+  EXPECT_EQ(tt.subp, spec.subp);
+  EXPECT_EQ(tt.subph, spec.subph);
+  EXPECT_EQ(tt.subpw, spec.subpw);
+}
+
+TEST(LayeredPartition, ValidFullWidthLayers) {
+  const std::int64_t n = 256;
+  const auto areas = areas_for(n, {1.0, 2.0, 0.9});
+  const auto spec = layered_partition(n, areas);
+  spec.validate(3);
+  std::int64_t sum = 0;
+  for (int r = 0; r < 3; ++r) sum += spec.area_of(r);
+  EXPECT_EQ(sum, n * n);
+  // Every rank's zone is a rectangle (layers split vertically).
+  for (int r = 0; r < 3; ++r) EXPECT_TRUE(spec.is_rectangular(r));
+  // Areas approximate the requests within integer-rounding slack.
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_NEAR(static_cast<double>(spec.area_of(r)),
+                static_cast<double>(areas[static_cast<std::size_t>(r)]),
+                3.0 * static_cast<double>(n));
+  }
+}
+
+TEST(LayeredPartition, IsTheTransposeOfColumnBased) {
+  const std::int64_t n = 128;
+  const auto areas = areas_for(n, {1.4, 0.6, 2.2});
+  const auto columns = column_based_partition(n, areas);
+  const auto layers = layered_partition(n, areas);
+  EXPECT_EQ(layers.subph, columns.subpw);
+  EXPECT_EQ(layers.subpw, columns.subph);
+  EXPECT_EQ(layers.total_half_perimeter(), columns.total_half_perimeter());
+}
+
+TEST(LayeredPartition, ManyProcessors) {
+  const std::int64_t n = 120;
+  const auto areas = areas_for(n, {1.0, 1.5, 0.7, 2.0, 1.1});
+  const auto spec = layered_partition(n, areas);
+  spec.validate(5);
+  std::int64_t sum = 0;
+  for (int r = 0; r < 5; ++r) sum += spec.area_of(r);
+  EXPECT_EQ(sum, n * n);
+}
+
+TEST(LayeredShape, BuildShapeSnapsToGranularity) {
+  const std::int64_t n = 192;
+  const auto areas = areas_for(n, {1.0, 2.0, 0.9});
+  for (std::int64_t g : {1, 2, 16, 48}) {
+    const auto spec = build_shape(Shape::kLayered, n, areas, g);
+    spec.validate(3);
+    for (auto h : spec.subph) EXPECT_EQ(h % g, 0) << "g=" << g;
+    for (auto w : spec.subpw) EXPECT_EQ(w % g, 0) << "g=" << g;
+    std::int64_t sum = 0;
+    for (int r = 0; r < 3; ++r) sum += spec.area_of(r);
+    EXPECT_EQ(sum, n * n);
+  }
+}
+
+TEST(LayeredShape, InExtendedShapesWithStableName) {
+  bool found = false;
+  for (Shape s : extended_shapes()) {
+    if (s == Shape::kLayered) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_STREQ(shape_name(Shape::kLayered), "layered");
+}
+
+}  // namespace
+}  // namespace summagen::partition

@@ -273,11 +273,12 @@ TEST(ShapeBuilders, LRectangleNeedsThreeProcessors) {
 }
 
 TEST(ShapeBuilders, ExtendedShapesSupersetOfPaperShapes) {
-  EXPECT_EQ(extended_shapes().size(), all_shapes().size() + 1);
+  EXPECT_EQ(extended_shapes().size(), all_shapes().size() + 2);
   for (std::size_t i = 0; i < all_shapes().size(); ++i) {
     EXPECT_EQ(extended_shapes()[i], all_shapes()[i]);
   }
   EXPECT_STREQ(shape_name(Shape::kLRectangle), "l_rectangle");
+  EXPECT_STREQ(shape_name(Shape::kLayered), "layered");
 }
 
 TEST(RanksByArea, SortsDescendingStable) {

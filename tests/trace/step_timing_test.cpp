@@ -1,0 +1,62 @@
+// Per-step timing observations (src/trace/step_timing.hpp): the EWMA
+// tracker and the step-ratio helpers feeding the drift detector.
+#include <gtest/gtest.h>
+
+#include "src/trace/step_timing.hpp"
+
+namespace summagen::trace {
+namespace {
+
+TEST(EwmaTracker, FirstObservationSeedsTheValue) {
+  EwmaTracker ewma(0.25);
+  EXPECT_DOUBLE_EQ(ewma.value(), 1.0);  // neutral before any observation
+  EXPECT_EQ(ewma.count(), 0);
+  ewma.update(3.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 3.0);
+  EXPECT_EQ(ewma.count(), 1);
+}
+
+TEST(EwmaTracker, SmoothsTowardsNewObservations) {
+  EwmaTracker ewma(0.5);
+  ewma.update(1.0);
+  ewma.update(3.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 2.0);
+  ewma.update(3.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 2.5);
+}
+
+TEST(EwmaTracker, AlphaOneTracksTheLastSample) {
+  EwmaTracker ewma(1.0);
+  ewma.update(5.0);
+  ewma.update(0.5);
+  EXPECT_DOUBLE_EQ(ewma.value(), 0.5);
+}
+
+TEST(StepRatio, ObservedOverPredicted) {
+  StepSample s;
+  s.predicted_s = 2.0;
+  s.observed_s = 5.0;
+  EXPECT_DOUBLE_EQ(step_ratio(s), 2.5);
+}
+
+TEST(StepRatio, ZeroPredictionIsNeutral) {
+  StepSample s;
+  s.predicted_s = 0.0;
+  s.observed_s = 5.0;
+  EXPECT_DOUBLE_EQ(step_ratio(s), 1.0);
+}
+
+TEST(StepDurations, ExtractsComputeEventsOfOneRank) {
+  std::vector<Event> events;
+  events.push_back({0, EventKind::kCompute, 0.0, 1.5, 0, 10, "a"});
+  events.push_back({1, EventKind::kCompute, 0.0, 2.0, 0, 10, "b"});
+  events.push_back({0, EventKind::kBcast, 1.5, 1.7, 8, 0, "c"});
+  events.push_back({0, EventKind::kCompute, 1.7, 2.2, 0, 10, "d"});
+  const auto durations = compute_step_durations(events, 0);
+  ASSERT_EQ(durations.size(), 2u);
+  EXPECT_DOUBLE_EQ(durations[0], 1.5);
+  EXPECT_DOUBLE_EQ(durations[1], 0.5);
+}
+
+}  // namespace
+}  // namespace summagen::trace
