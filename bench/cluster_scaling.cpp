@@ -2,103 +2,232 @@
 // closing future-work item ("we will study the efficiency of SummaGen for
 // distributed-memory nodes and large clusters").
 //
-// Strong scaling of one PMM across 1, 2 and 4 simulated HCLServer1 nodes
-// (3, 6, 12 abstract processors) connected by a slower network link.
-// Three partitioners drive the layouts, all executed by the same SummaGen
-// core: NRRP (non-rectangular recursive), the Beaumont column-based
+// Strong scaling of one PMM across simulated nodes connected by a slower
+// network link. Several partitioners drive the layouts, all executed by the
+// same SummaGen core: NRRP (non-rectangular recursive), hierarchical
+// (one rectangle per node, shapes within), the Beaumont column-based
 // rectangular baseline, and traditional 1D slices.
 //
+// Speedup and efficiency come from core::ScalingTable, which insists on a
+// true single-node baseline per configuration: when --nodes omits 1, the
+// bench measures nodes=1 itself rather than fabricating a baseline from the
+// smallest swept count (the historical bug this bench shipped with).
+//
 // Flags: --n 30720  --nodes 1,2,4  --net-gbps 12.5
+//        --node-procs 0   (0 = heterogeneous HCLServer1 node, 3 procs;
+//                          K>0 = K identical procs per node — with
+//                          --node-procs 4, --nodes 256/1024 gives the
+//                          p=1024/4096 scale-out points)
+//        --engine thread|modeled   (modeled = fibers, cheap at large p)
+//        --bcast-algo tree|flat|ring|pipelined|auto
+//        --two-level               (topology-aware two-stage collectives)
+//        --partitioners nrrp,hierarchical,column_based,one_dimensional
+//        --json FILE               (Google-Benchmark format for
+//                                   tools/compare_bench.py)
 // (12.5 GB/s ~ EDR InfiniBand; try --net-gbps 1 for an Ethernet-class
 // network where communication caps scaling and 1D collapses first)
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "src/core/runner.hpp"
+#include "src/core/scaling.hpp"
 #include "src/partition/column_based.hpp"
 #include "src/partition/nrrp.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 
-int main(int argc, char** argv) {
-  using namespace summagen;
-  const util::Cli cli(argc, argv);
-  const std::int64_t n = cli.get_int("n", 30720);
-  const auto node_counts = cli.get_int_list("nodes", {1, 2, 4});
-  const double net_gbps = cli.get_double("net-gbps", 12.5);
+namespace {
 
-  const auto base = device::Platform::hclserver1();
+using namespace summagen;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  for (char c : csv) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// One Google-Benchmark-style entry: virtual execution seconds as
+/// real_time (lower is better; compare_bench.py gates on the ratio).
+struct JsonEntry {
+  std::string name;
+  double seconds = 0.0;
+};
+
+void write_json(const std::string& path, const std::vector<JsonEntry>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open --json file '" << path << "'\n";
+    std::exit(2);
+  }
+  out << "{\n  \"context\": {\"executable\": \"cluster_scaling\"},\n"
+      << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "    {\"name\": \"" << rows[i].name
+        << "\", \"run_type\": \"iteration\", \"iterations\": 1, "
+        << "\"real_time\": " << rows[i].seconds
+        << ", \"cpu_time\": " << rows[i].seconds
+        << ", \"time_unit\": \"s\"}" << (i + 1 < rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+partition::PartitionSpec build_spec(const std::string& name, std::int64_t n,
+                                    const std::vector<std::int64_t>& areas,
+                                    std::int64_t nodes,
+                                    std::size_t procs_per_node) {
+  if (name == "nrrp") return partition::nrrp_partition(n, areas);
+  if (name == "hierarchical") {
+    // One rectangle per node, SummaGen shapes within.
+    std::vector<std::vector<std::int64_t>> by_node;
+    for (std::int64_t node = 0; node < nodes; ++node) {
+      std::vector<std::int64_t> group;
+      for (std::size_t i = 0; i < procs_per_node; ++i) {
+        group.push_back(
+            areas[static_cast<std::size_t>(node) * procs_per_node + i]);
+      }
+      by_node.push_back(std::move(group));
+    }
+    return partition::nrrp_hierarchical(n, by_node);
+  }
+  if (name == "column_based") {
+    return partition::column_based_partition(n, areas);
+  }
+  if (name == "one_dimensional") {
+    return partition::build_shape(partition::Shape::kOneDimensional, n, areas);
+  }
+  throw util::CliError("unknown --partitioners entry '" + name +
+                       "' (expected nrrp, hierarchical, column_based or "
+                       "one_dimensional)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  std::int64_t n = 0;
+  std::vector<std::int64_t> node_counts;
+  double net_gbps = 0.0;
+  std::int64_t node_procs = 0;
+  std::vector<std::string> partitioners;
+  sgmpi::Engine engine = sgmpi::Engine::kThread;
+  trace::BcastAlgo bcast_algo = trace::BcastAlgo::kTree;
+  bool two_level = false;
+  try {
+    n = cli.get_int_min("n", 30720, 1);
+    node_counts = cli.get_int_list("nodes", {1, 2, 4});
+    net_gbps = cli.get_double("net-gbps", 12.5);
+    node_procs = cli.get_int_min("node-procs", 0, 0);
+    partitioners = split_csv(cli.get(
+        "partitioners", "nrrp,hierarchical,column_based,one_dimensional"));
+    engine = sgmpi::parse_engine(cli.get("engine", "thread"));
+    bcast_algo = trace::parse_bcast_algo(cli.get("bcast-algo", "tree"));
+    two_level = cli.get_bool("two-level", false);
+  } catch (const std::exception& e) {
+    std::cerr << "cluster_scaling: " << e.what() << "\n";
+    return 2;
+  }
+  if (partitioners.empty()) {
+    std::cerr << "cluster_scaling: --partitioners selected nothing\n";
+    return 2;
+  }
+
+  const auto base = node_procs > 0
+                        ? device::Platform::homogeneous(
+                              static_cast<int>(node_procs))
+                        : device::Platform::hclserver1();
+  // Per-node speeds: the paper's readout for HCLServer1, flat for the
+  // homogeneous scale-out node.
+  const std::vector<double> node_speeds =
+      node_procs > 0 ? std::vector<double>(
+                           static_cast<std::size_t>(node_procs), 1.0)
+                     : std::vector<double>{1.0, 2.0, 0.9};
   const trace::HockneyParams net{20.0e-6, 1.0 / (net_gbps * 1.0e9)};
 
-  util::Table t("Strong scaling across cluster nodes, N=" +
-                std::to_string(n) + ", network " +
-                util::Table::num(net_gbps, 1) + " GB/s");
-  t.set_header({"nodes", "p", "partitioner", "exec_s", "comp_s", "mpi_s",
-                "speedup", "efficiency_%"});
+  // Every configuration needs a true single-node measurement — measure it
+  // even when the sweep starts above one node.
+  std::vector<std::int64_t> sweep = node_counts;
+  bool baseline_added = false;
+  if (std::find(sweep.begin(), sweep.end(), std::int64_t{1}) == sweep.end()) {
+    sweep.insert(sweep.begin(), 1);
+    baseline_added = true;
+  }
 
-  std::map<std::string, double> single_node_time;
+  core::ScalingTable table;
+  std::vector<JsonEntry> json_rows;
 
-  for (std::int64_t nodes : node_counts) {
+  for (std::int64_t nodes : sweep) {
     const auto platform =
         device::Platform::cluster(base, static_cast<int>(nodes), net);
     const int p = platform.nprocs();
 
-    // Per-rank speeds: the paper's readout replicated per node.
     std::vector<double> speeds;
     for (std::int64_t node = 0; node < nodes; ++node) {
-      speeds.insert(speeds.end(), {1.0, 2.0, 0.9});
+      speeds.insert(speeds.end(), node_speeds.begin(), node_speeds.end());
     }
     const auto areas = partition::partition_areas_cpm(n * n, speeds);
 
-    struct Entry {
-      std::string name;
+    for (const std::string& name : partitioners) {
       partition::PartitionSpec spec;
-    };
-    std::vector<Entry> entries;
-    entries.push_back({"nrrp", partition::nrrp_partition(n, areas)});
-    // Hierarchical: one rectangle per node, SummaGen shapes within.
-    std::vector<std::vector<std::int64_t>> by_node;
-    for (std::int64_t node = 0; node < nodes; ++node) {
-      by_node.push_back({areas[static_cast<std::size_t>(3 * node)],
-                         areas[static_cast<std::size_t>(3 * node + 1)],
-                         areas[static_cast<std::size_t>(3 * node + 2)]});
-    }
-    entries.push_back(
-        {"hierarchical", partition::nrrp_hierarchical(n, by_node)});
-    entries.push_back(
-        {"column_based", partition::column_based_partition(n, areas)});
-    entries.push_back({"one_dimensional",
-                       partition::build_shape(
-                           partition::Shape::kOneDimensional, n, areas)});
-
-    for (const auto& entry : entries) {
+      try {
+        spec = build_spec(name, n, areas, nodes, node_speeds.size());
+      } catch (const util::CliError& e) {
+        std::cerr << "cluster_scaling: " << e.what() << "\n";
+        return 2;
+      }
       core::ExperimentConfig config;
       config.platform = platform;
       config.n = n;
-      config.preset_spec = entry.spec;
+      config.preset_spec = spec;
+      config.engine = engine;
+      config.bcast_algo = bcast_algo;
+      config.two_level_collectives = two_level;
       const auto res = core::run_pmm(config);
-      if (nodes == node_counts.front()) {
-        single_node_time[entry.name] = res.exec_time_s * nodes;
-      }
-      const double serial_ref = single_node_time.contains(entry.name)
-                                    ? single_node_time[entry.name]
-                                    : res.exec_time_s * nodes;
-      const double speedup = serial_ref / res.exec_time_s / node_counts.front();
-      t.add_row({util::Table::num(nodes), util::Table::num(
-                     static_cast<std::int64_t>(p)),
-                 entry.name, util::Table::num(res.exec_time_s, 3),
-                 util::Table::num(res.comp_time_s, 3),
-                 util::Table::num(res.comm_time_s, 3),
-                 util::Table::num(speedup, 2),
-                 util::Table::num(
-                     100.0 * speedup /
-                         (static_cast<double>(nodes) /
-                          static_cast<double>(node_counts.front())),
-                     0)});
+
+      core::ScalingMeasurement m;
+      m.name = name;
+      m.nodes = nodes;
+      m.ranks = p;
+      m.exec_s = res.exec_time_s;
+      m.comp_s = res.comp_time_s;
+      m.comm_s = res.comm_time_s;
+      table.add(m);
+      json_rows.push_back({"cluster_scaling/" + name +
+                               "/nodes:" + std::to_string(nodes) +
+                               "/p:" + std::to_string(p),
+                           res.exec_time_s});
     }
   }
-  t.print(std::cout);
-  std::cout << "\nspeedup is relative to the first node count; hierarchical "
-               "(one rectangle per node, non-rectangular shapes within) "
-               "keeps cross-node traffic lowest, 1D degrades first.\n";
+
+  table
+      .render("Strong scaling across cluster nodes, N=" + std::to_string(n) +
+              ", " + std::to_string(node_speeds.size()) + " procs/node, " +
+              "network " + util::Table::num(net_gbps, 1) + " GB/s, engine " +
+              sgmpi::to_string(engine) + ", bcast " +
+              trace::to_string(bcast_algo))
+      .print(std::cout);
+  if (baseline_added) {
+    std::cout << "\n(nodes=1 measured as the speedup baseline; it was not in "
+                 "--nodes)\n";
+  }
+  std::cout << "\nspeedup is relative to the true single-node run of the same "
+               "partitioner; hierarchical (one rectangle per node, "
+               "non-rectangular shapes within) keeps cross-node traffic "
+               "lowest, 1D degrades first.\n";
+
+  if (cli.has("json")) write_json(cli.get("json", ""), json_rows);
   return 0;
 }

@@ -41,6 +41,13 @@ void usage() {
       "                     scalar | sse2 | avx2 (explicit unavailable\n"
       "                     tiers fail; SUMMAGEN_FORCE_SCALAR=1 caps auto)\n"
       "  --scheduler NAME   eager | pipelined | taskgraph (default eager)\n"
+      "  --engine NAME      thread (default, one OS thread per rank) |\n"
+      "                     modeled (cooperative fibers on one scheduler\n"
+      "                     thread; bit-identical, cheap at large p)\n"
+      "  --bcast-algo NAME  collective pricing: tree (default) | flat |\n"
+      "                     ring | pipelined | auto\n"
+      "  --two-level        price collectives as inter-node stage over\n"
+      "                     node leaders plus widest intra-node stage\n"
       "  --overlap-depth D  in-flight broadcast window (>= 0, 0 = unbounded):\n"
       "                     the pipelined prefetch depth, equivalently the\n"
       "                     task graph's posted-ahead window (--window is an\n"
@@ -102,6 +109,18 @@ int main(int argc, char** argv) {
         cli.has("window") ? cli.get_int_min("window", 2, 0)
                           : cli.get_int_min("overlap-depth", 2, 0));
     config.summagen_options.bcast_panel_rows = cli.get_int("panel-rows", 0);
+    try {
+      config.engine = sgmpi::parse_engine(cli.get("engine", "thread"));
+    } catch (const std::invalid_argument& e) {
+      throw util::CliError(std::string("--engine: ") + e.what());
+    }
+    try {
+      config.bcast_algo =
+          trace::parse_bcast_algo(cli.get("bcast-algo", "tree"));
+    } catch (const std::invalid_argument& e) {
+      throw util::CliError(std::string("--bcast-algo: ") + e.what());
+    }
+    config.two_level_collectives = cli.get_bool("two-level", false);
     const std::string kernel = cli.get("kernel", "packed");
     if (kernel == "packed") {
       config.kernel.kernel = blas::GemmKernel::kPacked;

@@ -105,11 +105,14 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
   // fill the host — the paper's one-persistent-MKL-pool-per-processor
   // setup, instead of per-call thread spawns oversubscribing the machine.
   // config.kernel.threads > 0 overrides (clamped to hardware_concurrency).
-  sgpool::Pool::set_reserved_threads(p);
+  // Under the modeled engine every rank shares one scheduler thread, so
+  // only that thread is reserved no matter how large p gets.
+  const int reserved = config.engine == sgmpi::Engine::kModeled ? 1 : p;
+  sgpool::Pool::set_reserved_threads(reserved);
   sgpool::Pool::configure(config.kernel.threads > 0
                               ? blas::resolve_gemm_threads(
                                     config.kernel.threads)
-                              : sgpool::Pool::recommended_size(p));
+                              : sgpool::Pool::recommended_size(reserved));
 
   ExperimentResult result;
   if (config.preset_spec.n > 0) {
@@ -148,6 +151,10 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
   mpi_config.faults = config.faults;
   mpi_config.fault_detect_s = config.fault_detect_s;
   mpi_config.adaptive = config.repartition.enabled;
+  mpi_config.engine = config.engine;
+  mpi_config.fiber_stack_bytes = config.fiber_stack_bytes;
+  mpi_config.bcast_algo = config.bcast_algo;
+  mpi_config.two_level_collectives = config.two_level_collectives;
   sgmpi::Runtime runtime(mpi_config);
   const bool adaptive = config.repartition.enabled;
   const bool fault_tolerant = !config.faults.empty() || adaptive;

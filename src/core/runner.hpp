@@ -9,6 +9,7 @@
 // verification against the serial reference.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -87,6 +88,18 @@ struct ExperimentConfig {
   /// device::drift_factor at every quantum's start — fully deterministic in
   /// virtual time, numeric kernels unaffected.
   device::DriftPlan drift;
+
+  /// Execution engine (DESIGN.md §5.14): kThread = one OS thread per rank
+  /// (default), kModeled = cooperative fibers on one scheduler thread —
+  /// results and virtual times bit-identical, p=1024–4096 becomes cheap.
+  sgmpi::Engine engine = sgmpi::Engine::kThread;
+  /// Stack reservation per modeled rank; 0 = the 1 MiB default.
+  std::size_t fiber_stack_bytes = 0;
+  /// Broadcast algorithm priced into collective costs; kTree (the
+  /// historical binomial tree) keeps virtual times bit-identical.
+  trace::BcastAlgo bcast_algo = trace::BcastAlgo::kTree;
+  /// Two-level topology-aware collective pricing (off = historical flat).
+  bool two_level_collectives = false;
 
   /// Online drift detection and mid-run re-partitioning. Disabled (default)
   /// = a drifting run limps along under the static plan. Enabled: every

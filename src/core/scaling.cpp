@@ -1,0 +1,82 @@
+#include "src/core/scaling.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace summagen::core {
+
+double scaling_speedup(double single_node_exec_s, double exec_s) {
+  if (single_node_exec_s <= 0.0 || exec_s <= 0.0) return 0.0;
+  return single_node_exec_s / exec_s;
+}
+
+double scaling_efficiency_pct(double speedup, std::int64_t nodes) {
+  if (nodes <= 0) return 0.0;
+  return 100.0 * speedup / static_cast<double>(nodes);
+}
+
+void ScalingTable::add(const ScalingMeasurement& m) {
+  measurements_.push_back(m);
+}
+
+bool ScalingTable::has_baseline(const std::string& name) const {
+  return std::any_of(measurements_.begin(), measurements_.end(),
+                     [&](const ScalingMeasurement& m) {
+                       return m.name == name && m.nodes == 1;
+                     });
+}
+
+std::vector<std::string> ScalingTable::missing_baselines() const {
+  std::vector<std::string> missing;
+  for (const ScalingMeasurement& m : measurements_) {
+    if (has_baseline(m.name)) continue;
+    if (std::find(missing.begin(), missing.end(), m.name) == missing.end()) {
+      missing.push_back(m.name);
+    }
+  }
+  return missing;
+}
+
+std::vector<ScalingTable::Row> ScalingTable::rows() const {
+  std::map<std::string, double> baseline;
+  for (const ScalingMeasurement& m : measurements_) {
+    if (m.nodes == 1 && !baseline.contains(m.name)) {
+      baseline[m.name] = m.exec_s;
+    }
+  }
+  std::vector<Row> out;
+  out.reserve(measurements_.size());
+  for (const ScalingMeasurement& m : measurements_) {
+    const auto it = baseline.find(m.name);
+    if (it == baseline.end()) {
+      throw std::logic_error(
+          "ScalingTable: configuration '" + m.name +
+          "' has no single-node baseline; measure nodes=1 first");
+    }
+    Row row;
+    row.m = m;
+    row.speedup = scaling_speedup(it->second, m.exec_s);
+    row.efficiency_pct = scaling_efficiency_pct(row.speedup, m.nodes);
+    out.push_back(row);
+  }
+  return out;
+}
+
+util::Table ScalingTable::render(const std::string& title) const {
+  util::Table t(title);
+  t.set_header({"nodes", "p", "partitioner", "exec_s", "comp_s", "mpi_s",
+                "speedup", "efficiency_%"});
+  for (const Row& row : rows()) {
+    t.add_row({util::Table::num(row.m.nodes),
+               util::Table::num(static_cast<std::int64_t>(row.m.ranks)),
+               row.m.name, util::Table::num(row.m.exec_s, 3),
+               util::Table::num(row.m.comp_s, 3),
+               util::Table::num(row.m.comm_s, 3),
+               util::Table::num(row.speedup, 2),
+               util::Table::num(row.efficiency_pct, 0)});
+  }
+  return t;
+}
+
+}  // namespace summagen::core

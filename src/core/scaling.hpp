@@ -1,0 +1,69 @@
+// Strong-scaling table math for the cluster benches.
+//
+// The speedup/efficiency arithmetic lives here (not in bench/) so it is
+// unit-testable: bench/cluster_scaling once divided by `node_counts.front()`
+// scaled by `nodes`, which silently reported wrong speedups for any sweep
+// not starting at one node (`--nodes 2,4`). The contract is now explicit —
+// every configuration needs a true single-node measurement, and rows()
+// refuses to fabricate one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/table.hpp"
+
+namespace summagen::core {
+
+/// One measured point of a strong-scaling sweep.
+struct ScalingMeasurement {
+  std::string name;       ///< configuration label (partitioner, engine, ...)
+  std::int64_t nodes = 1;
+  int ranks = 0;
+  double exec_s = 0.0;
+  double comp_s = 0.0;
+  double comm_s = 0.0;
+};
+
+/// Speedup over the true single-node execution time.
+double scaling_speedup(double single_node_exec_s, double exec_s);
+
+/// Parallel efficiency in percent: 100 * speedup / nodes.
+double scaling_efficiency_pct(double speedup, std::int64_t nodes);
+
+/// Collects a sweep's measurements and derives speedup/efficiency against
+/// each configuration's nodes==1 measurement.
+class ScalingTable {
+ public:
+  /// Adds one measurement; a nodes==1 point becomes the configuration's
+  /// baseline (the first one wins if measured repeatedly).
+  void add(const ScalingMeasurement& m);
+
+  bool has_baseline(const std::string& name) const;
+
+  /// Configuration names (insertion order, deduplicated) that still lack a
+  /// single-node measurement — the caller should measure nodes=1 for them
+  /// before asking for rows().
+  std::vector<std::string> missing_baselines() const;
+
+  struct Row {
+    ScalingMeasurement m;
+    double speedup = 0.0;
+    double efficiency_pct = 0.0;
+  };
+
+  /// Derived rows in insertion order. Throws std::logic_error naming the
+  /// offending configuration when a baseline is missing — wrong speedups
+  /// are not an output this table can produce.
+  std::vector<Row> rows() const;
+
+  /// The bench's printed table: header
+  /// {nodes, p, partitioner, exec_s, comp_s, mpi_s, speedup, efficiency_%}.
+  util::Table render(const std::string& title) const;
+
+ private:
+  std::vector<ScalingMeasurement> measurements_;
+};
+
+}  // namespace summagen::core

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -12,6 +15,7 @@
 #include "src/core/plan.hpp"
 #include "src/core/taskgraph/executor.hpp"
 #include "src/core/taskgraph/taskgraph.hpp"
+#include "src/pool/pool.hpp"
 #include "src/util/buffer_pool.hpp"
 #include "src/util/matrix_view.hpp"
 
@@ -34,6 +38,70 @@ namespace {
 /// Scheduler constant folded into pack tags (disjoint from the SUMMA and
 /// 2.5D key spaces even for identical geometry).
 constexpr std::uint64_t kSummagenPackTag = 0x5347454eull;  // "SGEN"
+
+/// Process-wide cache of the rank-invariant (plan, graph) pair. Every rank
+/// derives the same ExecutionPlan and TaskGraph from (spec,
+/// bcast_panel_rows) — build_plan is deterministic — so the ranks of a run
+/// share one immutable copy instead of each materialising its own. With
+/// thousands of modeled-engine fibers alive at once, per-rank copies cost
+/// gigabytes; the shared pair costs one rank's worth.
+struct SharedSchedule {
+  partition::PartitionSpec spec;
+  std::int64_t panel_rows = 0;
+  std::shared_ptr<const ExecutionPlan> plan;
+  std::shared_ptr<const taskgraph::TaskGraph> graph;
+};
+
+std::mutex& schedule_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<SharedSchedule>& schedule_cache() {
+  static std::vector<SharedSchedule>& cache = *[] {
+    auto* storage = new std::vector<SharedSchedule>();
+    sgpool::Pool::add_quiescent_hook([storage] {
+      std::lock_guard<std::mutex> lock(schedule_mutex());
+      storage->clear();
+    });
+    return storage;
+  }();
+  return cache;
+}
+
+bool same_layout(const partition::PartitionSpec& a,
+                 const partition::PartitionSpec& b) {
+  return a.n == b.n && a.subplda == b.subplda && a.subpldb == b.subpldb &&
+         a.subph == b.subph && a.subpw == b.subpw && a.subp == b.subp;
+}
+
+SharedSchedule shared_schedule(const partition::PartitionSpec& spec,
+                               const SummaGenOptions& options) {
+  // bcast_panel_rows is the only option the plan reads (plan.cpp).
+  const std::int64_t panel_rows = options.bcast_panel_rows;
+  std::lock_guard<std::mutex> lock(schedule_mutex());
+  auto& cache = schedule_cache();
+  for (const SharedSchedule& entry : cache) {
+    if (entry.panel_rows == panel_rows && same_layout(entry.spec, spec)) {
+      return entry;
+    }
+  }
+  SharedSchedule entry;
+  entry.spec = spec;
+  entry.panel_rows = panel_rows;
+  auto plan = std::make_shared<ExecutionPlan>(build_plan(spec, options));
+  entry.graph = std::make_shared<const taskgraph::TaskGraph>(
+      taskgraph::build_summagen_graph(spec, *plan));
+  entry.plan = std::move(plan);
+  // Entries are dropped at the pool's quiescent point (once per run);
+  // recovery phases add one entry per re-partition. The FIFO cap covers
+  // direct summagen_rank callers that never pass a quiescent point —
+  // in-flight shared_ptrs keep evicted entries alive.
+  constexpr std::size_t kMaxEntries = 16;
+  if (cache.size() == kMaxEntries) cache.erase(cache.begin());
+  cache.push_back(entry);
+  return entry;
+}
 
 /// Rank-invariant geometry shared by every plan step executor.
 struct Frame {
@@ -327,14 +395,19 @@ RankReport summagen_rank(sgmpi::Comm& world,
     wb = util::MatrixView(wb_store.data(), spec.n, wb_cols, wb_cols);
   }
 
-  // Derive the per-rank identical plan, lift it into the dependency task
-  // graph, and — on recovery phases — prune the subgraph that already ran.
-  // Node ids survive pruning, so every scheduler remains a legal schedule
-  // of the un-run subgraph; recovery is re-scheduling, not a retry path.
-  const ExecutionPlan plan = build_plan(spec, options);
-  taskgraph::TaskGraph graph = taskgraph::build_summagen_graph(spec, plan);
+  // Fetch the rank-invariant plan + dependency task graph (shared across
+  // ranks — see SharedSchedule) and — on recovery phases — prune a private
+  // copy of the subgraph that already ran. Node ids survive pruning, so
+  // every scheduler remains a legal schedule of the un-run subgraph;
+  // recovery is re-scheduling, not a retry path.
+  const SharedSchedule sched = shared_schedule(spec, options);
+  const ExecutionPlan& plan = *sched.plan;
+  taskgraph::TaskGraph pruned;
+  const taskgraph::TaskGraph* graph = sched.graph.get();
   if (ft != nullptr && ft->done != nullptr && !ft->done->empty()) {
-    taskgraph::prune_completed(graph, plan, *ft->done);
+    pruned = *sched.graph;
+    taskgraph::prune_completed(pruned, plan, *ft->done);
+    graph = &pruned;
   }
 
   const Frame frame(spec, rank, data, wa, wb);
@@ -343,18 +416,21 @@ RankReport summagen_rank(sgmpi::Comm& world,
   // Whole-kernel costs per GemmOp, computed on first use: chunk nodes are
   // charged pro-rata shares of the single kernel invocation the eager
   // schedule would make, so the total computation time is
-  // schedule-invariant.
-  std::vector<device::KernelCost> full(plan.gemm_ops.size());
-  std::vector<char> full_ready(plan.gemm_ops.size(), 0);
+  // schedule-invariant. Sparse: a rank only ever prices its own GemmOps,
+  // so a dense per-rank vector over all of them would be O(p^2) process-
+  // wide under the modeled engine.
+  std::map<std::size_t, device::KernelCost> full;
   auto full_cost = [&](std::size_t gi) -> const device::KernelCost& {
-    if (!full_ready[gi]) {
+    auto it = full.find(gi);
+    if (it == full.end()) {
       const GemmOp& g = plan.gemm_ops[gi];
-      full[gi] = ap.kernel_cost(spec.subph[static_cast<std::size_t>(g.bi)],
+      it = full.emplace(gi, ap.kernel_cost(
+                                spec.subph[static_cast<std::size_t>(g.bi)],
                                 spec.subpw[static_cast<std::size_t>(g.bj)],
-                                spec.n, contended);
-      full_ready[gi] = 1;
+                                spec.n, contended))
+               .first;
     }
-    return full[gi];
+    return it->second;
   };
 
   // Subgroup communicators of posted-but-uncompleted broadcasts, FIFO in
@@ -446,7 +522,8 @@ RankReport summagen_rank(sgmpi::Comm& world,
     report.mpi_time_s += group.wait(request);
   };
 
-  taskgraph::run_graph(graph, rank, taskgraph::schedule_for(options.scheduler),
+  taskgraph::run_graph(*graph, rank,
+                       taskgraph::schedule_for(options.scheduler),
                        options.overlap_depth, hooks);
 
   // With the communication schedule fully executed (no peer is mid-

@@ -47,6 +47,22 @@ const trace::HockneyParams& Comm::link() const {
   return ctx_->state(state_index_).link;
 }
 
+double Comm::modeled_bcast_cost(std::int64_t bytes, int q) const {
+  auto& st = ctx_->state(state_index_);
+  const trace::BcastAlgo algo = ctx_->config.bcast_algo;
+  if (ctx_->config.two_level_collectives && st.n_nodes > 1) {
+    // Two-level pricing: root -> node leaders over the inter-node link,
+    // then every leader fans out inside its node concurrently; completion
+    // is the inter-node stage plus the widest intra-node stage. The
+    // algorithm resolves per stage (stage sizes differ under kAuto).
+    return trace::bcast_algo_cost(ctx_->config.internode_link, bytes,
+                                  st.n_nodes, algo) +
+           trace::bcast_algo_cost(ctx_->config.link, bytes,
+                                  st.max_node_ranks, algo);
+  }
+  return trace::bcast_algo_cost(st.link, bytes, q, algo);
+}
+
 const trace::HockneyParams& Comm::link_to(int dest) const {
   const int me = world_rank();
   const int other = world_ranks()[static_cast<std::size_t>(dest)];

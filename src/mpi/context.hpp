@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/mpi/engine.hpp"
 #include "src/mpi/mpi.hpp"
 
 namespace summagen::sgmpi::detail {
@@ -27,7 +28,9 @@ namespace summagen::sgmpi::detail {
 /// whole parallel region instead of deadlocking. Polling backs off
 /// exponentially from min(poll_interval_s, 1 ms) up to poll_interval_s;
 /// aborts and fault triggers notify the condition variable, so unwind
-/// latency is one wakeup, not a full poll period.
+/// latency is one wakeup, not a full poll period. Under the modeled engine
+/// a blocked participant yields to the fiber scheduler instead of sleeping
+/// (engine_wait_step).
 class Meeting {
  public:
   template <typename UnwindCheck, typename Contribute, typename Finalize>
@@ -46,8 +49,7 @@ class Meeting {
     double backoff_s = std::min(poll_interval_s, 0.001);
     while (generation_ == my_generation) {
       unwind_check();
-      cv_.wait_for(lock, std::chrono::duration<double>(backoff_s));
-      backoff_s = std::min(backoff_s * 2.0, poll_interval_s);
+      engine_wait_step(lock, cv_, backoff_s, poll_interval_s);
     }
     unwind_check();
   }
@@ -103,6 +105,11 @@ struct CommState {
   std::vector<int> members;  ///< world ranks; communicator rank = index
   trace::HockneyParams link;  ///< fabric used by this communicator's
                               ///< collectives (set at creation)
+  // Topology summary for two-level collective pricing (set at creation):
+  // how many distinct nodes the members span, and the widest per-node
+  // member count — the sizes of the inter- and intra-node stages.
+  int n_nodes = 1;
+  int max_node_ranks = 1;
 
   Meeting meeting;
 
@@ -175,6 +182,7 @@ class Context {
       world[static_cast<std::size_t>(r)] = r;
     states.emplace_back(world);
     states.back().link = link_for(world);
+    init_topology(states.back());
     subgroup_cache.emplace(std::move(world), 0);
     if (!config.faults.empty() || config.adaptive) {
       faults = std::make_unique<detail::FaultRuntime>(
@@ -199,6 +207,22 @@ class Context {
     return config.node_of[static_cast<std::size_t>(rank)];
   }
 
+  /// Per-node member counts of a communicator, summarised into the fields
+  /// two-level collective pricing reads.
+  void init_topology(detail::CommState& st) const {
+    st.n_nodes = 1;
+    st.max_node_ranks = static_cast<int>(st.members.size());
+    if (config.node_of.empty()) return;
+    std::map<int, int> per_node;
+    for (int r : st.members) ++per_node[node_of(r)];
+    st.n_nodes = static_cast<int>(per_node.size());
+    st.max_node_ranks = 1;
+    for (const auto& [node, count] : per_node) {
+      (void)node;
+      st.max_node_ranks = std::max(st.max_node_ranks, count);
+    }
+  }
+
   /// Intra-node fabric when every listed rank shares a node, inter-node
   /// link otherwise.
   trace::HockneyParams link_for(const std::vector<int>& ranks) const {
@@ -220,6 +244,7 @@ class Context {
     if (it != subgroup_cache.end()) return it->second;
     states.emplace_back(members);
     states.back().link = link_for(members);
+    init_topology(states.back());
     const std::size_t index = states.size() - 1;
     subgroup_cache.emplace(members, index);
     return index;

@@ -14,6 +14,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "src/mpi/engine.hpp"
+
 namespace summagen::sgmpi {
 
 const char* fault_kind_name(FaultKind kind) {
@@ -318,8 +320,7 @@ ShrinkResult FaultRuntime::shrink_arrive(int rank, double entry_vtime,
   ++shrink_arrived_count_;
   shrink_entry_max_ = std::max(shrink_entry_max_, entry_vtime);
   const std::uint64_t my_gen = shrink_gen_;
-  const auto poll =
-      std::chrono::duration<double>(std::min(poll_interval_s, 0.001));
+  double backoff_s = std::min(poll_interval_s, 0.001);
   while (shrink_gen_ == my_gen) {
     if (!shrink_finalizing_ && all_live_arrived_locked(shrink_arrived_)) {
       // First observer of completion finalises: reset the communicator
@@ -352,7 +353,7 @@ ShrinkResult FaultRuntime::shrink_arrive(int rank, double entry_vtime,
       cv_.notify_all();
       return result;
     }
-    cv_.wait_for(lock, poll);
+    engine_wait_step(lock, cv_, backoff_s, poll_interval_s);
   }
   // Released by the finaliser. The snapshot cannot have been overwritten: a
   // next round needs every live rank to arrive again, including us.
@@ -378,8 +379,7 @@ std::pair<double, int> FaultRuntime::commit_arrive(int rank,
   ++commit_arrived_count_;
   commit_entry_max_ = std::max(commit_entry_max_, clk.now());
   const std::uint64_t my_gen = commit_gen_;
-  const auto poll =
-      std::chrono::duration<double>(std::min(poll_interval_s, 0.001));
+  double backoff_s = std::min(poll_interval_s, 0.001);
   while (commit_gen_ == my_gen) {
     // Failure first: if an interrupting event is live, every arriver must
     // unwind to recovery, so withdraw and throw rather than completing.
@@ -404,7 +404,7 @@ std::pair<double, int> FaultRuntime::commit_arrive(int rank,
       clk.wait_until(commit_result_);
       return {commit_result_, commit_live_};
     }
-    cv_.wait_for(lock, poll);
+    engine_wait_step(lock, cv_, backoff_s, poll_interval_s);
   }
   clk.wait_until(commit_result_);
   return {commit_result_, commit_live_};

@@ -19,6 +19,7 @@
 // contract).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -34,6 +35,23 @@
 namespace summagen::sgmpi {
 
 class Context;
+
+/// Execution engine backing the ranks of a run (DESIGN.md §5.14).
+enum class Engine {
+  /// One OS thread per rank — the historical default. Real parallelism on
+  /// the numeric plane, but caps the simulated cluster at a few dozen ranks.
+  kThread,
+  /// Cooperative fibers: every rank is a resumable state machine driven
+  /// round-robin by one scheduler thread. Blocking wait sites yield instead
+  /// of sleeping, so p=1024–4096 runs cost one thread plus lazily-committed
+  /// fiber stacks. Results and virtual times are bit-identical to kThread.
+  kModeled,
+};
+
+const char* to_string(Engine engine) noexcept;
+
+/// Parses "thread|modeled"; throws std::invalid_argument on anything else.
+Engine parse_engine(const std::string& name);
 
 /// Configuration of a runtime instance.
 struct Config {
@@ -52,6 +70,26 @@ struct Config {
   /// Watchdog: rendezvous waits poll the abort flag with this period (waits
   /// back off exponentially from min(poll_interval_s, 1 ms) up to it).
   double poll_interval_s = 0.02;
+
+  /// Execution engine. kModeled decouples "rank = thread": rank bodies run
+  /// unchanged on cooperative fibers scheduled by a single-threaded
+  /// virtual-time event loop, which is what makes p in the thousands cheap.
+  Engine engine = Engine::kThread;
+  /// Stack reservation per modeled rank (rounded up to whole pages, guard
+  /// page added); 0 = the 1 MiB default. Pages commit lazily, so this
+  /// bounds address space, not RSS.
+  std::size_t fiber_stack_bytes = 0;
+
+  /// Broadcast algorithm priced into bcast/ibcast costs (trace::BcastAlgo).
+  /// kTree is the historical binomial tree and keeps virtual times
+  /// bit-identical to prior releases; flat/ring/pipelined/auto re-price the
+  /// collective per resolve_bcast_algo.
+  trace::BcastAlgo bcast_algo = trace::BcastAlgo::kTree;
+  /// Topology-aware two-level collectives: a broadcast whose communicator
+  /// spans nodes is priced as an inter-node stage over the node leaders plus
+  /// the widest intra-node stage, instead of one flat tree over the
+  /// inter-node link. Default off (the historical flat pricing).
+  bool two_level_collectives = false;
 
   /// Scheduled fault injection (see faults.hpp). Empty = fault-free: the
   /// runtime takes no fault paths and execution is bit-identical, in results
@@ -328,6 +366,12 @@ class Comm {
   /// Appends the event-log entry for a completed request.
   void record_completion(const Request::Op& op, double wait_entry,
                          double completion);
+
+  /// Modeled completion cost of a broadcast of `bytes` on this q-member
+  /// communicator under Config::bcast_algo, with the optional two-level
+  /// topology pricing (inter-node stage over the node leaders plus the
+  /// widest intra-node stage) when the members span nodes.
+  double modeled_bcast_cost(std::int64_t bytes, int q) const;
 
   std::shared_ptr<Context> ctx_;
   std::size_t state_index_;  ///< index of the CommState in the context

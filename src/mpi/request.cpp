@@ -100,7 +100,7 @@ Request Comm::ibcast_bytes(void* data, std::int64_t bytes, int root) {
   op->recv_buf = rank_ == root ? nullptr : data;
   op->bytes = bytes;
   op->root = root;
-  op->cost = trace::bcast_cost(link(), bytes, q);
+  op->cost = modeled_bcast_cost(bytes, q);
   if (ctx_->faults) {
     op->cost *= ctx_->faults->link_factor(world_rank(), clock().now());
   }
@@ -176,7 +176,7 @@ Request Comm::ibcast_panel(util::ConstMatrixView src, util::MatrixView dst,
   op->src_ld = src.ld();
   op->dst_ld = dst.ld();
   op->panel_src = src.data();
-  op->cost = trace::bcast_cost(link(), bytes, q);
+  op->cost = modeled_bcast_cost(bytes, q);
   if (ctx_->faults) {
     op->cost *= ctx_->faults->link_factor(world_rank(), clock().now());
   }
@@ -413,8 +413,8 @@ double Comm::wait(Request& request) {
             break;
           }
           ctx_->unwind_check(me);
-          box.cv.wait_for(lock, std::chrono::duration<double>(backoff_s));
-          backoff_s = std::min(backoff_s * 2.0, ctx_->config.poll_interval_s);
+          detail::engine_wait_step(lock, box.cv, backoff_s,
+                                   ctx_->config.poll_interval_s);
         }
       }
       if (msg.bytes != op.bytes) {
@@ -454,9 +454,8 @@ double Comm::wait(Request& request) {
         const bool is_root = op.kind == Request::Kind::kBcastSendRoot;
         while (slot.posted < q || (is_root && slot.copied < q - 1)) {
           ctx_->unwind_check(me);
-          st.async_cv.wait_for(lock,
-                               std::chrono::duration<double>(backoff_s));
-          backoff_s = std::min(backoff_s * 2.0, ctx_->config.poll_interval_s);
+          detail::engine_wait_step(lock, st.async_cv, backoff_s,
+                                   ctx_->config.poll_interval_s);
         }
         if (!is_root) {
           if (op.recv_buf != nullptr && slot.src != nullptr) {

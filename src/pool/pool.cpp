@@ -9,6 +9,7 @@ namespace {
 
 std::atomic<std::int64_t> g_process_spawned{0};
 std::atomic<int> g_reserved_threads{0};
+std::atomic<bool> g_instance_created{false};
 std::mutex g_configure_mu;
 
 std::mutex g_hooks_mu;
@@ -49,7 +50,11 @@ PoolStats Pool::stats() const {
 Pool& Pool::instance() {
   // Intentionally leaked: worker threads must outlive every static client,
   // and joining at static-destruction order is a losing game.
-  static Pool* shared = new Pool(recommended_size(reserved_threads()));
+  static Pool* shared = [] {
+    Pool* pool = new Pool(recommended_size(reserved_threads()));
+    g_instance_created.store(true, std::memory_order_release);
+    return pool;
+  }();
   return *shared;
 }
 
@@ -83,7 +88,18 @@ int Pool::recommended_size(int reserved_threads) {
 }
 
 void Pool::set_reserved_threads(int reserved) {
-  g_reserved_threads.store(std::max(0, reserved), std::memory_order_relaxed);
+  const int clamped = std::max(0, reserved);
+  const int previous = g_reserved_threads.exchange(clamped,
+                                                   std::memory_order_relaxed);
+  // The shared pool sizes itself from the reservation captured at its lazy
+  // construction. A reservation arriving after that point used to be a
+  // silent no-op; honor it by resizing the already-built pool (quiescent
+  // contract identical to configure(), which every caller of this function
+  // already satisfies).
+  if (previous != clamped &&
+      g_instance_created.load(std::memory_order_acquire)) {
+    configure(recommended_size(clamped));
+  }
 }
 
 int Pool::reserved_threads() {

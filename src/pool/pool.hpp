@@ -71,6 +71,9 @@ class Pool {
   static int recommended_size(int reserved_threads);
 
   /// Threads reserved for rank execution, used by the lazy default size.
+  /// Late reservations are honored: when the shared pool already exists and
+  /// the reservation changes, the pool is resized via configure() — so this
+  /// is quiescent-only once the shared pool has tasks in flight.
   static void set_reserved_threads(int reserved);
   static int reserved_threads();
 

@@ -1,5 +1,9 @@
 #include "src/trace/hockney.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
 namespace summagen::trace {
 
 int bcast_rounds(int nranks) noexcept {
@@ -25,6 +29,85 @@ double barrier_cost(const HockneyParams& link, int nranks) noexcept {
 double allreduce_cost(const HockneyParams& link, std::int64_t bytes,
                       int nranks) noexcept {
   return 2.0 * static_cast<double>(bcast_rounds(nranks)) * link.p2p(bytes);
+}
+
+const char* to_string(BcastAlgo algo) noexcept {
+  switch (algo) {
+    case BcastAlgo::kTree:
+      return "tree";
+    case BcastAlgo::kFlat:
+      return "flat";
+    case BcastAlgo::kRing:
+      return "ring";
+    case BcastAlgo::kPipelined:
+      return "pipelined";
+    case BcastAlgo::kAuto:
+      return "auto";
+  }
+  return "tree";
+}
+
+BcastAlgo parse_bcast_algo(const std::string& name) {
+  if (name == "tree") return BcastAlgo::kTree;
+  if (name == "flat") return BcastAlgo::kFlat;
+  if (name == "ring") return BcastAlgo::kRing;
+  if (name == "pipelined") return BcastAlgo::kPipelined;
+  if (name == "auto") return BcastAlgo::kAuto;
+  throw std::invalid_argument(
+      "unknown broadcast algorithm '" + name +
+      "' (expected tree|flat|ring|pipelined|auto)");
+}
+
+BcastAlgo resolve_bcast_algo(BcastAlgo algo, int nranks,
+                             std::int64_t bytes) noexcept {
+  if (algo != BcastAlgo::kAuto) return algo;
+  // Small groups and small messages are latency-dominated: the binomial
+  // tree's ceil(log2 p) rounds beat anything that adds per-member alphas.
+  if (nranks <= 8 || bytes < (std::int64_t{8} << 10)) return BcastAlgo::kTree;
+  // Large messages on large groups: ring's 2*beta*m*(p-1)/p bandwidth term
+  // is asymptotically optimal and dwarfs its (p-1) alphas.
+  if (bytes >= (std::int64_t{1} << 20)) return BcastAlgo::kRing;
+  // In between, the segmented pipeline trades a few alphas for overlap.
+  return BcastAlgo::kPipelined;
+}
+
+int pipelined_bcast_segments(const HockneyParams& link, std::int64_t bytes,
+                             int nranks) noexcept {
+  if (nranks <= 2 || bytes <= 1 || link.alpha_s <= 0.0) return 1;
+  const double m = static_cast<double>(bytes);
+  const double s_opt = std::sqrt(link.beta_s_per_byte * m *
+                                 static_cast<double>(nranks - 2) /
+                                 link.alpha_s);
+  const double clamped = std::min(std::max(s_opt, 1.0), std::min(m, 512.0));
+  return static_cast<int>(clamped);
+}
+
+double bcast_algo_cost(const HockneyParams& link, std::int64_t bytes,
+                       int nranks, BcastAlgo algo) noexcept {
+  if (nranks <= 1) return 0.0;
+  const double p = static_cast<double>(nranks);
+  const double m = static_cast<double>(bytes);
+  switch (resolve_bcast_algo(algo, nranks, bytes)) {
+    case BcastAlgo::kTree:
+      return bcast_cost(link, bytes, nranks);
+    case BcastAlgo::kFlat:
+      return (p - 1.0) * link.p2p(bytes);
+    case BcastAlgo::kRing:
+      // Binomial scatter + ring allgather (van de Geijn / Chan et al.):
+      // (p-1+ceil(log2 p)) latencies, 2*m*(p-1)/p bytes on the wire.
+      return (p - 1.0 + static_cast<double>(bcast_rounds(nranks))) *
+                 link.alpha_s +
+             2.0 * link.beta_s_per_byte * m * (p - 1.0) / p;
+    case BcastAlgo::kPipelined: {
+      const int segments = pipelined_bcast_segments(link, bytes, nranks);
+      const double seg_bytes = m / static_cast<double>(segments);
+      return (static_cast<double>(segments) + p - 2.0) *
+             (link.alpha_s + link.beta_s_per_byte * seg_bytes);
+    }
+    case BcastAlgo::kAuto:
+      break;  // resolved above; unreachable
+  }
+  return bcast_cost(link, bytes, nranks);
 }
 
 }  // namespace summagen::trace

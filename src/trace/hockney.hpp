@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace summagen::trace {
 
@@ -39,5 +40,42 @@ double barrier_cost(const HockneyParams& link, int nranks) noexcept;
 /// Modeled cost of an allreduce of `bytes`: reduce-tree + broadcast-tree.
 double allreduce_cost(const HockneyParams& link, std::int64_t bytes,
                       int nranks) noexcept;
+
+/// Broadcast algorithm priced by `bcast_algo_cost`. kTree (binomial tree)
+/// is the historical model and the default — committed virtual-time
+/// baselines (BENCH_overlap.json, BENCH_drift.json) are tree-priced, so the
+/// alternatives are strictly opt-in (`--bcast-algo`).
+enum class BcastAlgo {
+  kTree,       ///< binomial tree: ceil(log2 p) * (alpha + beta*m)
+  kFlat,       ///< root sends to each member: (p-1) * (alpha + beta*m)
+  kRing,       ///< scatter + ring allgather (van de Geijn): bandwidth-optimal
+  kPipelined,  ///< segmented linear pipeline: (S+p-2) * (alpha + beta*m/S)
+  kAuto,       ///< resolve_bcast_algo picks per (p, bytes)
+};
+
+const char* to_string(BcastAlgo algo) noexcept;
+
+/// Parses "tree|flat|ring|pipelined|auto"; throws std::invalid_argument on
+/// anything else.
+BcastAlgo parse_bcast_algo(const std::string& name);
+
+/// The concrete algorithm `algo` denotes for a broadcast of `bytes` among
+/// `nranks`: identity for everything but kAuto, which picks tree in
+/// latency-dominated regimes (small groups or small messages), ring for
+/// large messages on large groups, pipelined in between. Deterministic in
+/// its arguments.
+BcastAlgo resolve_bcast_algo(BcastAlgo algo, int nranks,
+                             std::int64_t bytes) noexcept;
+
+/// Segment count of the pipelined broadcast: the analytic optimum
+/// S* = sqrt(beta*m*(p-2)/alpha) of (S+p-2)(alpha + beta*m/S), clamped to
+/// [1, 512].
+int pipelined_bcast_segments(const HockneyParams& link, std::int64_t bytes,
+                             int nranks) noexcept;
+
+/// Modeled completion time of an `algo` broadcast of `bytes` among `nranks`
+/// (root included). kTree reproduces `bcast_cost` exactly.
+double bcast_algo_cost(const HockneyParams& link, std::int64_t bytes,
+                       int nranks, BcastAlgo algo) noexcept;
 
 }  // namespace summagen::trace

@@ -1,0 +1,125 @@
+// Regression tests for the strong-scaling table math behind
+// bench/cluster_scaling. The bench once derived "speedup" from the first
+// swept node count scaled by `nodes` — so `--nodes 2,4` quietly printed
+// speedups relative to a fabricated baseline. ScalingTable owns the
+// arithmetic now: speedup is always T(1 node)/T(n nodes) of the SAME
+// configuration, and a missing single-node measurement is an error, never
+// a silent guess.
+#include "src/core/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace summagen::core {
+namespace {
+
+ScalingMeasurement point(const std::string& name, std::int64_t nodes,
+                         double exec_s) {
+  ScalingMeasurement m;
+  m.name = name;
+  m.nodes = nodes;
+  m.ranks = static_cast<int>(3 * nodes);
+  m.exec_s = exec_s;
+  m.comp_s = exec_s * 0.8;
+  m.comm_s = exec_s * 0.2;
+  return m;
+}
+
+TEST(ScalingMath, SpeedupIsAgainstTrueSingleNodeTime) {
+  EXPECT_DOUBLE_EQ(scaling_speedup(10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(scaling_speedup(10.0, 2.5), 4.0);
+  EXPECT_DOUBLE_EQ(scaling_speedup(0.0, 2.5), 0.0);  // degenerate input
+}
+
+TEST(ScalingMath, EfficiencyIsSpeedupOverNodes) {
+  EXPECT_DOUBLE_EQ(scaling_efficiency_pct(4.0, 4), 100.0);
+  EXPECT_DOUBLE_EQ(scaling_efficiency_pct(3.0, 4), 75.0);
+  EXPECT_DOUBLE_EQ(scaling_efficiency_pct(1.0, 1), 100.0);
+}
+
+TEST(ScalingTableTest, DerivesSpeedupPerConfiguration) {
+  ScalingTable t;
+  t.add(point("nrrp", 1, 8.0));
+  t.add(point("nrrp", 2, 5.0));
+  t.add(point("nrrp", 4, 2.0));
+  t.add(point("one_dimensional", 1, 8.0));
+  t.add(point("one_dimensional", 4, 8.0));  // 1D stops scaling
+
+  const auto rows = t.rows();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_DOUBLE_EQ(rows[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].efficiency_pct, 100.0);
+  EXPECT_DOUBLE_EQ(rows[1].speedup, 1.6);
+  EXPECT_DOUBLE_EQ(rows[1].efficiency_pct, 80.0);
+  EXPECT_DOUBLE_EQ(rows[2].speedup, 4.0);
+  EXPECT_DOUBLE_EQ(rows[2].efficiency_pct, 100.0);
+  // The 1D configuration is compared against ITS OWN baseline.
+  EXPECT_DOUBLE_EQ(rows[4].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(rows[4].efficiency_pct, 25.0);
+}
+
+// The historical bug, pinned: sweeping `--nodes 2,4` must not treat the
+// 2-node run as a baseline. Without a nodes=1 measurement the table
+// refuses to produce rows at all.
+TEST(ScalingTableTest, MissingSingleNodeBaselineThrows) {
+  ScalingTable t;
+  t.add(point("nrrp", 2, 5.0));
+  t.add(point("nrrp", 4, 2.0));
+  EXPECT_FALSE(t.has_baseline("nrrp"));
+  EXPECT_EQ(t.missing_baselines(), std::vector<std::string>{"nrrp"});
+  try {
+    t.rows();
+    FAIL() << "rows() accepted a sweep without a single-node baseline";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nrrp"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScalingTableTest, BaselineAddedLaterUnblocksRows) {
+  ScalingTable t;
+  t.add(point("nrrp", 2, 5.0));
+  t.add(point("nrrp", 4, 2.0));
+  t.add(point("nrrp", 1, 8.0));  // the bench prepends nodes=1 when absent
+  EXPECT_TRUE(t.has_baseline("nrrp"));
+  EXPECT_TRUE(t.missing_baselines().empty());
+  const auto rows = t.rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].speedup, 1.6);   // 8.0 / 5.0, NOT 1.0
+  EXPECT_DOUBLE_EQ(rows[1].speedup, 4.0);   // 8.0 / 2.0, NOT 2.5
+  EXPECT_DOUBLE_EQ(rows[2].speedup, 1.0);
+}
+
+TEST(ScalingTableTest, FirstSingleNodeMeasurementWins) {
+  ScalingTable t;
+  t.add(point("nrrp", 1, 8.0));
+  t.add(point("nrrp", 1, 6.0));  // repeated baseline: ignored
+  t.add(point("nrrp", 2, 4.0));
+  EXPECT_DOUBLE_EQ(t.rows()[2].speedup, 2.0);
+}
+
+// Regression on the printed table itself: exactly the bench's header and
+// the derived numbers, so a reformat that reintroduces wrong arithmetic
+// fails here.
+TEST(ScalingTableTest, RenderedTableShowsTrueSpeedups) {
+  ScalingTable t;
+  t.add(point("nrrp", 1, 8.0));
+  t.add(point("nrrp", 4, 2.0));
+  std::ostringstream os;
+  t.render("strong scaling").print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== strong scaling =="), std::string::npos) << s;
+  for (const char* column :
+       {"nodes", "p", "partitioner", "exec_s", "comp_s", "mpi_s", "speedup",
+        "efficiency_%"}) {
+    EXPECT_NE(s.find(column), std::string::npos) << column << "\n" << s;
+  }
+  EXPECT_NE(s.find("4.00"), std::string::npos) << s;   // speedup at 4 nodes
+  EXPECT_NE(s.find("100"), std::string::npos) << s;    // efficiency_%
+  EXPECT_NE(s.find("nrrp"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace summagen::core

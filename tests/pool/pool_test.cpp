@@ -156,6 +156,37 @@ TEST(Pool, RecommendedSizeLeavesRoomForRanks) {
   EXPECT_EQ(sgpool::Pool::recommended_size(1000), 1);  // floor of one worker
 }
 
+// Ordering bug, pinned: set_reserved_threads used to only feed the lazy
+// default size, so a reservation made AFTER the shared pool's first use was
+// silently ignored — the pool kept its stale size and the host ended up
+// oversubscribed by the rank threads. A late reservation must resize the
+// already-constructed pool.
+TEST(Pool, LateReservationResizesConstructedPool) {
+  (void)sgpool::Pool::instance();  // force construction before reserving
+  const int old_reserved = sgpool::Pool::reserved_threads();
+
+  sgpool::Pool::set_reserved_threads(3);
+  EXPECT_EQ(sgpool::Pool::reserved_threads(), 3);
+  EXPECT_EQ(sgpool::Pool::instance().size(), sgpool::Pool::recommended_size(3));
+
+  sgpool::Pool::set_reserved_threads(0);
+  EXPECT_EQ(sgpool::Pool::instance().size(), sgpool::Pool::recommended_size(0));
+
+  // Negative reservations clamp to zero rather than inflating the pool.
+  sgpool::Pool::set_reserved_threads(-5);
+  EXPECT_EQ(sgpool::Pool::reserved_threads(), 0);
+  EXPECT_EQ(sgpool::Pool::instance().size(), sgpool::Pool::recommended_size(0));
+
+  // The resized pool still executes work.
+  std::atomic<int> count{0};
+  sgpool::TaskGroup group;
+  for (int i = 0; i < 16; ++i) group.run([&count] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 16);
+
+  sgpool::Pool::set_reserved_threads(old_reserved);
+}
+
 // The acceptance hook: a dgemm call must never construct a thread — all
 // parallelism is task submission into already-running pool workers.
 TEST(Pool, DgemmSpawnsNoThreads) {

@@ -46,5 +46,93 @@ TEST(Hockney, AllreduceCostIsReducePlusBcast) {
   EXPECT_DOUBLE_EQ(allreduce_cost(link, 8, 3), 2 * 2 * link.p2p(8));
 }
 
+TEST(BcastAlgo, ParseAndPrintRoundTrip) {
+  for (const BcastAlgo algo :
+       {BcastAlgo::kTree, BcastAlgo::kFlat, BcastAlgo::kRing,
+        BcastAlgo::kPipelined, BcastAlgo::kAuto}) {
+    EXPECT_EQ(parse_bcast_algo(to_string(algo)), algo);
+  }
+  EXPECT_THROW(parse_bcast_algo("binomial"), std::invalid_argument);
+}
+
+// The historical default must stay bit-identical to bcast_cost: all
+// committed virtual-time baselines (BENCH_*.json gates) were produced
+// under the binomial tree.
+TEST(BcastAlgo, TreeMatchesHistoricalBcastCostExactly) {
+  HockneyParams link{2.0e-6, 1.0e-9};
+  for (const int p : {1, 2, 3, 5, 8, 64, 1024}) {
+    for (const std::int64_t bytes : {std::int64_t{0}, std::int64_t{100},
+                                     std::int64_t{1} << 22}) {
+      EXPECT_EQ(bcast_algo_cost(link, bytes, p, BcastAlgo::kTree),
+                bcast_cost(link, bytes, p))
+          << "p=" << p << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(BcastAlgo, ClosedFormCosts) {
+  HockneyParams link{2.0e-6, 1.0e-9};
+  // Flat: p-1 sequential sends from the root.
+  EXPECT_DOUBLE_EQ(bcast_algo_cost(link, 100, 5, BcastAlgo::kFlat),
+                   4.0 * link.p2p(100));
+  // Ring (scatter + allgather): (p-1+ceil(log2 p)) alphas, 2m(p-1)/p bytes.
+  const double ring = bcast_algo_cost(link, 1 << 20, 8, BcastAlgo::kRing);
+  EXPECT_DOUBLE_EQ(ring, (7.0 + 3.0) * link.alpha_s +
+                             2.0 * link.beta_s_per_byte *
+                                 static_cast<double>(1 << 20) * 7.0 / 8.0);
+  // Pipelined: (S+p-2) stages of one segment each.
+  const int s = pipelined_bcast_segments(link, 1 << 16, 8);
+  EXPECT_DOUBLE_EQ(
+      bcast_algo_cost(link, 1 << 16, 8, BcastAlgo::kPipelined),
+      (static_cast<double>(s) + 6.0) *
+          (link.alpha_s + link.beta_s_per_byte *
+                              (static_cast<double>(1 << 16) / s)));
+  // Degenerate group: nothing to send.
+  for (const BcastAlgo algo : {BcastAlgo::kTree, BcastAlgo::kFlat,
+                               BcastAlgo::kRing, BcastAlgo::kPipelined}) {
+    EXPECT_EQ(bcast_algo_cost(link, 1 << 20, 1, algo), 0.0);
+  }
+}
+
+TEST(BcastAlgo, RingBeatsTreeForLargeMessagesOnLargeGroups) {
+  HockneyParams link{2.0e-6, 1.0e-9};
+  const std::int64_t big = std::int64_t{16} << 20;
+  EXPECT_LT(bcast_algo_cost(link, big, 64, BcastAlgo::kRing),
+            bcast_algo_cost(link, big, 64, BcastAlgo::kTree));
+  // And tree wins the latency-bound regime.
+  EXPECT_LT(bcast_algo_cost(link, 64, 64, BcastAlgo::kTree),
+            bcast_algo_cost(link, 64, 64, BcastAlgo::kRing));
+}
+
+TEST(BcastAlgo, AutoSelectsByGroupAndMessageSize) {
+  // Small group or small message: latency-dominated, binomial tree.
+  EXPECT_EQ(resolve_bcast_algo(BcastAlgo::kAuto, 4, 1 << 20),
+            BcastAlgo::kTree);
+  EXPECT_EQ(resolve_bcast_algo(BcastAlgo::kAuto, 64, 1024), BcastAlgo::kTree);
+  // Large message on a large group: bandwidth-optimal ring.
+  EXPECT_EQ(resolve_bcast_algo(BcastAlgo::kAuto, 64, std::int64_t{1} << 20),
+            BcastAlgo::kRing);
+  // In between: segmented pipeline.
+  EXPECT_EQ(resolve_bcast_algo(BcastAlgo::kAuto, 64, 64 << 10),
+            BcastAlgo::kPipelined);
+  // Explicit algorithms pass through untouched.
+  EXPECT_EQ(resolve_bcast_algo(BcastAlgo::kFlat, 64, std::int64_t{1} << 20),
+            BcastAlgo::kFlat);
+}
+
+TEST(BcastAlgo, PipelinedSegmentsAreClampedAndMonotonic) {
+  HockneyParams link{2.0e-6, 1.0e-9};
+  EXPECT_EQ(pipelined_bcast_segments(link, 1 << 20, 2), 1);  // no pipeline
+  EXPECT_EQ(pipelined_bcast_segments(link, 1, 8), 1);
+  EXPECT_LE(pipelined_bcast_segments(link, std::int64_t{1} << 30, 1024), 512);
+  EXPECT_GE(pipelined_bcast_segments(link, 1 << 10, 8), 1);
+  // More ranks to fill the pipe -> at least as many segments.
+  EXPECT_LE(pipelined_bcast_segments(link, 1 << 20, 4),
+            pipelined_bcast_segments(link, 1 << 20, 64));
+  // Zero-latency link degenerates safely.
+  HockneyParams free_link{0.0, 1.0e-9};
+  EXPECT_EQ(pipelined_bcast_segments(free_link, 1 << 20, 8), 1);
+}
+
 }  // namespace
 }  // namespace summagen::trace

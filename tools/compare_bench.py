@@ -11,9 +11,15 @@ benchmark present in BOTH files the script compares throughput
     baseline_items_per_second / current_items_per_second > max_ratio
 
 for any benchmark — i.e. the current build is more than `max_ratio` slower
-than the recorded baseline. Benchmarks present in only one file are
-reported but never fail the gate (so adding/removing benches does not
-require regenerating the baseline in the same commit).
+than the recorded baseline. NEW benchmarks (present only in the current
+run) are reported but never fail the gate, so adding benches does not
+require regenerating the baseline in the same commit. MISSING benchmarks
+(present only in the baseline) are a hard failure: a silently-skipped
+baseline is how a renamed or dropped bench escapes the gate while looking
+green. Pass --allow-missing when removing a bench is intended. A
+baseline-only name whose tier-stripped family is still measured (e.g. the
+AVX2 variant on a machine that only ran the scalar tier) counts as
+covered, not missing.
 
 Benchmarks without items_per_second fall back to comparing real_time
 (higher is worse), with the same ratio threshold.
@@ -126,6 +132,12 @@ def main() -> int:
         "baseline counter (default 1.05; allocation is deterministic)",
     )
     parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="do not fail when a baseline benchmark is absent from the "
+        "current run (use when intentionally removing a bench)",
+    )
+    parser.add_argument(
         "--alloc-floor",
         type=float,
         default=8.0 * 1024 * 1024,
@@ -165,8 +177,18 @@ def main() -> int:
                     f"(baseline {b_alloc:.0f}, budget {budget:.0f})"
                 )
                 alloc_failures.append((label, b_alloc, c_alloc))
+    current_families = {family_name(name) for name in cur}
+    missing = []
     for name in sorted(set(base) - matched_baselines):
-        print(f"  (baseline-only, skipped) {name}")
+        if family_name(name) in current_families:
+            # A tier variant of a family the current run did measure (e.g.
+            # the forced-scalar job never runs the AVX2 entries).
+            print(f"  (baseline-only, family covered) {name}")
+        elif args.allow_missing:
+            print(f"  (baseline-only, allowed by --allow-missing) {name}")
+        else:
+            print(f"  [FAIL] {name}: in baseline but missing from current run")
+            missing.append(name)
     for name in unmatched_new:
         print(f"  (new, no baseline) {name}")
 
@@ -189,11 +211,19 @@ def main() -> int:
                 f"  {name}: {b_alloc:.0f} -> {c_alloc:.0f} B/iter",
                 file=sys.stderr,
             )
-    if failures or alloc_failures:
+    if missing:
+        print(
+            f"\n{len(missing)} baseline benchmark(s) missing from the "
+            f"current run (pass --allow-missing if intended):",
+            file=sys.stderr,
+        )
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+    if failures or alloc_failures or missing:
         return 1
     print(
-        f"\nall shared benchmarks within {args.max_ratio:.2f}x of baseline "
-        f"(alloc within {args.max_alloc_ratio:.2f}x)"
+        f"\nall baseline benchmarks covered and within "
+        f"{args.max_ratio:.2f}x (alloc within {args.max_alloc_ratio:.2f}x)"
     )
     return 0
 
