@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.hpp"
 #include "src/core/runner.hpp"
 #include "src/device/drift.hpp"
 #include "src/util/cli.hpp"
@@ -65,31 +66,7 @@ summagen::device::DriftPlan one_drift(summagen::device::DriftKind kind,
   return summagen::device::DriftPlan{{ev}};
 }
 
-/// One Google-Benchmark-style entry: virtual execution seconds as
-/// real_time (lower is better; compare_bench.py gates on the ratio).
-struct JsonEntry {
-  std::string name;
-  double seconds = 0.0;
-};
-
-void write_json(const std::string& path, const std::vector<JsonEntry>& rows) {
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "cannot open --json file '" << path << "'\n";
-    std::exit(2);
-  }
-  out << "{\n  \"context\": {\"executable\": \"ablation_drift\"},\n"
-      << "  \"benchmarks\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    out << "    {\"name\": \"" << rows[i].name
-        << "\", \"run_type\": \"iteration\", \"iterations\": 1, "
-        << "\"real_time\": " << rows[i].seconds
-        << ", \"cpu_time\": " << rows[i].seconds
-        << ", \"time_unit\": \"s\"}" << (i + 1 < rows.size() ? "," : "")
-        << "\n";
-  }
-  out << "  ]\n}\n";
-}
+using summagen::benchjson::JsonEntry;
 
 }  // namespace
 
@@ -240,6 +217,8 @@ int main(int argc, char** argv) {
               << " max_abs_error=" << res.max_abs_error << "\n";
   }
 
-  if (cli.has("json")) write_json(cli.get("json", ""), json_rows);
+  if (cli.has("json")) {
+    benchjson::write_json(cli.get("json", ""), "ablation_drift", json_rows);
+  }
   return step_wins >= min_wins && clean_overhead_ok && all_verified ? 0 : 1;
 }

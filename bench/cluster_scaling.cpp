@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.hpp"
 #include "src/core/runner.hpp"
 #include "src/core/scaling.hpp"
 #include "src/partition/column_based.hpp"
@@ -59,31 +60,7 @@ std::vector<std::string> split_csv(const std::string& csv) {
   return out;
 }
 
-/// One Google-Benchmark-style entry: virtual execution seconds as
-/// real_time (lower is better; compare_bench.py gates on the ratio).
-struct JsonEntry {
-  std::string name;
-  double seconds = 0.0;
-};
-
-void write_json(const std::string& path, const std::vector<JsonEntry>& rows) {
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "cannot open --json file '" << path << "'\n";
-    std::exit(2);
-  }
-  out << "{\n  \"context\": {\"executable\": \"cluster_scaling\"},\n"
-      << "  \"benchmarks\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    out << "    {\"name\": \"" << rows[i].name
-        << "\", \"run_type\": \"iteration\", \"iterations\": 1, "
-        << "\"real_time\": " << rows[i].seconds
-        << ", \"cpu_time\": " << rows[i].seconds
-        << ", \"time_unit\": \"s\"}" << (i + 1 < rows.size() ? "," : "")
-        << "\n";
-  }
-  out << "  ]\n}\n";
-}
+using summagen::benchjson::JsonEntry;
 
 partition::PartitionSpec build_spec(const std::string& name, std::int64_t n,
                                     const std::vector<std::int64_t>& areas,
@@ -228,6 +205,8 @@ int main(int argc, char** argv) {
                "non-rectangular shapes within) keeps cross-node traffic "
                "lowest, 1D degrades first.\n";
 
-  if (cli.has("json")) write_json(cli.get("json", ""), json_rows);
+  if (cli.has("json")) {
+    benchjson::write_json(cli.get("json", ""), "cluster_scaling", json_rows);
+  }
   return 0;
 }

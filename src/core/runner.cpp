@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "src/blas/pack_cache.hpp"
 #include "src/core/recovery.hpp"
 #include "src/core/reference.hpp"
 #include "src/pool/pool.hpp"
@@ -91,6 +93,28 @@ std::vector<std::int64_t> compute_areas(const ExperimentConfig& config) {
       .areas;
 }
 
+JobPlan plan_pmm(const ExperimentConfig& config) {
+  if (config.n <= 0) throw std::invalid_argument("run_pmm: n <= 0");
+  const int p = config.platform.nprocs();
+  if (p < 1) throw std::invalid_argument("run_pmm: empty platform");
+  JobPlan plan;
+  if (config.preset_spec.n > 0) {
+    if (config.preset_spec.n != config.n) {
+      throw std::invalid_argument("run_pmm: preset_spec.n != n");
+    }
+    config.preset_spec.validate(p);
+    plan.spec = config.preset_spec;
+    for (int r = 0; r < p; ++r) {
+      plan.areas.push_back(plan.spec.area_of(r));
+    }
+  } else {
+    plan.areas = compute_areas(config);
+    plan.spec = partition::build_shape(config.shape, config.n, plan.areas,
+                                       config.granularity);
+  }
+  return plan;
+}
+
 ExperimentResult run_pmm(const ExperimentConfig& config) {
   if (config.n <= 0) throw std::invalid_argument("run_pmm: n <= 0");
   const int p = config.platform.nprocs();
@@ -101,36 +125,48 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
         "plane for paper-scale sweeps");
   }
 
-  // Size the shared compute pool so rank threads + pool workers together
-  // fill the host — the paper's one-persistent-MKL-pool-per-processor
-  // setup, instead of per-call thread spawns oversubscribing the machine.
-  // config.kernel.threads > 0 overrides (clamped to hardware_concurrency).
-  // Under the modeled engine every rank shares one scheduler thread, so
-  // only that thread is reserved no matter how large p gets.
-  const int reserved = config.engine == sgmpi::Engine::kModeled ? 1 : p;
-  sgpool::Pool::set_reserved_threads(reserved);
-  sgpool::Pool::configure(config.kernel.threads > 0
-                              ? blas::resolve_gemm_threads(
-                                    config.kernel.threads)
-                              : sgpool::Pool::recommended_size(reserved));
+  RuntimeContext* const ctx = RuntimeContext::current();
+  if (ctx == nullptr) {
+    // Size the shared compute pool so rank threads + pool workers together
+    // fill the host — the paper's one-persistent-MKL-pool-per-processor
+    // setup, instead of per-call thread spawns oversubscribing the machine.
+    // config.kernel.threads > 0 overrides (clamped to hardware_concurrency).
+    // Under the modeled engine every rank shares one scheduler thread, so
+    // only that thread is reserved no matter how large p gets.
+    const int reserved = config.engine == sgmpi::Engine::kModeled ? 1 : p;
+    sgpool::Pool::set_reserved_threads(reserved);
+    sgpool::Pool::configure(config.kernel.threads > 0
+                                ? blas::resolve_gemm_threads(
+                                      config.kernel.threads)
+                                : sgpool::Pool::recommended_size(reserved));
+  }
+  // else: the context sized the pool once; skipping configure() here is
+  // what keeps the PackCache / schedule cache alive across jobs (and what
+  // makes concurrent run_pmm calls safe — configure is quiescent-only).
 
   ExperimentResult result;
-  if (config.preset_spec.n > 0) {
-    if (config.preset_spec.n != config.n) {
-      throw std::invalid_argument("run_pmm: preset_spec.n != n");
-    }
-    config.preset_spec.validate(p);
-    result.spec = config.preset_spec;
-    for (int r = 0; r < p; ++r) {
-      result.areas.push_back(result.spec.area_of(r));
-    }
+  std::shared_ptr<const JobPlan> plan;
+  if (ctx != nullptr && config.plan_cache_key != 0) {
+    plan = ctx->plan_for(config.plan_cache_key,
+                         [&config] { return plan_pmm(config); },
+                         &result.plan_cache_hit);
   } else {
-    result.areas = compute_areas(config);
-    result.spec =
-        partition::build_shape(config.shape, config.n, result.areas,
-                               config.granularity);
+    plan = std::make_shared<const JobPlan>(plan_pmm(config));
   }
+  result.spec = plan->spec;
+  result.areas = plan->areas;
   result.total_half_perimeter = result.spec.total_half_perimeter();
+
+  // Cross-job packed-panel reuse rides the plan identity: equal (epoch,
+  // plan key, fill seed) implies bit-identical global B, the exact promise
+  // SummaGenOptions::pack_namespace requires. An explicit caller namespace
+  // wins; standalone runs keep the per-run context uid.
+  SummaGenOptions sg_options = config.summagen_options;
+  if (ctx != nullptr && config.plan_cache_key != 0 &&
+      sg_options.pack_namespace == 0) {
+    sg_options.pack_namespace =
+        blas::pack_tag({ctx->epoch(), config.plan_cache_key, config.seed});
+  }
 
   device::Platform platform = config.platform;
   if (config.noise_sigma > 0.0) {
@@ -183,7 +219,22 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
   }
   // Accounting window opens after the global inputs exist: what follows is
   // the data plane proper (local stores, broadcasts, workspaces, gather).
-  const util::DataPlaneStats alloc_base = util::data_plane_stats();
+  // The window is a per-job StatsSink, not a process-wide snapshot delta —
+  // overlapping service jobs would misattribute each other's events to
+  // whichever window happened to be open. The main thread installs the
+  // sink here (covering local stores and the gather); every rank body
+  // installs it on its own thread below, and sgpool propagates it to
+  // pooled tasks, so even stolen DGEMM packs bill this job.
+  util::StatsSink job_stats;
+  std::optional<util::ScopedStatsSink> stats_guard;
+  stats_guard.emplace(&job_stats);
+  const auto take_alloc_window = [&result, &job_stats] {
+    util::DataPlaneStats window = job_stats.snapshot();
+    const util::DataPlaneStats now = util::data_plane_stats();
+    window.pool_resident_bytes = now.pool_resident_bytes;
+    window.pool_peak_resident_bytes = now.pool_peak_resident_bytes;
+    result.alloc = window;
+  };
   if (config.numeric) {
     // Single-phase runs write C in place: each rank's owned cells are
     // disjoint, so its LocalData views the global C directly and the final
@@ -265,6 +316,10 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
 
   if (!fault_tolerant) {
     runtime.run([&](sgmpi::Comm& world) {
+      // Rank bodies run on their own threads (kThread) or as fibers of the
+      // calling thread (kModeled, where this re-installs the same sink);
+      // either way this job's events bill this job's sink.
+      util::ScopedStatsSink rank_stats(&job_stats);
       const int r = world.rank();
       // Drift without re-partitioning: the static plan limps along under
       // the time-varying speeds (the ablation baseline).
@@ -273,7 +328,7 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
       result.reports[static_cast<std::size_t>(r)] = summagen_rank(
           world, result.spec, processors[static_cast<std::size_t>(r)],
           locals[static_cast<std::size_t>(r)].get(), config.contended,
-          config.summagen_options,
+          sg_options,
           config.drift.empty() ? nullptr : &ftctx);
     });
   } else {
@@ -284,6 +339,7 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
     phases.push_back(std::move(ph0));
 
     runtime.run([&](sgmpi::Comm& world) {
+      util::ScopedStatsSink rank_stats(&job_stats);
       const int wr = world.rank();  // world comm: comm rank == world rank
       std::size_t round = 0;
       for (;;) {
@@ -322,7 +378,7 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
                               : nullptr;
           const RankReport rep = summagen_rank(
               world, ph->spec, processors[static_cast<std::size_t>(wr)], ld,
-              config.contended, config.summagen_options, &ftctx);
+              config.contended, sg_options, &ftctx);
           {
             std::lock_guard<std::mutex> lk(rec_mutex);
             accumulate_report(result.reports[static_cast<std::size_t>(wr)],
@@ -456,7 +512,7 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
     result.has_energy = true;
   }
 
-  result.alloc = util::data_plane_stats().since(alloc_base);
+  take_alloc_window();
 
   if (config.numeric) {
     if (!fault_tolerant) {
@@ -480,9 +536,11 @@ ExperimentResult run_pmm(const ExperimentConfig& config) {
         }
       }
     }
-    // Re-take the window with the gather included, before the serial
-    // verification reference (which is measurement harness, not data plane).
-    result.alloc = util::data_plane_stats().since(alloc_base);
+    // Re-take the window with the gather included, then close the sink:
+    // the serial verification reference is measurement harness, not data
+    // plane, and must not bill the job.
+    take_alloc_window();
+    stats_guard.reset();
     const util::Matrix expected = reference_multiply(a, b);
     result.max_abs_error = util::Matrix::max_abs_diff(c, expected);
     result.verified = result.max_abs_error <= gemm_tolerance(config.n);

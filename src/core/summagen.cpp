@@ -16,6 +16,7 @@
 #include "src/core/taskgraph/executor.hpp"
 #include "src/core/taskgraph/taskgraph.hpp"
 #include "src/pool/pool.hpp"
+#include "src/util/accounting.hpp"
 #include "src/util/buffer_pool.hpp"
 #include "src/util/matrix_view.hpp"
 
@@ -83,9 +84,11 @@ SharedSchedule shared_schedule(const partition::PartitionSpec& spec,
   auto& cache = schedule_cache();
   for (const SharedSchedule& entry : cache) {
     if (entry.panel_rows == panel_rows && same_layout(entry.spec, spec)) {
+      util::record_sched_lookup(/*hit=*/true);
       return entry;
     }
   }
+  util::record_sched_lookup(/*hit=*/false);
   SharedSchedule entry;
   entry.spec = spec;
   entry.panel_rows = panel_rows;
@@ -113,15 +116,20 @@ struct Frame {
   std::vector<std::int64_t> coff;
   std::int64_t wa_base = 0;  ///< first matrix row covered by WA
   std::int64_t wb_base = 0;  ///< first matrix column covered by WB
+  /// Pack-tag namespace: the run's context uid, or the caller-asserted
+  /// SummaGenOptions::pack_namespace when set (cross-job panel reuse).
+  std::uint64_t pack_ns = 0;
 
   Frame(const partition::PartitionSpec& spec_in, int rank, LocalData* data_in,
-        util::MatrixView wa_in, util::MatrixView wb_in)
+        util::MatrixView wa_in, util::MatrixView wb_in,
+        std::uint64_t pack_ns_in)
       : spec(spec_in),
         data(data_in),
         wa(wa_in),
         wb(wb_in),
         roff(spec_in.row_offsets()),
-        coff(spec_in.col_offsets()) {
+        coff(spec_in.col_offsets()),
+        pack_ns(pack_ns_in) {
     const auto [myi, block_lda] = spec.row_span(rank);
     const auto [myj, block_ldb] = spec.col_span(rank);
     (void)block_lda;
@@ -209,7 +217,7 @@ void exec_gemm(sgmpi::Comm& world, const Frame& frame,
     // tag per re-partition phase: a pre-re-partition pack can never serve a
     // post-re-partition lookup.
     const std::uint64_t wb_key = blas::pack_tag(
-        {world.context_uid(), kSummagenPackTag,
+        {frame.pack_ns, kSummagenPackTag,
          ft != nullptr ? ft->partition_epoch : 0,
          static_cast<std::uint64_t>(spec.n), 0,
          static_cast<std::uint64_t>(spec.n),
@@ -300,7 +308,7 @@ void exec_gemm_chunk(sgmpi::Comm& world, const Frame& frame,
     // Same cross-rank identity as exec_gemm, restricted to the chunk's
     // k-range [k0, k1) — which the tag must therefore include.
     const std::uint64_t wb_key = blas::pack_tag(
-        {world.context_uid(), kSummagenPackTag,
+        {frame.pack_ns, kSummagenPackTag,
          ft != nullptr ? ft->partition_epoch : 0,
          static_cast<std::uint64_t>(spec.n),
          static_cast<std::uint64_t>(ch.k0),
@@ -410,7 +418,9 @@ RankReport summagen_rank(sgmpi::Comm& world,
     graph = &pruned;
   }
 
-  const Frame frame(spec, rank, data, wa, wb);
+  const Frame frame(spec, rank, data, wa, wb,
+                    options.pack_namespace != 0 ? options.pack_namespace
+                                                : world.context_uid());
   const double hidden0 = world.clock().hidden_comm_seconds();
 
   // Whole-kernel costs per GemmOp, computed on first use: chunk nodes are

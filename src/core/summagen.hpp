@@ -83,6 +83,18 @@ struct SummaGenOptions {
   /// through the graph — the DAG's in-flight-broadcast window (how far the
   /// executor posts ahead of the completion front). <= 0 means unbounded.
   int overlap_depth = 2;
+
+  /// Caller-asserted namespace for the blas pack-cache B-panel tags. 0
+  /// (default): tags are namespaced by the runtime's context uid — packed
+  /// panels are shared within one run only, the historical behaviour.
+  /// Non-zero: the value replaces the context uid in the tags, so two runs
+  /// passing the same namespace share packed panels *across jobs*. Callers
+  /// passing equal namespaces promise bit-identical global B contents
+  /// (same n, same fill seed) — the same caller-asserted identity contract
+  /// as blas b_pack_key. The multi-job service derives this from
+  /// (context epoch, plan key, seed); recovery phases stay safe either way
+  /// because the partition epoch is always folded in alongside.
+  std::uint64_t pack_namespace = 0;
 };
 
 /// Per-rank accounting returned by one SummaGen execution.

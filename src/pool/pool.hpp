@@ -32,6 +32,16 @@ namespace summagen::sgpool {
 
 class TaskGroup;
 
+/// Thread-local task token, inherited by pooled work: every submitted task
+/// captures the submitting thread's token and installs it on the executing
+/// thread for the task's duration (workers, thieves, and helping waiters
+/// alike), restoring the executor's own token afterwards. The pool never
+/// interprets the value — it is an attribution channel for layers above
+/// (util::StatsSink rides it so concurrent jobs' data-plane events bill
+/// the right job even from stolen tasks).
+void* current_task_token();
+void set_current_task_token(void* token);
+
 /// Observability counters (test hooks; monotonically increasing).
 struct PoolStats {
   std::int64_t threads_spawned = 0;  ///< workers ever created by this pool
@@ -94,6 +104,7 @@ class Pool {
   struct Task {
     std::function<void()> fn;
     TaskGroup* group = nullptr;
+    void* token = nullptr;  ///< submitter's task token (see above)
   };
 
   struct Worker {

@@ -1,0 +1,198 @@
+#include "src/service/queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace summagen::service {
+namespace {
+
+/// Weights below this are clamped up so deficit growth never stalls.
+constexpr double kMinWeight = 1e-6;
+/// Absorbs float rounding in the deficit/cost comparison so a tenant whose
+/// accumulated quantum exactly matches a job's cost is not spuriously
+/// skipped for one extra round.
+constexpr double kDeficitEps = 1e-9;
+
+}  // namespace
+
+JobQueue::JobQueue() : JobQueue(Options()) {}
+
+JobQueue::JobQueue(const Options& options) : options_(options) {
+  if (options_.batch_limit == 0) {
+    throw std::invalid_argument("JobQueue: batch_limit must be >= 1");
+  }
+  if (!(options_.quantum_units > 0.0)) {
+    throw std::invalid_argument("JobQueue: quantum_units must be > 0");
+  }
+}
+
+JobQueue::Tenant& JobQueue::tenant(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    return *tenants_[it->second];
+  }
+  auto owned = std::make_unique<Tenant>();
+  owned->name = name;
+  owned->stats.weight = owned->weight;
+  index_.emplace(name, tenants_.size());
+  tenants_.push_back(std::move(owned));
+  return *tenants_.back();
+}
+
+void JobQueue::set_tenant_weight(const std::string& name, double weight) {
+  Tenant& t = tenant(name);
+  t.weight = std::max(weight, kMinWeight);
+  t.stats.weight = t.weight;
+}
+
+bool JobQueue::submit(Job job) {
+  Tenant& t = tenant(job.tenant);
+  ++t.stats.submitted;
+  const std::size_t tenant_bound = options_.max_tenant_depth != 0
+                                       ? options_.max_tenant_depth
+                                       : options_.max_depth;
+  const bool full = (options_.max_depth != 0 && depth_ >= options_.max_depth) ||
+                    (tenant_bound != 0 && t.jobs.size() >= tenant_bound);
+  if (full) {
+    ++t.stats.shed;
+    return false;
+  }
+  ++t.stats.admitted;
+  t.jobs.push_back(std::move(job));
+  t.stats.queued = t.jobs.size();
+  ++depth_;
+  return true;
+}
+
+std::vector<Job> JobQueue::next_batch() {
+  if (depth_ == 0) {
+    return {};
+  }
+
+  // DWRR scan: visit tenants round-robin from the cursor; on first arrival
+  // at a backlogged tenant grant its quantum, dispatch if the deficit
+  // covers the head job, otherwise move on. The cursor stays on the
+  // dispatching tenant (its `replenished` flag stays set, so it is not
+  // re-granted) — a tenant with deficit left keeps dispatching until it is
+  // spent, exactly one quantum's worth of burst per round.
+  //
+  // When a whole pass finds every backlogged head unaffordable (jobs much
+  // costlier than the quantum), we bulk-advance all backlogged tenants by
+  // the minimum number of further rounds that makes some head affordable —
+  // identical shares to looping round-by-round, but O(tenants) per
+  // dispatch instead of O(cost/quantum).
+  Tenant* winner = nullptr;
+  while (winner == nullptr) {
+    std::size_t scanned = 0;
+    double min_rounds = 0.0;
+    bool any_backlogged = false;
+    while (scanned < tenants_.size()) {
+      Tenant& t = *tenants_[cursor_];
+      if (t.jobs.empty()) {
+        // An idle tenant forfeits its balance: DWRR deficits reward
+        // backlog, not absence, otherwise a long-idle tenant returns with
+        // an unbounded burst.
+        t.deficit = 0.0;
+        t.replenished = false;
+      } else {
+        if (!t.replenished) {
+          t.deficit += options_.quantum_units * t.weight;
+          t.replenished = true;
+        }
+        if (t.deficit + kDeficitEps >= t.jobs.front().cost_units) {
+          winner = &t;
+          break;
+        }
+        any_backlogged = true;
+        const double gap = t.jobs.front().cost_units - t.deficit;
+        const double rounds =
+            std::ceil(gap / (options_.quantum_units * t.weight));
+        if (min_rounds == 0.0 || rounds < min_rounds) {
+          min_rounds = rounds;
+        }
+      }
+      t.replenished = false;
+      cursor_ = (cursor_ + 1) % tenants_.size();
+      ++scanned;
+    }
+    if (winner == nullptr) {
+      if (!any_backlogged) {
+        return {};  // unreachable while depth_ > 0; defensive
+      }
+      for (const auto& owned : tenants_) {
+        if (!owned->jobs.empty()) {
+          owned->deficit += min_rounds * options_.quantum_units * owned->weight;
+          owned->replenished = true;
+        }
+      }
+    }
+  }
+
+  std::vector<Job> batch;
+  batch.push_back(std::move(winner->jobs.front()));
+  winner->jobs.pop_front();
+  // Copied, not referenced: push_back below reallocates `batch` and would
+  // invalidate a reference into it.
+  const std::uint64_t primary_signature = batch.front().signature;
+  const double primary_cost = batch.front().cost_units;
+
+  // Coalesce identical queued jobs (same non-zero signature) into this
+  // execution, scanning tenants in registration order and each tenant's
+  // queue oldest-first, so membership is deterministic.
+  if (primary_signature != 0 && options_.batch_limit > 1) {
+    for (const auto& owned : tenants_) {
+      if (batch.size() >= options_.batch_limit) {
+        break;
+      }
+      auto& jobs = owned->jobs;
+      for (auto it = jobs.begin();
+           it != jobs.end() && batch.size() < options_.batch_limit;) {
+        if (it->signature == primary_signature) {
+          batch.push_back(std::move(*it));
+          it = jobs.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  // One execution served the whole batch: each member's tenant pays an
+  // even split of the primary's cost, keeping total charged units equal to
+  // work actually performed.
+  const double split = primary_cost / static_cast<double>(batch.size());
+  for (const Job& job : batch) {
+    Tenant& t = tenant(job.tenant);
+    t.deficit = std::max(0.0, t.deficit - split);
+    t.stats.service_units += split;
+    ++t.stats.dispatched;
+    t.stats.queued = t.jobs.size();
+  }
+  depth_ -= batch.size();
+  ++batches_;
+  if (batch.size() > 1) {
+    batched_jobs_ += static_cast<std::int64_t>(batch.size());
+  }
+  return batch;
+}
+
+JobQueue::TenantStats JobQueue::tenant_stats(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return TenantStats{};
+  }
+  return tenants_[it->second]->stats;
+}
+
+std::vector<std::pair<std::string, JobQueue::TenantStats>>
+JobQueue::all_tenant_stats() const {
+  std::vector<std::pair<std::string, TenantStats>> out;
+  out.reserve(tenants_.size());
+  for (const auto& owned : tenants_) {
+    out.emplace_back(owned->name, owned->stats);
+  }
+  return out;
+}
+
+}  // namespace summagen::service

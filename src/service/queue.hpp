@@ -1,0 +1,118 @@
+// Multi-tenant job queue: admission control + deficit-weighted round-robin
+// (DWRR) fair dispatch + coalescing of identical jobs (DESIGN.md §5.15).
+//
+// The queue is the scheduling brain shared by both execution frontends —
+// the deterministic virtual-clock simulator (bench/service_load, CI-gated)
+// and the threaded PmmService — so fairness and shedding behave
+// identically whether latencies are virtual or wall-clock.
+//
+//   * Admission: tail-drop. A submit that would exceed the global depth
+//     bound (or the per-tenant bound, which stops one flooding tenant from
+//     squeezing everyone else out of the queue) is refused immediately —
+//     under overload the service sheds load at the door instead of growing
+//     an unbounded backlog whose every job times out.
+//   * Dispatch: DWRR over tenants in registration order. Each tenant
+//     accrues `quantum_units x weight` of deficit per scheduling round and
+//     spends it on its jobs' cost_units (n^3-based), so long-run service
+//     shares converge to the weight ratio regardless of per-job sizes —
+//     the classic Shreedhar/Varghese scheme, O(1) amortised per dispatch.
+//   * Batching: a dispatched job with a non-zero signature pulls up to
+//     batch_limit-1 identical jobs (any tenant, oldest first) into one
+//     shared execution; every member's tenant is charged an equal split of
+//     the cost, since one execution served them all.
+//
+// Not thread-safe: PmmService serialises access under its own mutex, and
+// the simulator is single-threaded by construction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/service/job.hpp"
+
+namespace summagen::service {
+
+class JobQueue {
+ public:
+  struct Options {
+    /// Total queued jobs across tenants before submits shed; 0 = unbounded.
+    std::size_t max_depth = 256;
+    /// Per-tenant depth bound; 0 = the global bound (no extra isolation).
+    std::size_t max_tenant_depth = 0;
+    /// Jobs coalesced into one execution (1 disables batching).
+    std::size_t batch_limit = 8;
+    /// Deficit granted per unit weight per scheduling round, in the same
+    /// units as Job::cost_units. Any positive value gives weight-
+    /// proportional long-run shares; values around the typical job cost
+    /// keep the interleaving fine-grained.
+    double quantum_units = 8.0;
+  };
+
+  struct TenantStats {
+    double weight = 1.0;
+    std::int64_t submitted = 0;   ///< submit() calls
+    std::int64_t admitted = 0;    ///< accepted into the queue
+    std::int64_t shed = 0;        ///< refused at admission
+    std::int64_t dispatched = 0;  ///< handed to an executor
+    /// Cost charged to this tenant (batch members pay an even split) —
+    /// the quantity whose cross-tenant ratios DWRR drives to the weights.
+    double service_units = 0.0;
+    std::size_t queued = 0;  ///< current depth
+  };
+
+  JobQueue();  ///< default Options
+  explicit JobQueue(const Options& options);
+
+  /// Sets (or pre-registers) a tenant's fair-share weight; clamped to a
+  /// small positive floor so the deficit accounting stays well-posed.
+  /// Unknown tenants submitting are auto-registered with weight 1.
+  void set_tenant_weight(const std::string& tenant, double weight);
+
+  /// Admission control: returns false (job shed, not stored) when a depth
+  /// bound is hit. The job's signature/cost_units must be filled in
+  /// (job_signature/job_cost_units) by the caller.
+  bool submit(Job job);
+
+  /// Dispatches the next batch under DWRR: the winning tenant's oldest
+  /// job, plus up to batch_limit-1 queued jobs with the same non-zero
+  /// signature (scanning tenants in registration order, oldest first).
+  /// Empty when no jobs are queued.
+  std::vector<Job> next_batch();
+
+  std::size_t depth() const { return depth_; }
+  bool empty() const { return depth_ == 0; }
+
+  TenantStats tenant_stats(const std::string& tenant) const;
+  /// All tenants in registration order.
+  std::vector<std::pair<std::string, TenantStats>> all_tenant_stats() const;
+
+  std::int64_t batches() const { return batches_; }
+  std::int64_t batched_jobs() const { return batched_jobs_; }
+
+ private:
+  struct Tenant {
+    std::string name;
+    double weight = 1.0;
+    double deficit = 0.0;
+    bool replenished = false;  ///< deficit granted for the current visit
+    std::deque<Job> jobs;
+    TenantStats stats;
+  };
+
+  Tenant& tenant(const std::string& name);
+
+  Options options_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;  ///< registration order
+  std::map<std::string, std::size_t> index_;
+  std::size_t depth_ = 0;
+  std::size_t cursor_ = 0;  ///< DWRR position
+  std::int64_t batches_ = 0;
+  std::int64_t batched_jobs_ = 0;  ///< jobs that rode a shared execution
+};
+
+}  // namespace summagen::service

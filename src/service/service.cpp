@@ -1,0 +1,202 @@
+#include "src/service/service.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+namespace summagen::service {
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// Per-job delivery state living outside the queue: the promise the
+/// submitter holds the future of, plus the submission instant.
+struct PmmService::Pending {
+  std::promise<JobResult> promise;
+  std::string tenant;
+  double submit_s = 0.0;
+};
+
+PmmService::PmmService() : PmmService(Options()) {}
+
+PmmService::PmmService(const Options& options)
+    : options_(options),
+      runtime_(options.runtime),
+      queue_(options.queue) {
+  const int executors = options_.executors < 1 ? 1 : options_.executors;
+  executors_.reserve(static_cast<std::size_t>(executors));
+  for (int i = 0; i < executors; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+PmmService::~PmmService() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : executors_) {
+    t.join();
+  }
+}
+
+void PmmService::set_tenant_weight(const std::string& tenant, double weight) {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.set_tenant_weight(tenant, weight);
+}
+
+std::future<JobResult> PmmService::submit(
+    const std::string& tenant, const core::ExperimentConfig& config) {
+  auto pending = std::make_shared<Pending>();
+  pending->tenant = tenant;
+  pending->submit_s = now_s();
+  std::future<JobResult> future = pending->promise.get_future();
+
+  Job job;
+  job.tenant = tenant;
+  job.config = config;
+  job.signature = job_signature(config, options_.signature_salt);
+  job.cost_units = job_cost_units(config);
+  job.submit_time_s = pending->submit_s;
+  if (options_.reuse_plans && job.signature != 0 &&
+      job.config.plan_cache_key == 0) {
+    job.config.plan_cache_key = job.signature;
+  }
+
+  bool admitted = false;
+  std::uint64_t id = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++counters_.submitted;
+    id = next_id_++;
+    job.id = id;
+    // A stopping service sheds everything: executors are draining towards
+    // exit and might already be past their final queue check.
+    admitted = !stopping_ && queue_.submit(std::move(job));
+    if (admitted) {
+      pending_.emplace(id, pending);
+    } else {
+      ++counters_.shed;
+    }
+  }
+  if (admitted) {
+    work_cv_.notify_one();
+  } else {
+    JobResult shed;
+    shed.id = id;
+    shed.tenant = tenant;
+    shed.status = JobStatus::kShed;
+    pending->promise.set_value(std::move(shed));
+  }
+  return future;
+}
+
+void PmmService::executor_loop() {
+  for (;;) {
+    std::vector<Job> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and nothing left to drain
+      }
+      batch = queue_.next_batch();
+      ++active_;
+    }
+    execute_batch(std::move(batch));
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void PmmService::execute_batch(std::vector<Job> batch) {
+  const double start_s = now_s();
+  core::ExperimentResult result;
+  std::string error;
+  bool ok = true;
+  try {
+    result = core::run_pmm(batch.front().config);
+  } catch (const std::exception& e) {
+    ok = false;
+    error = e.what();
+  } catch (...) {
+    ok = false;
+    error = "unknown execution error";
+  }
+  const double end_s = now_s();
+
+  std::vector<std::shared_ptr<Pending>> members;
+  members.reserve(batch.size());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (const Job& job : batch) {
+      const auto it = pending_.find(job.id);
+      members.push_back(it != pending_.end() ? it->second : nullptr);
+      if (it != pending_.end()) {
+        pending_.erase(it);
+      }
+    }
+    ++counters_.batches;
+    if (batch.size() > 1) {
+      counters_.batched_jobs += static_cast<std::int64_t>(batch.size());
+    }
+    if (ok) {
+      counters_.completed += static_cast<std::int64_t>(batch.size());
+    } else {
+      counters_.failed += static_cast<std::int64_t>(batch.size());
+    }
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (members[i] == nullptr) {
+      continue;  // unreachable: pending_ outlives queue residency
+    }
+    JobResult jr;
+    jr.id = batch[i].id;
+    jr.tenant = batch[i].tenant;
+    jr.status = ok ? JobStatus::kCompleted : JobStatus::kFailed;
+    if (ok) {
+      jr.result = result;  // shared execution: every member gets the result
+    } else {
+      jr.error = error;
+    }
+    jr.queue_wait_s = start_s - members[i]->submit_s;
+    jr.service_s = end_s - start_s;
+    jr.latency_s = end_s - members[i]->submit_s;
+    jr.batch_size = static_cast<int>(batch.size());
+    members[i]->promise.set_value(std::move(jr));
+  }
+}
+
+void PmmService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+PmmService::Counters PmmService::counters() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  Counters c = counters_;
+  c.batches = queue_.batches();
+  c.batched_jobs = queue_.batched_jobs();
+  return c;
+}
+
+JobQueue::TenantStats PmmService::tenant_stats(
+    const std::string& tenant) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.tenant_stats(tenant);
+}
+
+}  // namespace summagen::service

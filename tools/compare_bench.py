@@ -24,6 +24,24 @@ covered, not missing.
 Benchmarks without items_per_second fall back to comparing real_time
 (higher is worse), with the same ratio threshold.
 
+Counter metrics: benches may export extra numeric counters on a row
+(latency percentiles and throughput from service_load, alloc counters
+from micro_dgemm). --metric NAME[:MAX_RATIO][:higher] gates one such
+counter on every benchmark that exports it in BOTH files, each with its
+own regression ratio (defaulting to --max-ratio). The default direction
+is lower-is-better (latencies, shed fractions): current/baseline above
+the ratio fails. A trailing ":higher" flips the direction for
+throughput-style counters: baseline/current above the ratio fails. A
+zero baseline gates exactness (any nonzero current value fails — the
+virtual-clock benches are deterministic, so a baseline of zero means
+zero is reproducible). Rows missing the counter in either file are
+skipped with a note, so mixed-schema files stay comparable.
+
+Example (the service-load gate):
+    tools/compare_bench.py bench/BENCH_service.json current.json \
+        --max-ratio 1.05 --metric latency_p50_s --metric latency_p99_s \
+        --metric throughput_jobs_per_s:1.05:higher --metric shed_fraction
+
 Repetitions: when a file was produced with --repeats (benchmark
 repetitions), the per-repetition rows are noisy; the gate uses the
 `_median` aggregate rows instead, keyed by the benchmark's run_name.
@@ -106,6 +124,38 @@ def baseline_for(name: str, base: dict[str, dict]) -> tuple[str, dict] | None:
     return None
 
 
+def parse_metric_spec(spec: str, default_ratio: float) -> tuple[str, float, bool]:
+    """Parse NAME[:MAX_RATIO][:higher|lower] into (name, ratio, higher)."""
+    parts = spec.split(":")
+    name = parts[0]
+    ratio = default_ratio
+    higher = False
+    for part in parts[1:]:
+        if part == "higher":
+            higher = True
+        elif part == "lower":
+            higher = False
+        else:
+            try:
+                ratio = float(part)
+            except ValueError:
+                print(f"error: bad --metric spec '{spec}'", file=sys.stderr)
+                sys.exit(2)
+    if not name or ratio <= 0:
+        print(f"error: bad --metric spec '{spec}'", file=sys.stderr)
+        sys.exit(2)
+    return name, ratio, higher
+
+
+def metric_slowdown(b_val: float, c_val: float, higher: bool) -> float:
+    """Regression factor for one counter (>1 == worse than baseline).
+    Zero baselines gate exactness: equal-zero is 1.0, any deviation inf."""
+    worse, better = (b_val, c_val) if higher else (c_val, b_val)
+    if better == 0:
+        return 1.0 if worse == 0 else float("inf")
+    return worse / better
+
+
 def slowdown(base: dict, cur: dict) -> float:
     """Return how many times slower `cur` is than `base` (>1 == regression)."""
     b_ips, c_ips = base.get("items_per_second"), cur.get("items_per_second")
@@ -132,6 +182,16 @@ def main() -> int:
         "baseline counter (default 1.05; allocation is deterministic)",
     )
     parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="NAME[:MAX_RATIO][:higher|lower]",
+        help="additionally gate this counter on every benchmark exporting "
+        "it in both files; MAX_RATIO defaults to --max-ratio, direction "
+        "defaults to lower-is-better (append ':higher' for throughput-style "
+        "counters); repeatable",
+    )
+    parser.add_argument(
         "--allow-missing",
         action="store_true",
         help="do not fail when a baseline benchmark is absent from the "
@@ -149,8 +209,10 @@ def main() -> int:
 
     base = load_benchmarks(args.baseline)
     cur = load_benchmarks(args.current)
+    metrics = [parse_metric_spec(spec, args.max_ratio) for spec in args.metric]
 
     failures = []
+    metric_failures = []
     alloc_failures = []
     matched_baselines = set()
     unmatched_new = []
@@ -167,6 +229,24 @@ def main() -> int:
         print(f"  [{status}] {label}: {ratio:.2f}x baseline time")
         if ratio > args.max_ratio:
             failures.append((label, ratio))
+        for metric, metric_ratio, higher in metrics:
+            b_val = base_entry.get(metric)
+            c_val = cur[name].get(metric)
+            if b_val is None or c_val is None:
+                if b_val is not None or c_val is not None:
+                    side = "baseline" if b_val is None else "current"
+                    print(f"    ({metric}: absent from {side}, skipped)")
+                continue
+            m_ratio = metric_slowdown(b_val, c_val, higher)
+            m_status = "FAIL" if m_ratio > metric_ratio else "ok"
+            direction = "higher-better" if higher else "lower-better"
+            print(
+                f"    [{m_status}] {metric} ({direction}): "
+                f"{b_val:g} -> {c_val:g} ({m_ratio:.2f}x, max "
+                f"{metric_ratio:.2f}x)"
+            )
+            if m_ratio > metric_ratio:
+                metric_failures.append((label, metric, b_val, c_val, m_ratio))
         b_alloc = base_entry.get("alloc_bytes_per_iter")
         c_alloc = cur[name].get("alloc_bytes_per_iter")
         if b_alloc is not None and c_alloc is not None:
@@ -200,6 +280,17 @@ def main() -> int:
         )
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+    if metric_failures:
+        print(
+            f"\n{len(metric_failures)} counter metric(s) regressed:",
+            file=sys.stderr,
+        )
+        for label, metric, b_val, c_val, m_ratio in metric_failures:
+            print(
+                f"  {label} {metric}: {b_val:g} -> {c_val:g} "
+                f"({m_ratio:.2f}x)",
+                file=sys.stderr,
+            )
     if alloc_failures:
         print(
             f"\n{len(alloc_failures)} benchmark(s) allocate beyond "
@@ -219,7 +310,7 @@ def main() -> int:
         )
         for name in missing:
             print(f"  {name}", file=sys.stderr)
-    if failures or alloc_failures or missing:
+    if failures or metric_failures or alloc_failures or missing:
         return 1
     print(
         f"\nall baseline benchmarks covered and within "
