@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "src/blas/fastmm.hpp"
 #include "src/core/runner.hpp"
 #include "src/mpi/faults.hpp"
 #include "src/partition/spec_io.hpp"
@@ -40,6 +41,13 @@ void usage() {
       "  --simd-tier T      packed microkernel tier: auto (default) |\n"
       "                     scalar | sse2 | avx2 (explicit unavailable\n"
       "                     tiers fail; SUMMAGEN_FORCE_SCALAR=1 caps auto)\n"
+      "  --fastmm KIND      Strassen-family fast MM over the kernel:\n"
+      "                     classical (default) | strassen | s223 | auto.\n"
+      "                     Norm-bound accurate, not bit-identical; refused\n"
+      "                     with --fault / --repartition\n"
+      "  --fastmm-crossover X  smallest fast sub-block edge (0 = auto:\n"
+      "                     tuned cache else 512)\n"
+      "  --fastmm-max-depth D  fast recursion depth cap (default 3)\n"
       "  --scheduler NAME   eager | pipelined | taskgraph (default eager)\n"
       "  --engine NAME      thread (default, one OS thread per rank) |\n"
       "                     modeled (cooperative fibers on one scheduler\n"
@@ -138,6 +146,16 @@ int main(int argc, char** argv) {
     config.kernel.threads =
         static_cast<int>(cli.get_int_min("kernel-threads", 0, 0));
     config.kernel.block = cli.get_int_min("kernel-block", 64, 1);
+    try {
+      config.kernel.fastmm =
+          blas::parse_fastmm_kind(cli.get("fastmm", "classical"));
+    } catch (const std::invalid_argument& e) {
+      throw util::CliError(std::string("--fastmm: ") + e.what());
+    }
+    config.kernel.fastmm_crossover =
+        cli.get_int_min("fastmm-crossover", 0, 0);
+    config.kernel.fastmm_max_depth =
+        static_cast<int>(cli.get_int_min("fastmm-max-depth", 3, 0));
     try {
       config.kernel.tier = blas::parse_simd_tier(cli.get("simd-tier", "auto"));
     } catch (const std::invalid_argument& e) {
@@ -251,6 +269,18 @@ int main(int argc, char** argv) {
                      static_cast<double>(res.alloc.pool_peak_resident_bytes) /
                          1048576.0,
                      2)});
+      if (config.kernel.fastmm != blas::FastMmKind::kClassical ||
+          res.alloc.fastmm_leases > 0) {
+        t.add_row({"fast-MM kind",
+                   blas::fastmm_kind_name(config.kernel.fastmm)});
+        t.add_row({"fast-MM leases",
+                   util::Table::num(res.alloc.fastmm_leases)});
+        t.add_row({"fast-MM leased (MiB)",
+                   util::Table::num(
+                       static_cast<double>(res.alloc.fastmm_bytes) /
+                           1048576.0,
+                       2)});
+      }
     }
     t.print(std::cout);
 

@@ -1,0 +1,138 @@
+// Strassen-family fast matrix multiplication atop the tuned SIMD kernels.
+//
+// "A Framework for Practical Parallel Fast Matrix Multiplication" (Benson &
+// Ballard) shows Strassen-like algorithms beating classical DGEMM at
+// practical sizes once a good classical microkernel exists — which the
+// CPUID-dispatched packed kernel (DESIGN.md §5.11) provides. Each algorithm
+// here is a <mt,kt,nt;R> bilinear scheme stored as data-driven U/V/W
+// integer coefficient tables: A is split into an mt x kt block grid, B into
+// kt x nt, C into mt x nt, and for r = 0..R-1
+//
+//   S_r = sum_i U[r][i] * A_i        (block linear combination)
+//   T_r = sum_j V[r][j] * B_j
+//   M_r = S_r * T_r                  (recursive product)
+//   C_i = beta*C_i + alpha * sum_r W[i][r] * M_r
+//
+// with R < mt*kt*nt block products — the source of the speedup. Shipping
+// algorithms:
+//
+//   <2,2,2;7>  — classical Strassen;
+//   <2,2,3;11> — rectangular-friendly variant (Strassen on the first two
+//                block columns of B direct-summed with a classical third
+//                block column; 11 products match the known rank of the
+//                <2,2,3> tensor).
+//
+// Tables are validated algebraically by the Brent triple-product equations
+// (tests/blas/fastmm_test.cpp), so a wrong coefficient cannot ship.
+//
+// Recursion bottoms out at the classical packed kernel once any sub-block
+// dimension would fall below the (tuned, persisted) crossover or the depth
+// cap is hit. Odd and fringe dimensions are handled by dynamic peeling:
+// the largest block-divisible core runs fast, the k/m/n fringe strips run
+// classical — arbitrary (m, n, k), including SUMMA's non-square panel
+// products, are legal. All temporaries (S/T combination buffers and the R
+// quadrant products M_r) are leased from the process-wide BufferPool and
+// recorded under the distinct fastmm counters, so warm runs stay ~0-alloc
+// and the accounting gate covers fast runs.
+//
+// Accuracy contract: fast MM is legitimately NOT bit-identical to the
+// classical kernels — the reassociated accumulation grows the error by a
+// bounded factor per recursion level. Results satisfy
+//
+//   ||C_fast - C_classical||_F <= fastmm_error_budget(k, depth)
+//                                 * eps * ||A||_F * ||B||_F
+//
+// and remain run-to-run bit-identical per SIMD tier (fixed combination
+// orders, deterministic leaves), so reproducibility still holds. Paths that
+// demand bit-determinism across re-executions (fault recovery, online
+// re-partitioning) refuse fast MM (src/core/runner.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/blas/gemm.hpp"
+
+namespace summagen::blas {
+
+/// One <mt,kt,nt;R> bilinear algorithm as integer coefficient tables.
+/// Block indices are row-major: A_i at (i / kt, i % kt), B_j at
+/// (j / nt, j % nt), C_i at (i / nt, i % nt).
+struct FastMmAlgorithm {
+  const char* name = "";  ///< "<2,2,2;7>" style display name
+  int mt = 0;             ///< block rows of A and C
+  int kt = 0;             ///< block cols of A == block rows of B
+  int nt = 0;             ///< block cols of B and C
+  int rank = 0;           ///< R, the number of block products
+  const signed char* u = nullptr;  ///< rank x (mt*kt) row-major
+  const signed char* v = nullptr;  ///< rank x (kt*nt) row-major
+  const signed char* w = nullptr;  ///< (mt*nt) x rank row-major
+};
+
+/// Classical Strassen <2,2,2;7>.
+const FastMmAlgorithm& strassen_algorithm();
+
+/// Rectangular-friendly <2,2,3;11>.
+const FastMmAlgorithm& s223_algorithm();
+
+/// All built-in algorithms (test inventory; Brent validation sweeps this).
+std::vector<const FastMmAlgorithm*> fastmm_algorithms();
+
+/// Verifies the Brent triple-product equations for `alg`: for every
+/// (i,p) x (p',j) x (i',j') the contraction sum_r U[r][ip] V[r][p'j]
+/// W[i'j'][r] equals [i==i'][p==p'][j==j']. True iff the table is an exact
+/// bilinear matrix-multiplication algorithm.
+bool verify_brent_equations(const FastMmAlgorithm& alg);
+
+/// Built-in crossover when neither GemmOptions nor the tune cache provide
+/// one: sub-blocks below this edge multiply classically.
+std::int64_t default_fastmm_crossover();
+
+/// Crossover for one call: a positive GemmOptions::fastmm_crossover wins,
+/// else the tuned cache entry for this CPU + the call's resolved tier, else
+/// default_fastmm_crossover().
+std::int64_t resolve_fastmm_crossover(const GemmOptions& opts);
+
+/// Norm-wise error budget factor f: the fast result satisfies
+/// ||C_fast - C_classical||_F <= f * eps * ||A||_F * ||B||_F where `depth`
+/// is the deepest fast split applied. Grows ~6x per level (each level's
+/// combinations can amplify the leaf bound by the table's coefficient
+/// mass); the leading k term is the classical accumulation-length bound
+/// shared by both operands of the comparison.
+double fastmm_error_budget(std::int64_t k, int depth);
+
+/// Deepest fast split choose_fastmm can reach for this call — the `depth`
+/// to feed fastmm_error_budget when bounding a whole multiplication.
+int fastmm_max_reachable_depth(std::int64_t m, std::int64_t n, std::int64_t k,
+                               const GemmOptions& opts);
+
+/// Modeled flop count of one fast-MM DGEMM: leaf multiplications (2mnk
+/// each) plus one flop per linear-combination coefficient application plus
+/// the classical fringe strips. Equals 2mnk when the call resolves to
+/// classical. The device model uses this to derive a fast-MM-aware speed
+/// function s(x) for the partitioners.
+double fastmm_modeled_flops(std::int64_t m, std::int64_t n, std::int64_t k,
+                            const GemmOptions& opts);
+
+namespace detail {
+
+/// The algorithm one recursion step uses for an (m x k) * (k x n) product
+/// at `depth`, or nullptr for classical. Pure function of its arguments —
+/// run-to-run determinism of fast runs rests on this.
+const FastMmAlgorithm* choose_fastmm(std::int64_t m, std::int64_t n,
+                                     std::int64_t k, FastMmKind kind,
+                                     std::int64_t crossover, int depth,
+                                     int max_depth);
+
+/// Entry point used by dgemm() when opts.fastmm != kClassical: recursive
+/// fast multiplication with dynamic peeling, pooled temporaries, and leaf
+/// calls on the classical kernel configured by `opts` (with fastmm
+/// cleared). Preconditions are dgemm's; m, n, k >= 1.
+void fastmm_dgemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                  double alpha, const double* a, std::int64_t lda,
+                  const double* b, std::int64_t ldb, double beta, double* c,
+                  std::int64_t ldc, const GemmOptions& opts);
+
+}  // namespace detail
+
+}  // namespace summagen::blas

@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "src/blas/fastmm.hpp"
 #include "src/blas/microkernel.hpp"
 #include "src/blas/pack_cache.hpp"
 #include "src/blas/tune.hpp"
@@ -278,6 +279,13 @@ void dgemm(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
     throw std::invalid_argument(
         "dgemm: mc/nc/kc must be non-negative (0 = auto)");
   }
+  if (opts.fastmm_crossover < 0) {
+    throw std::invalid_argument(
+        "dgemm: fastmm_crossover must be non-negative (0 = auto)");
+  }
+  if (opts.fastmm_max_depth < 0) {
+    throw std::invalid_argument("dgemm: fastmm_max_depth must be >= 0");
+  }
   if (m == 0 || n == 0) return;
 
   const bool pooled = opts.kernel == GemmKernel::kThreaded ||
@@ -294,6 +302,14 @@ void dgemm(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
     } else {
       scale_rows(0, m, n, beta, c, ldc);
     }
+    return;
+  }
+
+  if (opts.fastmm != FastMmKind::kClassical) {
+    // Strassen-family layer (src/blas/fastmm.hpp): recurses over block
+    // algorithms and re-enters dgemm with fastmm cleared for the leaves
+    // and the peeled fringe strips.
+    detail::fastmm_dgemm(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, opts);
     return;
   }
 

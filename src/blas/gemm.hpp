@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "src/blas/simd.hpp"
 #include "src/util/matrix.hpp"
@@ -37,6 +38,25 @@
 namespace summagen::blas {
 
 enum class GemmKernel { kNaive, kBlocked, kThreaded, kPacked };
+
+/// Fast (Strassen-family) matrix-multiplication mode layered on top of the
+/// classical kernels (src/blas/fastmm.hpp). Fast MM trades the classical
+/// per-element accumulation chain for fewer leaf multiplications: results
+/// are norm-bound accurate (not bit-identical to classical) but remain
+/// run-to-run bit-identical per SIMD tier.
+enum class FastMmKind {
+  kClassical = 0,  ///< plain kernels, the bit-determinism baseline (default)
+  kStrassen,       ///< recursive <2,2,2;7> (Strassen) above the crossover
+  kS223,           ///< recursive <2,2,3;11> (rectangular-friendly variant)
+  kAuto,           ///< pick classical/<2,2,2;7>/<2,2,3;11> per (m,n,k)
+};
+
+/// "classical" | "strassen" | "s223" | "auto".
+const char* fastmm_kind_name(FastMmKind kind);
+
+/// Inverse of fastmm_kind_name; throws std::invalid_argument on anything
+/// else (the CLI wraps this into a CliError).
+FastMmKind parse_fastmm_kind(const std::string& name);
 
 /// Options for dgemm. `threads` applies to kThreaded/kPacked; the fields
 /// below `block` apply to kPacked only.
@@ -64,6 +84,18 @@ struct GemmOptions {
   /// and values), letting SUMMA-family schedules reuse packed panels
   /// across k-steps and ranks. 0 (default) packs privately per call.
   std::uint64_t b_pack_key = 0;
+  /// Fast-MM mode (src/blas/fastmm.hpp). kClassical (default) is the plain
+  /// kernel path; the fast kinds recurse Strassen-family block algorithms
+  /// down to the classical kernel below `fastmm_crossover`. Fast results
+  /// satisfy the norm-wise bound of fastmm_error_budget(), not bit equality
+  /// with classical; per tier they stay run-to-run bit-identical.
+  FastMmKind fastmm = FastMmKind::kClassical;
+  /// Smallest block dimension fast recursion may produce; splits stop once
+  /// any sub-block dimension would drop below it. 0 (default) = auto (the
+  /// persisted tune cache for this CPU, else default_fastmm_crossover()).
+  std::int64_t fastmm_crossover = 0;
+  /// Recursion-depth cap for the fast kinds; 0 degenerates to classical.
+  int fastmm_max_depth = 3;
 };
 
 /// Resolves `threads` (see GemmOptions::threads): 0 maps to the shared

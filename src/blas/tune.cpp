@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/blas/fastmm.hpp"
 #include "src/blas/gemm.hpp"
 #include "src/util/matrix.hpp"
 #include "src/util/rng.hpp"
@@ -128,6 +129,8 @@ bool parse_record(Scanner& sc, TuneRecord* rec) {
     else if (field == "nc") rec->bs.nc = static_cast<std::int64_t>(v);
     else if (field == "kc") rec->bs.kc = static_cast<std::int64_t>(v);
     else if (field == "gflops") rec->gflops = v;
+    else if (field == "fastmm_crossover")
+      rec->fastmm_crossover = static_cast<std::int64_t>(v);
   } while (sc.consume(','));
   return sc.consume('}');
 }
@@ -247,8 +250,11 @@ std::string format_tune_file(const TuneFile& file) {
       os << (first_tier ? "\n" : ",\n") << "      \"";
       json_escape_to(os, tier);
       os << "\": {\"mc\": " << rec.bs.mc << ", \"nc\": " << rec.bs.nc
-         << ", \"kc\": " << rec.bs.kc << ", \"gflops\": " << rec.gflops
-         << "}";
+         << ", \"kc\": " << rec.bs.kc << ", \"gflops\": " << rec.gflops;
+      if (rec.fastmm_crossover > 0) {
+        os << ", \"fastmm_crossover\": " << rec.fastmm_crossover;
+      }
+      os << "}";
       first_tier = false;
     }
     os << "\n    }";
@@ -278,9 +284,12 @@ bool save_tune_file(const std::string& path, const TuneFile& file) {
   return static_cast<bool>(out);
 }
 
-BlockSizes resolve_block_sizes(const GemmOptions& opts, SimdTier tier) {
-  // Tuned entries for this CPU, loaded once per process (missing or
-  // malformed caches resolve to an empty map — the defaults below).
+namespace {
+
+// Tuned entries for this CPU, loaded once per process (missing or
+// malformed caches resolve to an empty map — callers fall back to the
+// built-in defaults).
+const std::map<std::string, TuneRecord>& tuned_records_for_this_cpu() {
   static const std::map<std::string, TuneRecord> tuned = [] {
     TuneFile file;
     std::map<std::string, TuneRecord> mine;
@@ -290,7 +299,13 @@ BlockSizes resolve_block_sizes(const GemmOptions& opts, SimdTier tier) {
     }
     return mine;
   }();
+  return tuned;
+}
 
+}  // namespace
+
+BlockSizes resolve_block_sizes(const GemmOptions& opts, SimdTier tier) {
+  const auto& tuned = tuned_records_for_this_cpu();
   BlockSizes bs = default_block_sizes(tier);
   const auto it = tuned.find(simd_tier_name(tier));
   if (it != tuned.end() && it->second.bs.mc > 0 && it->second.bs.nc > 0 &&
@@ -357,6 +372,51 @@ std::vector<TuneResult> autotune_block_sizes(
               return x.gflops > y.gflops;
             });
   return winners;
+}
+
+std::int64_t tuned_fastmm_crossover(SimdTier tier) {
+  const auto& tuned = tuned_records_for_this_cpu();
+  const auto it = tuned.find(simd_tier_name(tier));
+  return it != tuned.end() && it->second.fastmm_crossover > 0
+             ? it->second.fastmm_crossover
+             : 0;
+}
+
+FastMmTuneResult autotune_fastmm_crossover(std::int64_t n, int repeats,
+                                           SimdTier tier) {
+  if (n < 256) n = 256;
+  if (repeats < 1) repeats = 1;
+  util::Matrix a(n, n), b(n, n), c(n, n);
+  util::fill_random(a, 1);
+  util::fill_random(b, 2);
+
+  FastMmTuneResult best;
+  best.crossover = default_fastmm_crossover();
+  for (std::int64_t x : {256ll, 384ll, 512ll, 768ll}) {
+    GemmOptions opts;
+    opts.kernel = GemmKernel::kPacked;
+    opts.tier = tier;
+    opts.fastmm = FastMmKind::kStrassen;
+    opts.fastmm_crossover = x;
+    // Warm-up: populates the pool size classes this candidate's recursion
+    // shape will lease.
+    dgemm(n, n, n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n, opts);
+    std::vector<double> gflops;
+    for (int r = 0; r < repeats; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      dgemm(n, n, n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n, opts);
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      gflops.push_back(static_cast<double>(gemm_flops(n, n, n)) / dt.count() /
+                       1e9);
+    }
+    const double med = median_of(std::move(gflops));
+    if (med > best.gflops) {
+      best.gflops = med;
+      best.crossover = x;
+    }
+  }
+  return best;
 }
 
 }  // namespace summagen::blas

@@ -63,6 +63,9 @@ std::string cpu_model_key();
 struct TuneRecord {
   BlockSizes bs;
   double gflops = 0.0;
+  /// Tuned fast-MM crossover (src/blas/fastmm.hpp) for this CPU + tier;
+  /// 0 = not tuned (resolve falls back to default_fastmm_crossover()).
+  std::int64_t fastmm_crossover = 0;
 };
 
 /// Full cache file contents: cpu key -> tier name -> record.
@@ -93,5 +96,22 @@ struct TuneResult {
 /// candidate) and returns the per-tier winners, best tier first.
 std::vector<TuneResult> autotune_block_sizes(std::int64_t n, int repeats,
                                              const std::vector<SimdTier>& tiers);
+
+/// Tuned fast-MM crossover for this CPU + tier from the persisted cache
+/// (loaded once per process); 0 when the cache has no entry.
+std::int64_t tuned_fastmm_crossover(SimdTier tier);
+
+/// Winner of the fast-MM crossover sweep (see autotune_fastmm_crossover).
+struct FastMmTuneResult {
+  std::int64_t crossover = 0;
+  double gflops = 0.0;  ///< effective (2n^3-normalised) GFLOP/s at winner
+};
+
+/// Sweeps candidate fast-MM crossovers for Strassen at problem size n on
+/// `tier` (median of `repeats` timed runs per candidate) and returns the
+/// fastest. Throughput is normalised to classical flops (2n^3 / time), so
+/// numbers compare directly against the classical tune records.
+FastMmTuneResult autotune_fastmm_crossover(std::int64_t n, int repeats,
+                                           SimdTier tier);
 
 }  // namespace summagen::blas

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/blas/fastmm.hpp"
 #include "src/device/ooc.hpp"
 #include "src/util/rng.hpp"
 
@@ -91,7 +92,13 @@ KernelCost AbstractProcessor::kernel_cost(std::int64_t m, std::int64_t n,
                                           bool contended) const {
   KernelCost cost;
   if (m <= 0 || n <= 0 || k <= 0) return cost;
-  const double flops = static_cast<double>(blas::gemm_flops(m, n, k));
+  // Work actually executed by the configured kernel: 2mnk classically,
+  // less when a fast-MM kind splits (src/blas/fastmm.hpp). With the
+  // default classical kernel this is exactly gemm_flops, so every
+  // committed virtual-time baseline is unchanged; under --fastmm the
+  // partitioners see the modified s(x) shape (profile() still normalises
+  // speeds to classical flops, the paper's convention).
+  const double flops = blas::fastmm_modeled_flops(m, n, k, numeric_kernel_);
   const double edge = std::cbrt(static_cast<double>(m) *
                                 static_cast<double>(n) *
                                 static_cast<double>(k));

@@ -19,6 +19,8 @@ std::atomic<std::int64_t> g_pack_lookups{0};
 std::atomic<std::int64_t> g_pack_hits{0};
 std::atomic<std::int64_t> g_sched_lookups{0};
 std::atomic<std::int64_t> g_sched_hits{0};
+std::atomic<std::int64_t> g_fastmm_leases{0};
+std::atomic<std::int64_t> g_fastmm_bytes{0};
 
 constexpr auto kRelaxed = std::memory_order_relaxed;
 
@@ -36,6 +38,8 @@ DataPlaneStats DataPlaneStats::since(const DataPlaneStats& base) const {
   d.pack_hits -= base.pack_hits;
   d.sched_lookups -= base.sched_lookups;
   d.sched_hits -= base.sched_hits;
+  d.fastmm_leases -= base.fastmm_leases;
+  d.fastmm_bytes -= base.fastmm_bytes;
   return d;
 }
 
@@ -53,6 +57,8 @@ DataPlaneStats data_plane_stats() {
   s.pack_hits = g_pack_hits.load(kRelaxed);
   s.sched_lookups = g_sched_lookups.load(kRelaxed);
   s.sched_hits = g_sched_hits.load(kRelaxed);
+  s.fastmm_leases = g_fastmm_leases.load(kRelaxed);
+  s.fastmm_bytes = g_fastmm_bytes.load(kRelaxed);
   return s;
 }
 
@@ -68,6 +74,8 @@ DataPlaneStats StatsSink::snapshot() const {
   s.pack_hits = pack_hits_.load(kRelaxed);
   s.sched_lookups = sched_lookups_.load(kRelaxed);
   s.sched_hits = sched_hits_.load(kRelaxed);
+  s.fastmm_leases = fastmm_leases_.load(kRelaxed);
+  s.fastmm_bytes = fastmm_bytes_.load(kRelaxed);
   return s;
 }
 
@@ -82,6 +90,8 @@ void StatsSink::add(const DataPlaneStats& d) {
   pack_hits_.fetch_add(d.pack_hits, kRelaxed);
   sched_lookups_.fetch_add(d.sched_lookups, kRelaxed);
   sched_hits_.fetch_add(d.sched_hits, kRelaxed);
+  fastmm_leases_.fetch_add(d.fastmm_leases, kRelaxed);
+  fastmm_bytes_.fetch_add(d.fastmm_bytes, kRelaxed);
 }
 
 // The sink pointer rides the sgpool task token so pooled tasks inherit the
@@ -140,6 +150,16 @@ void record_sched_lookup(bool hit) {
   if (StatsSink* s = current_stats_sink()) {
     s->sched_lookups_.fetch_add(1, kRelaxed);
     if (hit) s->sched_hits_.fetch_add(1, kRelaxed);
+  }
+}
+
+void record_fastmm_lease(std::int64_t bytes) {
+  if (bytes <= 0) return;
+  g_fastmm_leases.fetch_add(1, kRelaxed);
+  g_fastmm_bytes.fetch_add(bytes, kRelaxed);
+  if (StatsSink* s = current_stats_sink()) {
+    s->fastmm_leases_.fetch_add(1, kRelaxed);
+    s->fastmm_bytes_.fetch_add(bytes, kRelaxed);
   }
 }
 

@@ -40,6 +40,8 @@ struct DataPlaneStats {
   std::int64_t pack_hits = 0;     ///< lookups served by an existing panel
   std::int64_t sched_lookups = 0;  ///< shared plan/task-graph cache lookups
   std::int64_t sched_hits = 0;     ///< lookups served by a cached schedule
+  std::int64_t fastmm_leases = 0;  ///< fast-MM temporary buffers leased
+  std::int64_t fastmm_bytes = 0;   ///< bytes of those leases (S/T/M buffers)
 
   /// Fraction of pool acquires served without a heap allocation.
   double pool_hit_rate() const {
@@ -98,6 +100,7 @@ class StatsSink {
   friend void record_pool_acquire(bool);
   friend void record_pack_lookup(bool);
   friend void record_sched_lookup(bool);
+  friend void record_fastmm_lease(std::int64_t);
 
   std::atomic<std::int64_t> allocs_{0};
   std::atomic<std::int64_t> alloc_bytes_{0};
@@ -109,6 +112,8 @@ class StatsSink {
   std::atomic<std::int64_t> pack_hits_{0};
   std::atomic<std::int64_t> sched_lookups_{0};
   std::atomic<std::int64_t> sched_hits_{0};
+  std::atomic<std::int64_t> fastmm_leases_{0};
+  std::atomic<std::int64_t> fastmm_bytes_{0};
 };
 
 /// The sink installed on the calling thread (nullptr when none).
@@ -146,6 +151,13 @@ void record_pack_lookup(bool hit);
 /// Records one shared-schedule cache lookup (`hit` = reused a cached
 /// ExecutionPlan + TaskGraph instead of rebuilding them).
 void record_sched_lookup(bool hit);
+
+/// Records one fast-MM temporary lease of `bytes` (the S/T linear-
+/// combination and M quadrant-product workspaces of src/blas/fastmm.cpp).
+/// The lease still goes through the BufferPool — this counter exists so
+/// fast-MM workspace traffic is visible separately from generic pool hits
+/// and the ~0-alloc warm-run gate can cover --fastmm runs.
+void record_fastmm_lease(std::int64_t bytes);
 
 /// Adjusts the live pooled footprint by `delta` bytes (positive on a fresh
 /// pool allocation, negative when the pool releases memory) and maintains

@@ -140,6 +140,35 @@ TEST(Runner, NumericMatchesModeledTimes) {
   EXPECT_DOUBLE_EQ(modeled.comm_time_s, numeric.comm_time_s);
 }
 
+TEST(Runner, FastMmNumericRunVerifies) {
+  // The fast-MM kernel is norm-bound accurate, not bit-identical; the
+  // runner widens its elementwise tolerance by the reachable depth.
+  auto config = base_config();
+  config.n = 256;
+  config.numeric = true;
+  config.kernel.fastmm = blas::FastMmKind::kStrassen;
+  config.kernel.fastmm_crossover = 32;
+  const auto res = run_pmm(config);
+  EXPECT_TRUE(res.verified);
+  EXPECT_GT(res.alloc.fastmm_leases, 0);
+}
+
+TEST(Runner, FastMmRefusedWithFaults) {
+  // Fault recovery re-executes cells under different sub-shapes, whose
+  // verification demands bit-determinism — fast-MM cannot provide it.
+  auto config = base_config();
+  config.kernel.fastmm = blas::FastMmKind::kAuto;
+  config.faults.events.push_back({sgmpi::FaultKind::kCrash, /*rank=*/1, 0.5});
+  EXPECT_THROW(run_pmm(config), std::invalid_argument);
+}
+
+TEST(Runner, FastMmRefusedWithRepartition) {
+  auto config = base_config();
+  config.kernel.fastmm = blas::FastMmKind::kStrassen;
+  config.repartition.enabled = true;
+  EXPECT_THROW(run_pmm(config), std::invalid_argument);
+}
+
 TEST(Runner, GranularityForwarded) {
   auto config = base_config();
   config.n = 256;

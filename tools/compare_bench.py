@@ -54,7 +54,13 @@ Per-kernel baselines: benchmark families may grow per-variant entries
 entry with no exact baseline match falls back to its family baseline —
 the name with the `TierX` token stripped — so adding tiered entries does
 not require regenerating the old baseline schema; tiered entries are
-then gated against the family's recorded throughput.
+then gated against the family's recorded throughput. The fast-MM
+ablation rows (BM_FastMMStrassen/2048 etc.) fall back the same way to a
+BM_FastMM/2048 family baseline with the kind suffix stripped.
+
+`--self-test` runs the built-in unit checks of the name-matching helpers
+(family stripping, baseline fallback, counter directions) and exits
+without reading any files; CI runs it before the real gates.
 
 Allocation gate: benchmarks exporting the `alloc_bytes_per_iter` counter
 (micro_dgemm does, via the data-plane accounting) are additionally checked
@@ -109,9 +115,16 @@ def load_benchmarks(path: str) -> dict[str, dict]:
 
 
 def family_name(name: str) -> str:
-    """Strip a per-variant `TierX` token: BM_GemmPackedTierAvx2/1024 ->
-    BM_GemmPacked/1024."""
-    return re.sub(r"Tier[A-Za-z0-9]+", "", name)
+    """Strip per-variant tokens: the `TierX` token of the packed-GEMM
+    entries (BM_GemmPackedTierAvx2/1024 -> BM_GemmPacked/1024) and the
+    fast-MM kind suffix of the ablation_fastmm entries
+    (BM_FastMMStrassen/2048 -> BM_FastMM/2048), so variant rows fall back
+    to a family baseline and a forced-classical run still covers the
+    family."""
+    name = re.sub(r"Tier[A-Za-z0-9]+", "", name)
+    return re.sub(
+        r"^(BM_FastMM)(?:Classical|Strassen|S223|Auto)", r"\1", name
+    )
 
 
 def baseline_for(name: str, base: dict[str, dict]) -> tuple[str, dict] | None:
@@ -164,10 +177,65 @@ def slowdown(base: dict, cur: dict) -> float:
     return cur["real_time"] / base["real_time"]
 
 
+def self_test() -> int:
+    """Unit-check the matching helpers (run in CI before the real gates, so
+    a fallback regression fails loudly instead of silently skipping rows)."""
+    checks = [
+        # Tier stripping (the packed-GEMM family fallback).
+        (family_name("BM_GemmPackedTierAvx2/1024"), "BM_GemmPacked/1024"),
+        (family_name("BM_GemmPacked/1024"), "BM_GemmPacked/1024"),
+        # Fast-MM kind stripping.
+        (family_name("BM_FastMMStrassen/2048"), "BM_FastMM/2048"),
+        (family_name("BM_FastMMS223/512"), "BM_FastMM/512"),
+        (family_name("BM_FastMMAuto/1024"), "BM_FastMM/1024"),
+        (family_name("BM_FastMMClassical/2048"), "BM_FastMM/2048"),
+        # Names that must NOT be rewritten.
+        (family_name("BM_FastMM/2048"), "BM_FastMM/2048"),
+        (family_name("BM_Barrier/8"), "BM_Barrier/8"),
+    ]
+    failures = [f"family_name: {got!r} != {want!r}" for got, want in checks
+                if got != want]
+
+    base = {
+        "BM_FastMM/2048": {"real_time": 1.0},
+        "BM_GemmPacked/1024": {"real_time": 2.0},
+    }
+    resolved = baseline_for("BM_FastMMStrassen/2048", base)
+    if resolved is None or resolved[0] != "BM_FastMM/2048":
+        failures.append("baseline_for: fast-MM family fallback missed")
+    resolved = baseline_for("BM_GemmPackedTierSse2/1024", base)
+    if resolved is None or resolved[0] != "BM_GemmPacked/1024":
+        failures.append("baseline_for: tier family fallback missed")
+    if baseline_for("BM_Unrelated/64", base) is not None:
+        failures.append("baseline_for: matched an unrelated name")
+
+    if metric_slowdown(2.0, 1.0, higher=True) != 2.0:
+        failures.append("metric_slowdown: higher-is-better direction wrong")
+    if metric_slowdown(1.0, 2.0, higher=False) != 2.0:
+        failures.append("metric_slowdown: lower-is-better direction wrong")
+    if metric_slowdown(0.0, 0.5, higher=False) != float("inf"):
+        failures.append("metric_slowdown: zero baseline must gate exactness")
+    if metric_slowdown(0.0, 0.0, higher=False) != 1.0:
+        failures.append("metric_slowdown: zero == zero must pass")
+
+    for line in failures:
+        print(f"  [FAIL] {line}", file=sys.stderr)
+    if failures:
+        print(f"self-test: {len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("self-test: all checks passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in matching unit checks and exit (no files read)",
+    )
     parser.add_argument(
         "--max-ratio",
         type=float,
@@ -206,6 +274,10 @@ def main() -> int:
         "per-call operand staging)",
     )
     args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current are required unless --self-test")
 
     base = load_benchmarks(args.baseline)
     cur = load_benchmarks(args.current)

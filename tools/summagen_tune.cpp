@@ -9,6 +9,10 @@
 //   --n N          problem size per timed multiply   (default 768)
 //   --repeats R    timed multiplies per candidate, median taken (default 3)
 //   --tiers LIST   comma list of scalar,sse2,avx2, or "all" (default all)
+//   --fastmm-n N   also sweep the fast-MM crossover at this problem size
+//                  and persist it per tier (0 = skip, the default; the
+//                  sweep needs N >= 2x the smallest candidate to be
+//                  meaningful, so prefer 1536+)
 //   --out PATH     cache file to merge into (default: tune_cache_path())
 //   --dry-run      sweep and report, but do not write the cache
 #include <cstdint>
@@ -26,7 +30,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: summagen_tune [--n N] [--repeats R] [--tiers scalar,sse2,avx2]\n"
-    "                     [--out PATH] [--dry-run]\n";
+    "                     [--fastmm-n N] [--out PATH] [--dry-run]\n";
 
 std::vector<summagen::blas::SimdTier> parse_tiers(const std::string& spec) {
   using summagen::blas::SimdTier;
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
         static_cast<int>(cli.get_int_min("repeats", 3, 1));
     const std::vector<SimdTier> tiers =
         parse_tiers(cli.get("tiers", "all"));
+    const std::int64_t fastmm_n = cli.get_int_min("fastmm-n", 0, 0);
     const std::string out =
         cli.get("out", summagen::blas::tune_cache_path());
     const bool dry_run = cli.get_bool("dry-run", false);
@@ -86,6 +91,23 @@ int main(int argc, char** argv) {
                 << " kc=" << r.bs.kc << "  (" << r.gflops << " GFLOP/s)\n";
     }
 
+    // Optional second sweep: the Strassen crossover (smallest sub-block edge
+    // worth splitting, src/blas/fastmm.hpp) per tier, persisted next to the
+    // blocking so dgemm --fastmm picks it up without flags.
+    std::vector<std::int64_t> crossovers(results.size(), 0);
+    if (fastmm_n > 0) {
+      std::cout << "sweeping fast-MM crossover at n=" << fastmm_n << "\n";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const summagen::blas::FastMmTuneResult f =
+            summagen::blas::autotune_fastmm_crossover(fastmm_n, repeats,
+                                                      results[i].tier);
+        crossovers[i] = f.crossover;
+        std::cout << "  " << summagen::blas::simd_tier_name(results[i].tier)
+                  << ": crossover=" << f.crossover << "  (" << f.gflops
+                  << " GFLOP/s)\n";
+      }
+    }
+
     if (dry_run) {
       std::cout << "dry run: cache not written\n";
       return 0;
@@ -98,8 +120,13 @@ int main(int argc, char** argv) {
     // Merge-write: keep other CPUs' entries and this CPU's untuned tiers.
     summagen::blas::TuneFile file;
     summagen::blas::load_tune_file(out, &file);
-    for (const auto& r : results) {
-      file[cpu][summagen::blas::simd_tier_name(r.tier)] = {r.bs, r.gflops};
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      summagen::blas::TuneRecord& rec =
+          file[cpu][summagen::blas::simd_tier_name(r.tier)];
+      const std::int64_t kept = rec.fastmm_crossover;  // survive a re-tune
+      rec = {r.bs, r.gflops};
+      rec.fastmm_crossover = fastmm_n > 0 ? crossovers[i] : kept;
     }
     if (!summagen::blas::save_tune_file(out, file)) {
       std::cerr << "error: cannot write " << out << "\n";
